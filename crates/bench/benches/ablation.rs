@@ -1,0 +1,176 @@
+//! Ablation benchmarks for design choices DESIGN.md calls out:
+//!
+//! * serial vs parallel-prefetch SPF evaluation (virtual validation
+//!   latency and wall-clock evaluator cost);
+//! * resolver caching on vs off (upstream query volume under repeated
+//!   evaluation);
+//! * campaign throughput at small scale (events/second of the full
+//!   pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mailval_datasets::{DatasetKind, Population, PopulationConfig};
+use mailval_dns::resolver::{Begin, ResolveOutcome, ResolverConfig, ResolverCore, Step};
+use mailval_dns::rr::{RData, RecordType};
+use mailval_dns::{Name, Record};
+use mailval_measure::experiment::{
+    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
+};
+use mailval_simnet::LatencyModel;
+use mailval_spf::{DnsQuestion, EvalParams, EvalStep, SpfBehavior, SpfEvaluator};
+use std::hint::black_box;
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+/// Drive the t01-shaped policy in-memory, with either serial or
+/// parallel behavior, and count resume round-trips (each corresponds to
+/// ≥1 RTT in deployment — the latency ablation of §7.1).
+fn eval_rounds(parallel: bool) -> usize {
+    let base = "t01.m1.spf.test";
+    let answer_for = |q: &DnsQuestion| -> ResolveOutcome {
+        let name = q.name.to_string();
+        let policy = if name == base {
+            format!("v=spf1 include:l1.{base} a:foo.{base} -all")
+        } else if name.starts_with("l1.") {
+            format!("v=spf1 include:l2.{base} ?all")
+        } else if name.starts_with("l2.") {
+            format!("v=spf1 include:l3.{base} ?all")
+        } else if name.starts_with("l3.") {
+            "v=spf1 ?all".to_string()
+        } else {
+            return ResolveOutcome::Records(vec![Record::new(
+                q.name.clone(),
+                60,
+                RData::A("192.0.2.1".parse().unwrap()),
+            )]);
+        };
+        ResolveOutcome::Records(vec![Record::new(
+            q.name.clone(),
+            60,
+            RData::txt_from_str(&policy),
+        )])
+    };
+    let params = EvalParams {
+        ip: "198.51.100.1".parse().unwrap(),
+        domain: n(base),
+        sender_local: "spf-test".into(),
+        sender_domain: n(base),
+        helo: "probe.test".into(),
+    };
+    let behavior = SpfBehavior {
+        parallel_prefetch: parallel,
+        ..Default::default()
+    };
+    let mut ev = SpfEvaluator::new(params, behavior);
+    let mut rounds = 0;
+    let mut step = ev.start();
+    loop {
+        match step {
+            EvalStep::Done(_) => return rounds,
+            EvalStep::NeedLookups(questions) => {
+                rounds += 1;
+                let answers = questions
+                    .into_iter()
+                    .map(|q| {
+                        let a = answer_for(&q);
+                        (q, a)
+                    })
+                    .collect();
+                step = ev.resume(answers);
+            }
+        }
+    }
+}
+
+fn ablation_serial_parallel(c: &mut Criterion) {
+    // Report round counts once (the latency story), then bench cost.
+    let serial_rounds = eval_rounds(false);
+    let parallel_rounds = eval_rounds(true);
+    eprintln!(
+        "[ablation] t01 evaluation resume-rounds: serial={serial_rounds}, parallel={parallel_rounds}"
+    );
+    assert!(parallel_rounds < serial_rounds);
+    c.bench_function("ablation_eval_serial", |b| {
+        b.iter(|| black_box(eval_rounds(false)))
+    });
+    c.bench_function("ablation_eval_parallel", |b| {
+        b.iter(|| black_box(eval_rounds(true)))
+    });
+}
+
+/// Resolver cache ablation: resolve the same 32 names twice.
+fn cache_queries(cache_enabled: bool) -> u64 {
+    let mut core = ResolverCore::new(ResolverConfig {
+        cache_enabled,
+        ..Default::default()
+    });
+    for round in 0..2 {
+        for i in 0..32 {
+            let name = n(&format!("host{i}.cache.test"));
+            match core.begin(name.clone(), RecordType::A, round * 1000) {
+                Begin::Cached(_) => {}
+                Begin::Send(out) => {
+                    let q = mailval_dns::Message::from_bytes(&out.bytes).unwrap();
+                    let mut resp =
+                        mailval_dns::Message::response_to(&q, mailval_dns::Rcode::NoError);
+                    resp.answers = vec![Record::new(
+                        name,
+                        300,
+                        RData::A("192.0.2.7".parse().unwrap()),
+                    )];
+                    match core.on_response(out.id, &resp.to_bytes(), round * 1000) {
+                        Step::Done(_) => {}
+                        other => panic!("{other:?}"),
+                    }
+                }
+            }
+        }
+    }
+    core.upstream_queries
+}
+
+fn ablation_cache(c: &mut Criterion) {
+    let with = cache_queries(true);
+    let without = cache_queries(false);
+    eprintln!("[ablation] resolver upstream queries (2 rounds × 32 names): cache={with}, no-cache={without}");
+    assert!(with < without);
+    c.bench_function("ablation_resolver_cached", |b| {
+        b.iter(|| black_box(cache_queries(true)))
+    });
+    c.bench_function("ablation_resolver_uncached", |b| {
+        b.iter(|| black_box(cache_queries(false)))
+    });
+}
+
+fn ablation_campaign_throughput(c: &mut Criterion) {
+    let pop = Population::generate(&PopulationConfig {
+        kind: DatasetKind::TwoWeekMx,
+        scale: 0.002,
+        seed: 5,
+    });
+    let profiles = sample_host_profiles(&pop, 5);
+    c.bench_function("campaign_tiny_twoweek", |b| {
+        b.iter(|| {
+            let result = run_campaign(
+                &CampaignConfig {
+                    kind: CampaignKind::TwoWeekMx,
+                    tests: vec!["t01", "t12"],
+                    seed: 5,
+                    probe_pause_ms: 15_000,
+                    latency: LatencyModel::default(),
+                },
+                &pop,
+                &profiles,
+            );
+            black_box(result.events)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_serial_parallel, ablation_cache, ablation_campaign_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The §8 future-work extension: fingerprint SPF validator
+//! implementations by their behavior vectors across the test battery.
+
+use mailval_bench::{campaign, prepare};
+use mailval_datasets::DatasetKind;
+use mailval_measure::experiment::CampaignKind;
+use mailval_measure::fingerprint::{behavior_vectors, classify, summarize};
+use mailval_measure::report::render_table;
+
+fn main() {
+    let prepared = prepare(DatasetKind::TwoWeekMx);
+    let tests = vec![
+        "t01", "t02", "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10",
+    ];
+    let result = campaign(&prepared, CampaignKind::TwoWeekMx, tests);
+    let vectors = behavior_vectors(&result.log);
+    let classes = classify(&vectors);
+    let summary = summarize(&classes);
+
+    let rows: Vec<Vec<String>> = classes
+        .iter()
+        .take(15)
+        .enumerate()
+        .map(|(i, c)| {
+            let v = &c.vector;
+            let b = |x: Option<bool>| match x {
+                Some(true) => "y",
+                Some(false) => "n",
+                None => "-",
+            };
+            let u = |x: Option<u8>| x.map(|v| v.to_string()).unwrap_or("-".into());
+            vec![
+                format!("{}", i + 1),
+                format!("{}", c.hosts.len()),
+                format!(
+                    "par={} lim={} helo={} syn={} child={} void={} mxfb={} multi={} tcp={} v6={}",
+                    b(v.parallel),
+                    u(v.limit_bucket),
+                    b(v.helo_check),
+                    b(v.syntax_lenient),
+                    b(v.child_lenient),
+                    u(v.void_bucket),
+                    b(v.mx_fallback),
+                    b(v.multi_follow),
+                    b(v.tcp),
+                    b(v.ipv6),
+                ),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "§8 extension — validator fingerprints: {} MTAs, {} classes, largest {}, {} singletons",
+                summary.mtas, summary.classes, summary.largest, summary.singletons
+            ),
+            &["#", "MTAs", "behavior vector"],
+            &rows
+        )
+    );
+}

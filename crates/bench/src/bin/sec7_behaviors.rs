@@ -1,0 +1,37 @@
+//! Reproduce the §7.3 behavior battery: HELO checking, syntax-error
+//! tolerance, void-lookup limits, the forbidden mx fallback, multiple-
+//! record handling, TCP fallback, IPv6-only retrieval and the per-mx
+//! address-lookup limit.
+
+use mailval_bench::{campaign, prepare};
+use mailval_datasets::DatasetKind;
+use mailval_measure::analysis::behavior_battery;
+use mailval_measure::experiment::CampaignKind;
+use mailval_measure::report::{pct, render_table};
+
+fn main() {
+    let prepared = prepare(DatasetKind::TwoWeekMx);
+    let tests = vec!["t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10", "t11"];
+    let result = campaign(&prepared, CampaignKind::TwoWeekMx, tests);
+    let stats = behavior_battery(&result.log);
+
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.testid.to_string(),
+                s.behavior.to_string(),
+                pct(s.paper_fraction),
+                format!("{} ({}/{})", pct(s.fraction()), s.exhibited, s.evaluated),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "§7.3 — SPF validation behaviors",
+            &["test", "behavior", "paper", "measured"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,51 @@
+//! Reproduce Table 1: the ten most prevalent TLDs in each dataset.
+
+use mailval_bench::population;
+use mailval_datasets::tld::{empirical_top_tlds, NOTIFY_EMAIL_TOP_TLDS, TWO_WEEK_MX_TOP_TLDS};
+use mailval_datasets::DatasetKind;
+use mailval_measure::report::{pct, render_table};
+use std::collections::HashSet;
+
+fn main() {
+    for (kind, name, paper) in [
+        (
+            DatasetKind::NotifyEmail,
+            "NotifyEmail",
+            NOTIFY_EMAIL_TOP_TLDS,
+        ),
+        (DatasetKind::TwoWeekMx, "TwoWeekMX", TWO_WEEK_MX_TOP_TLDS),
+    ] {
+        let pop = population(kind);
+        let tlds: Vec<String> = pop.domains.iter().map(|d| d.tld.clone()).collect();
+        let measured = empirical_top_tlds(&tlds, 10);
+        let distinct: HashSet<&String> = tlds.iter().collect();
+        let rows: Vec<Vec<String>> = (0..10)
+            .map(|i| {
+                let (paper_tld, paper_share) = paper
+                    .get(i)
+                    .map(|t| (t.tld.to_string(), t.share))
+                    .unwrap_or_default();
+                let (m_tld, m_share) = measured
+                    .get(i)
+                    .cloned()
+                    .unwrap_or(("-".into(), 0.0));
+                vec![
+                    format!("{}", i + 1),
+                    paper_tld,
+                    pct(paper_share),
+                    m_tld,
+                    pct(m_share),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("Table 1 — {name} top TLDs ({} domains, {} TLDs measured)",
+                    pop.domains.len(), distinct.len()),
+                &["#", "paper TLD", "paper %", "measured TLD", "measured %"],
+                &rows
+            )
+        );
+    }
+}

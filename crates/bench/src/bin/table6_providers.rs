@@ -1,0 +1,51 @@
+//! Reproduce Table 6: SPF/DKIM/DMARC validation status of the 19
+//! popular mail providers, observed by running the NotifyEmail pipeline
+//! against the provider mini-population.
+
+use mailval_bench::provider_population;
+use mailval_datasets::providers::PROVIDERS;
+use mailval_measure::analysis::notify_email_flags;
+use mailval_measure::experiment::{run_campaign, CampaignConfig, CampaignKind};
+use mailval_measure::report::render_table;
+use mailval_simnet::LatencyModel;
+
+fn main() {
+    let (pop, profiles) = provider_population();
+    let result = run_campaign(
+        &CampaignConfig {
+            kind: CampaignKind::NotifyEmail,
+            tests: vec![],
+            seed: mailval_bench::seed(),
+            probe_pause_ms: 0,
+            latency: LatencyModel::default(),
+        },
+        &pop,
+        &profiles,
+    );
+    let flags = notify_email_flags(&result, pop.domains.len());
+    let mark = |b: bool| if b { "v" } else { "x" }.to_string();
+    let rows: Vec<Vec<String>> = PROVIDERS
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let f = flags[i];
+            vec![
+                p.domain.to_string(),
+                format!("{} {} {}", mark(p.spf), mark(p.dkim), mark(p.dmarc)),
+                format!("{} {} {}", mark(f.spf), mark(f.dkim), mark(f.dmarc)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table 6 — popular providers (SPF DKIM DMARC)",
+            &["domain", "paper", "measured"],
+            &rows
+        )
+    );
+    let spf = flags.iter().filter(|f| f.spf).count();
+    let full = flags.iter().filter(|f| f.spf && f.dkim && f.dmarc).count();
+    println!("SPF-validating: paper 16/19 (84%), measured {spf}/19");
+    println!("all three:      paper 13/19 (68%), measured {full}/19");
+}

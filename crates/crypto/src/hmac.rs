@@ -1,0 +1,92 @@
+//! HMAC (RFC 2104) over SHA-1 or SHA-256.
+//!
+//! The measurement apparatus derives compact, stable `mtaid`/`domainid`
+//! labels from target identities with HMAC-SHA-256 so that From-domain
+//! labels are unlinkable without the campaign key (mirroring how the paper's
+//! per-target From addresses were uniquely identifiable only to the
+//! experimenters).
+
+use crate::HashAlg;
+
+const BLOCK_LEN: usize = 64; // both SHA-1 and SHA-256 use a 64-byte block
+
+/// Compute `HMAC(key, message)` with the given hash algorithm.
+pub fn hmac(alg: HashAlg, key: &[u8], message: &[u8]) -> Vec<u8> {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let kh = alg.digest(key);
+        key_block[..kh.len()].copy_from_slice(&kh);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Vec::with_capacity(BLOCK_LEN + message.len());
+    inner.extend_from_slice(&ipad);
+    inner.extend_from_slice(message);
+    let inner_hash = alg.digest(&inner);
+    let mut outer = Vec::with_capacity(BLOCK_LEN + inner_hash.len());
+    outer.extend_from_slice(&opad);
+    outer.extend_from_slice(&inner_hash);
+    alg.digest(&outer)
+}
+
+/// Convenience: HMAC-SHA-256.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    let v = hmac(HashAlg::Sha256, key, message);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let out = hmac(HashAlg::Sha256, &key, b"Hi There");
+        assert_eq!(
+            hex::encode(&out),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let out = hmac(
+            HashAlg::Sha256,
+            b"Jefe",
+            b"what do ya want for nothing?",
+        );
+        assert_eq!(
+            hex::encode(&out),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_key() {
+        // 131-byte key forces the key-hash path.
+        let key = [0xaa; 131];
+        let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        let out = hmac(HashAlg::Sha256, &key, msg);
+        assert_eq!(
+            hex::encode(&out),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0b; 20];
+        let out = hmac(HashAlg::Sha1, &key, b"Hi There");
+        assert_eq!(hex::encode(&out), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+}

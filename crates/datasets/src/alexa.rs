@@ -1,0 +1,67 @@
+//! Alexa-rank tagging (Table 7 of the paper).
+//!
+//! The paper cross-references NotifyEmail domains with the Alexa Top
+//! list of 2020-10-12: 2,953 domains were in the top 1M and 87 in the
+//! top 1K. The list itself is unavailable (retired), so ranks are
+//! assigned synthetically at those published rates. Popular domains get
+//! higher validation-profile quality downstream (Table 7's observed
+//! gradient), which the MTA-population model conditions on.
+
+use mailval_simnet::SimRng;
+
+/// Counts from Table 7.
+pub const NOTIFY_EMAIL_IN_TOP_1M: usize = 2_953;
+/// Count of NotifyEmail domains in the Alexa top 1K.
+pub const NOTIFY_EMAIL_IN_TOP_1K: usize = 87;
+/// NotifyEmail dataset size the counts are relative to.
+pub const NOTIFY_EMAIL_TOTAL: usize = 26_695;
+
+/// Alexa membership of a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlexaTier {
+    /// In the top 1,000.
+    Top1K,
+    /// In the top 1,000,000 (but not top 1K).
+    Top1M,
+    /// Not listed.
+    Unlisted,
+}
+
+/// Assign Alexa tiers to `n` domains at the paper's rates. Returns a
+/// vector of tiers aligned with domain indices.
+pub fn assign_tiers(n: usize, rng: &mut SimRng) -> Vec<AlexaTier> {
+    let p_1k = NOTIFY_EMAIL_IN_TOP_1K as f64 / NOTIFY_EMAIL_TOTAL as f64;
+    let p_1m_only =
+        (NOTIFY_EMAIL_IN_TOP_1M - NOTIFY_EMAIL_IN_TOP_1K) as f64 / NOTIFY_EMAIL_TOTAL as f64;
+    (0..n)
+        .map(|_| {
+            let roll = rng.next_f64();
+            if roll < p_1k {
+                AlexaTier::Top1K
+            } else if roll < p_1k + p_1m_only {
+                AlexaTier::Top1M
+            } else {
+                AlexaTier::Unlisted
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_table7() {
+        let mut rng = SimRng::new(9);
+        let tiers = assign_tiers(NOTIFY_EMAIL_TOTAL, &mut rng);
+        let top1k = tiers.iter().filter(|t| **t == AlexaTier::Top1K).count();
+        let top1m = tiers
+            .iter()
+            .filter(|t| matches!(t, AlexaTier::Top1K | AlexaTier::Top1M))
+            .count();
+        // Within sampling noise of the published counts.
+        assert!((60..=120).contains(&top1k), "top1k={top1k}");
+        assert!((2650..=3250).contains(&top1m), "top1m={top1m}");
+    }
+}

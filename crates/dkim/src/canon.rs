@@ -1,0 +1,224 @@
+//! DKIM canonicalization (RFC 6376 §3.4).
+
+use mailval_smtp::mail::HeaderField;
+
+/// The two canonicalization algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Canonicalization {
+    /// `simple`: tolerate almost no modification.
+    Simple,
+    /// `relaxed`: tolerate whitespace and header-case churn.
+    Relaxed,
+}
+
+impl Canonicalization {
+    /// Parse one side of the `c=` tag.
+    pub fn parse(s: &str) -> Option<Canonicalization> {
+        match s.to_ascii_lowercase().as_str() {
+            "simple" => Some(Canonicalization::Simple),
+            "relaxed" => Some(Canonicalization::Relaxed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Canonicalization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Canonicalization::Simple => write!(f, "simple"),
+            Canonicalization::Relaxed => write!(f, "relaxed"),
+        }
+    }
+}
+
+/// Collapse runs of WSP to a single SP and drop trailing WSP.
+fn relax_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_wsp = false;
+    for c in s.chars() {
+        if c == ' ' || c == '\t' {
+            in_wsp = true;
+        } else {
+            if in_wsp && !out.is_empty() {
+                out.push(' ');
+            }
+            in_wsp = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Canonicalize one header field (§3.4.1 / §3.4.2). The result includes
+/// the trailing CRLF except for the `DKIM-Signature` header being signed,
+/// which the caller handles specially.
+pub fn canonicalize_header(canon: Canonicalization, field: &HeaderField) -> String {
+    match canon {
+        Canonicalization::Simple => format!("{}:{}\r\n", field.name, field.raw_value),
+        Canonicalization::Relaxed => {
+            let name = field.name.to_ascii_lowercase();
+            // Unfold, then collapse WSP.
+            let unfolded = mailval_smtp::mail::unfold(&field.raw_value);
+            let value = relax_whitespace(unfolded.trim());
+            format!("{name}:{value}\r\n")
+        }
+    }
+}
+
+/// Canonicalize a body (§3.4.3 / §3.4.4).
+pub fn canonicalize_body(canon: Canonicalization, body: &[u8]) -> Vec<u8> {
+    // Work line-by-line on CRLF-delimited text. Tolerate a body that does
+    // not end in CRLF by treating the remainder as a final line.
+    let mut lines: Vec<Vec<u8>> = Vec::new();
+    let mut current = Vec::new();
+    let mut iter = body.iter().peekable();
+    while let Some(&b) = iter.next() {
+        if b == b'\r' && iter.peek() == Some(&&b'\n') {
+            iter.next();
+            lines.push(std::mem::take(&mut current));
+        } else {
+            current.push(b);
+        }
+    }
+    let had_trailing_fragment = !current.is_empty();
+    if had_trailing_fragment {
+        lines.push(current);
+    }
+
+    if canon == Canonicalization::Relaxed {
+        for line in &mut lines {
+            // Strip trailing WSP, collapse interior WSP runs.
+            let s = String::from_utf8_lossy(line).into_owned();
+            let mut relaxed = String::with_capacity(s.len());
+            let mut wsp_run = false;
+            for c in s.trim_end_matches([' ', '\t']).chars() {
+                if c == ' ' || c == '\t' {
+                    wsp_run = true;
+                } else {
+                    if wsp_run {
+                        relaxed.push(' ');
+                    }
+                    wsp_run = false;
+                    relaxed.push(c);
+                }
+            }
+            *line = relaxed.into_bytes();
+        }
+    }
+
+    // Drop trailing empty lines (both algorithms).
+    while lines.last().is_some_and(|l| l.is_empty()) {
+        lines.pop();
+    }
+
+    let mut out = Vec::with_capacity(body.len());
+    for line in &lines {
+        out.extend_from_slice(line);
+        out.extend_from_slice(b"\r\n");
+    }
+    if out.is_empty() && canon == Canonicalization::Simple {
+        // §3.4.3: an empty body canonicalizes to a single CRLF in simple.
+        out.extend_from_slice(b"\r\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(name: &str, raw: &str) -> HeaderField {
+        HeaderField {
+            name: name.into(),
+            raw_value: raw.into(),
+        }
+    }
+
+    // RFC 6376 §3.4.5 examples.
+    #[test]
+    fn rfc_example_relaxed() {
+        let a = field("A", " X\r\n");
+        // The RFC example input "A: X\r\n" -> relaxed "a:X\r\n".
+        let a = HeaderField {
+            name: a.name,
+            raw_value: " X".into(),
+        };
+        assert_eq!(
+            canonicalize_header(Canonicalization::Relaxed, &a),
+            "a:X\r\n"
+        );
+        let b = field("B ", " Y\t\r\n\tZ  ");
+        assert_eq!(
+            canonicalize_header(Canonicalization::Relaxed, &b),
+            "b :Y Z\r\n"
+        );
+    }
+
+    #[test]
+    fn rfc_example_relaxed_body() {
+        let body = b" C \r\nD \t E\r\n\r\n\r\n";
+        assert_eq!(
+            canonicalize_body(Canonicalization::Relaxed, body),
+            b" C\r\nD E\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn rfc_example_simple_body() {
+        let body = b" C \r\nD \t E\r\n\r\n\r\n";
+        assert_eq!(
+            canonicalize_body(Canonicalization::Simple, body),
+            b" C \r\nD \t E\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn simple_header_is_verbatim() {
+        let h = field("From", " Alice <a@example.com>");
+        assert_eq!(
+            canonicalize_header(Canonicalization::Simple, &h),
+            "From: Alice <a@example.com>\r\n"
+        );
+    }
+
+    #[test]
+    fn relaxed_header_unfolds() {
+        let h = field("Subject", " folded\r\n  across\r\n\tlines ");
+        assert_eq!(
+            canonicalize_header(Canonicalization::Relaxed, &h),
+            "subject:folded across lines\r\n"
+        );
+    }
+
+    #[test]
+    fn empty_body() {
+        assert_eq!(canonicalize_body(Canonicalization::Simple, b""), b"\r\n");
+        assert_eq!(
+            canonicalize_body(Canonicalization::Relaxed, b""),
+            Vec::<u8>::new()
+        );
+        // Only empty lines is equivalent to empty.
+        assert_eq!(
+            canonicalize_body(Canonicalization::Simple, b"\r\n\r\n"),
+            b"\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn body_without_trailing_crlf() {
+        assert_eq!(
+            canonicalize_body(Canonicalization::Simple, b"line"),
+            b"line\r\n".to_vec()
+        );
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(
+            Canonicalization::parse("RELAXED"),
+            Some(Canonicalization::Relaxed)
+        );
+        assert_eq!(Canonicalization::parse("nope"), None);
+        assert_eq!(Canonicalization::Simple.to_string(), "simple");
+    }
+}

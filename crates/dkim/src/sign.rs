@@ -1,0 +1,289 @@
+//! The DKIM signing pipeline (RFC 6376 §3.7, §5).
+
+use crate::canon::{canonicalize_body, canonicalize_header, Canonicalization};
+use crate::signature::DkimSignature;
+use mailval_crypto::rsa::RsaPrivateKey;
+use mailval_crypto::HashAlg;
+use mailval_dns::Name;
+use mailval_smtp::mail::{HeaderField, MailMessage};
+
+/// Signing configuration.
+#[derive(Debug, Clone)]
+pub struct SignConfig {
+    /// SDID (`d=`).
+    pub domain: Name,
+    /// Selector (`s=`).
+    pub selector: Name,
+    /// Hash algorithm (`a=rsa-<alg>`).
+    pub algorithm: HashAlg,
+    /// Header canonicalization.
+    pub header_canon: Canonicalization,
+    /// Body canonicalization.
+    pub body_canon: Canonicalization,
+    /// Headers to sign (must include `From`).
+    pub signed_headers: Vec<String>,
+    /// Optional signing timestamp (`t=`).
+    pub timestamp: Option<u64>,
+}
+
+impl SignConfig {
+    /// A sensible default configuration (relaxed/relaxed, rsa-sha256,
+    /// From/To/Subject/Date/Message-ID signed) — what the paper's Exim4
+    /// setup effectively used.
+    pub fn new(domain: Name, selector: Name) -> SignConfig {
+        SignConfig {
+            domain,
+            selector,
+            algorithm: HashAlg::Sha256,
+            header_canon: Canonicalization::Relaxed,
+            body_canon: Canonicalization::Relaxed,
+            signed_headers: vec![
+                "From".into(),
+                "To".into(),
+                "Subject".into(),
+                "Date".into(),
+                "Message-ID".into(),
+                "Reply-To".into(),
+            ],
+            timestamp: None,
+        }
+    }
+}
+
+/// Signing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignError {
+    /// The message has no `From` header (unsignable).
+    NoFrom,
+    /// RSA failure (key too small for the digest).
+    Rsa(String),
+}
+
+impl std::fmt::Display for SignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignError::NoFrom => write!(f, "message has no From header"),
+            SignError::Rsa(e) => write!(f, "rsa failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// Select header instances for `h=` (§5.4.2): for each listed name, take
+/// instances from the *bottom* of the header block upward; names listed
+/// more times than they occur select nothing for the excess ("over-
+/// signing"). Returns the canonicalized header text in signing order.
+pub fn select_headers<'a>(
+    headers: &'a [HeaderField],
+    signed: &[String],
+) -> Vec<Option<&'a HeaderField>> {
+    let mut used = vec![false; headers.len()];
+    let mut out = Vec::with_capacity(signed.len());
+    for name in signed {
+        let mut found = None;
+        for (i, h) in headers.iter().enumerate().rev() {
+            if !used[i] && h.name.eq_ignore_ascii_case(name) {
+                used[i] = true;
+                found = Some(h);
+                break;
+            }
+        }
+        out.push(found);
+    }
+    out
+}
+
+/// Compute the data hash input (§3.7): canonicalized selected headers,
+/// then the canonicalized DKIM-Signature header with empty `b=` and no
+/// trailing CRLF.
+///
+/// `sig_raw_value` must be the *raw header value* (everything after the
+/// colon, leading whitespace included) so that `simple` canonicalization
+/// hashes the same bytes on the signing and verifying sides.
+fn data_hash_input(
+    message_headers: &[HeaderField],
+    sig_raw_value: &str,
+    header_canon: Canonicalization,
+    signed: &[String],
+) -> Vec<u8> {
+    let mut input = Vec::new();
+    for header in select_headers(message_headers, signed).into_iter().flatten() {
+        input.extend_from_slice(canonicalize_header(header_canon, header).as_bytes());
+    }
+    let sig_field = HeaderField {
+        name: "DKIM-Signature".into(),
+        raw_value: sig_raw_value.to_string(),
+    };
+    let canon_sig = canonicalize_header(header_canon, &sig_field);
+    // No trailing CRLF on the signature header itself.
+    let trimmed = canon_sig
+        .strip_suffix("\r\n")
+        .unwrap_or(&canon_sig)
+        .as_bytes();
+    input.extend_from_slice(trimmed);
+    input
+}
+
+/// Sign `message`, returning the `DKIM-Signature` header *value* to
+/// prepend. The message itself is not modified.
+pub fn sign_message(
+    message: &MailMessage,
+    config: &SignConfig,
+    key: &RsaPrivateKey,
+) -> Result<String, SignError> {
+    if message.header("from").is_none()
+        || !config
+            .signed_headers
+            .iter()
+            .any(|h| h.eq_ignore_ascii_case("from"))
+    {
+        return Err(SignError::NoFrom);
+    }
+    let canon_body = canonicalize_body(config.body_canon, &message.body);
+    let body_hash = config.algorithm.digest(&canon_body);
+
+    let sig = DkimSignature {
+        algorithm: config.algorithm,
+        signature: Vec::new(),
+        body_hash,
+        header_canon: config.header_canon,
+        body_canon: config.body_canon,
+        domain: config.domain.clone(),
+        selector: config.selector.clone(),
+        identity: None,
+        body_length: None,
+        timestamp: config.timestamp,
+        expiration: None,
+        signed_headers: config
+            .signed_headers
+            .iter()
+            .map(|h| h.to_ascii_lowercase())
+            .collect(),
+    };
+
+    // The header will be attached as "DKIM-Signature: <value>", i.e. with
+    // a single leading space in the raw value; hash exactly that.
+    let unsigned_value = format!(" {}", sig.to_header_value(""));
+    let input = data_hash_input(
+        &message.headers,
+        &unsigned_value,
+        config.header_canon,
+        &sig.signed_headers,
+    );
+    let digest = config.algorithm.digest(&input);
+    let signature = key
+        .sign_digest(config.algorithm, &digest)
+        .map_err(|e| SignError::Rsa(e.to_string()))?;
+    Ok(sig.to_header_value(&mailval_crypto::base64::encode(&signature)))
+}
+
+/// Recompute the data-hash digest for verification of a *parsed*
+/// signature against a message. Exposed for the verifier.
+pub fn verification_digest(message: &MailMessage, sig: &DkimSignature, raw_sig_value: &str) -> Vec<u8> {
+    // Reconstruct the signed header value with b= emptied but everything
+    // else byte-identical to what arrived (§3.7: remove the b= value from
+    // the header as received).
+    let stripped = strip_b_value(raw_sig_value);
+    let input = data_hash_input(
+        &message.headers,
+        &stripped,
+        sig.header_canon,
+        &sig.signed_headers,
+    );
+    sig.algorithm.digest(&input)
+}
+
+/// Remove the value of the `b=` tag while keeping everything else
+/// byte-for-byte (§3.7 step 2).
+pub fn strip_b_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    loop {
+        // Find a `b` tag at a tag boundary.
+        let Some(pos) = rest.find('b') else {
+            out.push_str(rest);
+            return out;
+        };
+        let (before, after) = rest.split_at(pos);
+        // A tag name starts at the beginning or after ';' + optional FWS.
+        let at_boundary = before
+            .trim_end_matches([' ', '\t', '\r', '\n'])
+            .ends_with(';')
+            || before.trim().is_empty();
+        let after_tag = &after[1..];
+        let is_b_tag = at_boundary
+            && after_tag.trim_start_matches([' ', '\t', '\r', '\n']).starts_with('=');
+        if !is_b_tag {
+            out.push_str(before);
+            out.push('b');
+            rest = after_tag;
+            continue;
+        }
+        out.push_str(before);
+        out.push('b');
+        let eq_rel = after_tag.find('=').expect("checked above");
+        out.push_str(&after_tag[..=eq_rel]);
+        // Skip the value up to the next ';' or end.
+        let value_rest = &after_tag[eq_rel + 1..];
+        match value_rest.find(';') {
+            Some(semi) => {
+                rest = &value_rest[semi..];
+            }
+            None => {
+                return out;
+            }
+        }
+    }
+}
+
+/// Compute and compare the body hash (§3.7 step 1).
+pub fn body_hash_matches(message: &MailMessage, sig: &DkimSignature) -> bool {
+    let mut canon = canonicalize_body(sig.body_canon, &message.body);
+    if let Some(l) = sig.body_length {
+        let l = l as usize;
+        if l > canon.len() {
+            return false;
+        }
+        canon.truncate(l);
+    }
+    sig.algorithm.digest(&canon) == sig.body_hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_b_value_basic() {
+        assert_eq!(
+            strip_b_value("v=1; bh=XYZ; b=ABCDEF"),
+            "v=1; bh=XYZ; b="
+        );
+        assert_eq!(
+            strip_b_value("v=1; b=ABC; d=x.test"),
+            "v=1; b=; d=x.test"
+        );
+        // bh= must not be stripped.
+        assert_eq!(strip_b_value("bh=KEEP; b=GO"), "bh=KEEP; b=");
+        // Folded b= value.
+        assert_eq!(
+            strip_b_value("v=1; b=abc\r\n\tdef; d=x"),
+            "v=1; b=; d=x"
+        );
+    }
+
+    #[test]
+    fn select_headers_bottom_up() {
+        let headers = vec![
+            HeaderField::new("Received", "hop1"),
+            HeaderField::new("From", "first@x.test"),
+            HeaderField::new("Subject", "s"),
+            HeaderField::new("From", "second@x.test"),
+        ];
+        let selected = select_headers(&headers, &["from".into(), "from".into(), "from".into()]);
+        assert_eq!(selected[0].unwrap().value(), "second@x.test");
+        assert_eq!(selected[1].unwrap().value(), "first@x.test");
+        assert!(selected[2].is_none(), "over-signed slot selects nothing");
+    }
+}

@@ -1,0 +1,131 @@
+//! The DKIM `tag=value` list syntax (RFC 6376 §3.2), shared by
+//! `DKIM-Signature` headers and key records.
+
+use std::collections::HashMap;
+
+/// A parsed tag list. Tag names are case-sensitive per the RFC (and are
+//  conventionally lowercase).
+#[derive(Debug, Clone, Default)]
+pub struct TagList {
+    tags: Vec<(String, String)>,
+    index: HashMap<String, usize>,
+}
+
+/// Tag-list parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagListError {
+    /// An entry had no `=`.
+    MissingEquals,
+    /// An entry had an empty tag name.
+    EmptyName,
+    /// A tag name appeared twice (§3.2: tags MUST NOT be duplicated).
+    Duplicate(String),
+}
+
+impl std::fmt::Display for TagListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TagListError::MissingEquals => write!(f, "tag without '='"),
+            TagListError::EmptyName => write!(f, "empty tag name"),
+            TagListError::Duplicate(t) => write!(f, "duplicate tag {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TagListError {}
+
+impl TagList {
+    /// Parse a tag list. Folding whitespace around tags and values is
+    /// stripped; whitespace *inside* values is preserved (needed for
+    /// `h=a : b` style lists, which are normalized later by the caller).
+    pub fn parse(input: &str) -> Result<TagList, TagListError> {
+        let mut list = TagList::default();
+        for entry in input.split(';') {
+            let entry = entry.trim_matches([' ', '\t', '\r', '\n']);
+            if entry.is_empty() {
+                continue; // trailing ';' is legal
+            }
+            let eq = entry.find('=').ok_or(TagListError::MissingEquals)?;
+            let name = entry[..eq].trim_matches([' ', '\t', '\r', '\n']);
+            if name.is_empty() {
+                return Err(TagListError::EmptyName);
+            }
+            let value = entry[eq + 1..].trim_matches([' ', '\t', '\r', '\n']);
+            if list.index.contains_key(name) {
+                return Err(TagListError::Duplicate(name.to_string()));
+            }
+            list.index.insert(name.to_string(), list.tags.len());
+            list.tags.push((name.to_string(), value.to_string()));
+        }
+        Ok(list)
+    }
+
+    /// Get a tag's value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.index.get(name).map(|&i| self.tags[i].1.as_str())
+    }
+
+    /// Get a tag's value with all whitespace removed (for base64 values
+    /// folded across lines).
+    pub fn get_compact(&self, name: &str) -> Option<String> {
+        self.get(name)
+            .map(|v| v.chars().filter(|c| !c.is_ascii_whitespace()).collect())
+    }
+
+    /// All tags in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.tags.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let t = TagList::parse("v=1; a=rsa-sha256; d=example.net; s=brisbane;").unwrap();
+        assert_eq!(t.get("v"), Some("1"));
+        assert_eq!(t.get("a"), Some("rsa-sha256"));
+        assert_eq!(t.get("d"), Some("example.net"));
+        assert_eq!(t.get("s"), Some("brisbane"));
+        assert_eq!(t.get("x"), None);
+    }
+
+    #[test]
+    fn folded_values() {
+        let t = TagList::parse("b=abc\r\n\tdef; bh= xyz ").unwrap();
+        assert_eq!(t.get_compact("b").unwrap(), "abcdef");
+        assert_eq!(t.get_compact("bh").unwrap(), "xyz");
+    }
+
+    #[test]
+    fn empty_value_allowed() {
+        // b= is empty during signing; p= empty means revoked key.
+        let t = TagList::parse("p=; v=DKIM1").unwrap();
+        assert_eq!(t.get("p"), Some(""));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            TagList::parse("novalue"),
+            Err(TagListError::MissingEquals)
+        ));
+        assert!(matches!(
+            TagList::parse("=x"),
+            Err(TagListError::EmptyName)
+        ));
+        assert!(matches!(
+            TagList::parse("a=1; a=2"),
+            Err(TagListError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn order_preserved() {
+        let t = TagList::parse("z=1; y=2; x=3").unwrap();
+        let names: Vec<&str> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "y", "x"]);
+    }
+}

@@ -1,0 +1,417 @@
+//! Resumable DKIM verification (RFC 6376 §6).
+//!
+//! Like the SPF evaluator, the verifier is sans-IO: it yields the
+//! key-record DNS question (`<selector>._domainkey.<domain>` TXT) and is
+//! resumed with the resolver outcome. That TXT query is the signal the
+//! paper's apparatus logs to classify a receiving MTA as DKIM-validating.
+
+use crate::key::DkimKeyRecord;
+use crate::sign::{body_hash_matches, verification_digest};
+use crate::signature::DkimSignature;
+use mailval_dns::resolver::ResolveOutcome;
+use mailval_dns::rr::RecordType;
+use mailval_dns::Name;
+use mailval_smtp::mail::MailMessage;
+
+/// DKIM verification results (RFC 8601 §2.7.1 vocabulary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DkimResult {
+    /// The signature verified.
+    Pass,
+    /// The signature did not verify (reason attached).
+    Fail(String),
+    /// The message carries no DKIM-Signature header.
+    None,
+    /// The signature is unusable (syntax, unsupported algorithm...).
+    PermError(String),
+    /// Key retrieval failed transiently.
+    TempError,
+    /// Signature present but not checkable (revoked key).
+    Neutral(String),
+}
+
+/// Next step of verification.
+#[derive(Debug, Clone)]
+pub enum VerifyStep {
+    /// Resolve this TXT name and resume with the outcome.
+    NeedKey {
+        /// Key record name.
+        name: Name,
+        /// Always TXT.
+        rtype: RecordType,
+    },
+    /// Verification finished.
+    Done(DkimResult),
+}
+
+/// A resumable verifier for one message's *first* DKIM signature.
+/// (Messages with multiple signatures can run one verifier per header.)
+pub struct DkimVerifier {
+    message: MailMessage,
+    raw_sig_value: Option<String>,
+    signature: Option<DkimSignature>,
+    done: bool,
+}
+
+impl DkimVerifier {
+    /// Prepare verification of the `index`-th DKIM-Signature header
+    /// (0-based).
+    pub fn new(message: &MailMessage, index: usize) -> DkimVerifier {
+        let raw_sig_value = message
+            .headers_named("DKIM-Signature")
+            .nth(index)
+            .map(|h| h.raw_value.clone());
+        DkimVerifier {
+            message: message.clone(),
+            raw_sig_value,
+            signature: None,
+            done: false,
+        }
+    }
+
+    /// Number of DKIM-Signature headers on a message.
+    pub fn signature_count(message: &MailMessage) -> usize {
+        message.headers_named("DKIM-Signature").count()
+    }
+
+    /// The parsed signature (available after [`DkimVerifier::start`] if
+    /// parsing succeeded).
+    pub fn signature(&self) -> Option<&DkimSignature> {
+        self.signature.as_ref()
+    }
+
+    /// Begin: parses the signature and checks the body hash before asking
+    /// for the key (§6.1: syntax and bh can be checked without DNS —
+    /// but note many real verifiers fetch the key first; the DNS
+    /// observable is the same either way).
+    pub fn start(&mut self) -> VerifyStep {
+        assert!(!self.done, "verifier already finished");
+        let Some(raw) = &self.raw_sig_value else {
+            self.done = true;
+            return VerifyStep::Done(DkimResult::None);
+        };
+        let sig = match DkimSignature::parse(raw) {
+            Ok(sig) => sig,
+            Err(e) => {
+                self.done = true;
+                return VerifyStep::Done(DkimResult::PermError(e.to_string()));
+            }
+        };
+        let name = sig.key_record_name();
+        self.signature = Some(sig);
+        VerifyStep::NeedKey {
+            name,
+            rtype: RecordType::Txt,
+        }
+    }
+
+    /// Resume with the key-record lookup outcome.
+    pub fn on_key(&mut self, outcome: ResolveOutcome) -> VerifyStep {
+        assert!(!self.done, "verifier already finished");
+        let sig = self.signature.as_ref().expect("on_key before start");
+        self.done = true;
+        let records = match outcome {
+            ResolveOutcome::Records(records) => records,
+            ResolveOutcome::NoData | ResolveOutcome::NxDomain => {
+                return VerifyStep::Done(DkimResult::PermError("no key for signature".into()));
+            }
+            ResolveOutcome::Timeout | ResolveOutcome::ServFail => {
+                return VerifyStep::Done(DkimResult::TempError);
+            }
+        };
+        // §3.6.2.2: use the first parsable TXT string as the key record.
+        let key_record = records
+            .iter()
+            .filter_map(|r| r.rdata.txt_joined())
+            .find_map(|txt| DkimKeyRecord::parse(&txt).ok());
+        let Some(key_record) = key_record else {
+            return VerifyStep::Done(DkimResult::PermError("unusable key record".into()));
+        };
+        let Some(public_key) = &key_record.public_key else {
+            return VerifyStep::Done(DkimResult::Neutral("key revoked".into()));
+        };
+        if !key_record.allows_hash(sig.algorithm) {
+            return VerifyStep::Done(DkimResult::PermError(
+                "hash algorithm not permitted by key".into(),
+            ));
+        }
+        if !body_hash_matches(&self.message, sig) {
+            return VerifyStep::Done(DkimResult::Fail("body hash mismatch".into()));
+        }
+        let digest = verification_digest(
+            &self.message,
+            sig,
+            self.raw_sig_value.as_ref().expect("sig exists"),
+        );
+        match public_key.verify_digest(sig.algorithm, &digest, &sig.signature) {
+            Ok(()) => VerifyStep::Done(DkimResult::Pass),
+            Err(_) => VerifyStep::Done(DkimResult::Fail("signature mismatch".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::{sign_message, SignConfig};
+    use crate::canon::Canonicalization;
+    use mailval_crypto::bigint::SplitMix64;
+    use mailval_crypto::rsa::RsaKeyPair;
+    use mailval_dns::rr::RData;
+    use mailval_dns::Record;
+
+    fn keypair() -> RsaKeyPair {
+        let mut rng = SplitMix64::new(2024);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    fn sample_message() -> MailMessage {
+        let mut m = MailMessage::new();
+        m.add_header("From", "Notifier <spf-test@d1.dsav-mail.dns-lab.org>");
+        m.add_header("To", "operator@target.test");
+        m.add_header("Subject", "Network notification");
+        m.add_header("Date", "Mon, 12 Oct 2020 10:00:00 +0000");
+        m.set_body_text("Dear operator,\nYour network has an issue.\n");
+        m
+    }
+
+    fn config() -> SignConfig {
+        SignConfig::new(
+            Name::parse("d1.dsav-mail.dns-lab.org").unwrap(),
+            Name::parse("sel1").unwrap(),
+        )
+    }
+
+    fn key_answer(kp: &RsaKeyPair, name: &Name) -> ResolveOutcome {
+        let record_text = DkimKeyRecord::for_key(&kp.public).to_record_text();
+        ResolveOutcome::Records(vec![Record::new(
+            name.clone(),
+            300,
+            RData::txt_from_str(&record_text),
+        )])
+    }
+
+    fn sign_and_attach(m: &mut MailMessage, cfg: &SignConfig, kp: &RsaKeyPair) {
+        let value = sign_message(m, cfg, &kp.private).unwrap();
+        m.prepend_header("DKIM-Signature", &value);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!("expected key lookup");
+        };
+        assert_eq!(
+            name,
+            Name::parse("sel1._domainkey.d1.dsav-mail.dns-lab.org").unwrap()
+        );
+        match v.on_key(key_answer(&kp, &name)) {
+            VerifyStep::Done(DkimResult::Pass) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_canonicalizations() {
+        let kp = keypair();
+        for hc in [Canonicalization::Simple, Canonicalization::Relaxed] {
+            for bc in [Canonicalization::Simple, Canonicalization::Relaxed] {
+                let mut cfg = config();
+                cfg.header_canon = hc;
+                cfg.body_canon = bc;
+                let mut m = sample_message();
+                sign_and_attach(&mut m, &cfg, &kp);
+                let mut v = DkimVerifier::new(&m, 0);
+                let VerifyStep::NeedKey { name, .. } = v.start() else {
+                    panic!()
+                };
+                match v.on_key(key_answer(&kp, &name)) {
+                    VerifyStep::Done(DkimResult::Pass) => {}
+                    other => panic!("{hc}/{bc}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_survives_reparse_roundtrip() {
+        // Transport the signed message through bytes, as SMTP would.
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        let reparsed = MailMessage::parse(&m.to_bytes()).unwrap();
+        let mut v = DkimVerifier::new(&reparsed, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(key_answer(&kp, &name)) {
+            VerifyStep::Done(DkimResult::Pass) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relaxed_tolerates_whitespace_churn() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        // An intermediary re-spaces a signed header (relaxed must survive).
+        for h in &mut m.headers {
+            if h.name.eq_ignore_ascii_case("subject") {
+                h.raw_value = "  Network   notification".into();
+            }
+        }
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(key_answer(&kp, &name)) {
+            VerifyStep::Done(DkimResult::Pass) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_body_fails_bh() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        m.set_body_text("Entirely different body\n");
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(key_answer(&kp, &name)) {
+            VerifyStep::Done(DkimResult::Fail(reason)) => {
+                assert!(reason.contains("body hash"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_signed_header_fails_signature() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        for h in &mut m.headers {
+            if h.name.eq_ignore_ascii_case("from") {
+                h.raw_value = " Spoofer <evil@attacker.test>".into();
+            }
+        }
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(key_answer(&kp, &name)) {
+            VerifyStep::Done(DkimResult::Fail(reason)) => {
+                assert!(reason.contains("signature"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_message_is_none() {
+        let m = sample_message();
+        let mut v = DkimVerifier::new(&m, 0);
+        match v.start() {
+            VerifyStep::Done(DkimResult::None) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_key_is_permerror() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(ResolveOutcome::NxDomain) {
+            VerifyStep::Done(DkimResult::PermError(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dns_failure_is_temperror() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(ResolveOutcome::Timeout) {
+            VerifyStep::Done(DkimResult::TempError) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn revoked_key_is_neutral() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        let revoked = ResolveOutcome::Records(vec![Record::new(
+            name,
+            300,
+            RData::txt_from_str("v=DKIM1; k=rsa; p="),
+        )]);
+        match v.on_key(revoked) {
+            VerifyStep::Done(DkimResult::Neutral(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp = keypair();
+        let mut rng = SplitMix64::new(999);
+        let other = RsaKeyPair::generate(512, &mut rng);
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        let mut v = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        match v.on_key(key_answer(&other, &name)) {
+            VerifyStep::Done(DkimResult::Fail(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_signatures_independent() {
+        let kp = keypair();
+        let mut m = sample_message();
+        sign_and_attach(&mut m, &config(), &kp);
+        // Second (outer) signature from another domain.
+        let mut cfg2 = config();
+        cfg2.domain = Name::parse("relay.test").unwrap();
+        cfg2.selector = Name::parse("r1").unwrap();
+        sign_and_attach(&mut m, &cfg2, &kp);
+        assert_eq!(DkimVerifier::signature_count(&m), 2);
+        // Index 0 is the outer (prepended last).
+        let mut v0 = DkimVerifier::new(&m, 0);
+        let VerifyStep::NeedKey { name, .. } = v0.start() else {
+            panic!()
+        };
+        assert_eq!(name, Name::parse("r1._domainkey.relay.test").unwrap());
+        match v0.on_key(key_answer(&kp, &name)) {
+            VerifyStep::Done(DkimResult::Pass) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

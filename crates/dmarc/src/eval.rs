@@ -1,0 +1,413 @@
+//! Resumable DMARC evaluation (RFC 7489 §6.6.2–6.6.3).
+//!
+//! Policy discovery emits `_dmarc.<from-domain>` TXT, then (when that
+//! yields nothing and the From domain is not organizational)
+//! `_dmarc.<org-domain>` TXT — the exact queries the paper's apparatus
+//! watches to classify an MTA as DMARC-validating. The verdict combines
+//! the SPF result (RFC 7208) and DKIM results (RFC 6376) under
+//! identifier alignment.
+
+use crate::orgdomain::{organizational_domain, relaxed_aligned};
+use crate::record::{looks_like_dmarc, AlignmentMode, DmarcPolicy, DmarcRecord};
+use mailval_dns::resolver::ResolveOutcome;
+use mailval_dns::rr::RecordType;
+use mailval_dns::Name;
+use mailval_spf::SpfResult;
+
+/// Inputs from the authentication phase.
+#[derive(Debug, Clone)]
+pub struct AuthResults {
+    /// RFC5322.From header domain — the identifier DMARC protects.
+    pub from_domain: Name,
+    /// SPF result for the envelope.
+    pub spf_result: SpfResult,
+    /// The domain SPF authenticated (MAIL FROM domain, or HELO).
+    pub spf_domain: Option<Name>,
+    /// Each DKIM signature's (d= domain, verified) pair.
+    pub dkim: Vec<(Name, bool)>,
+}
+
+/// The final DMARC verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmarcVerdict {
+    /// Did DMARC pass?
+    pub pass: bool,
+    /// Which mechanism satisfied DMARC, if any.
+    pub passed_via: Option<PassVia>,
+    /// The record found, if any.
+    pub record: Option<DmarcRecord>,
+    /// What the receiver should do.
+    pub disposition: DmarcDisposition,
+}
+
+/// Which aligned mechanism produced the pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassVia {
+    /// Aligned SPF pass.
+    Spf,
+    /// Aligned DKIM pass.
+    Dkim,
+}
+
+/// Receiver disposition (§6.3 `p=` semantics, after `pct=` sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmarcDisposition {
+    /// No policy published (or evaluation failed): no DMARC handling.
+    NoPolicy,
+    /// Passed, or policy is none: deliver normally.
+    Accept,
+    /// Quarantine the message.
+    Quarantine,
+    /// Reject the message.
+    Reject,
+}
+
+/// Next step of evaluation.
+#[derive(Debug, Clone)]
+pub enum DmarcStep {
+    /// Resolve this TXT question and resume via
+    /// [`DmarcEvaluator::on_answer`].
+    NeedLookup {
+        /// The `_dmarc.<domain>` name.
+        name: Name,
+        /// Always TXT.
+        rtype: RecordType,
+    },
+    /// Finished.
+    Done(DmarcVerdict),
+}
+
+enum Phase {
+    FromDomain,
+    OrgDomain,
+    Finished,
+}
+
+/// Resumable DMARC evaluator.
+pub struct DmarcEvaluator {
+    auth: AuthResults,
+    phase: Phase,
+    /// Uniform sample in [0,100) used for `pct=` sampling; callers supply
+    /// it so the simulator stays deterministic.
+    pct_roll: u8,
+    /// True when the record was found at the organizational domain
+    /// rather than the From domain (subdomain policy applies).
+    used_org_domain: bool,
+}
+
+impl DmarcEvaluator {
+    /// Create an evaluator. `pct_roll` ∈ [0,100) drives `pct=` sampling.
+    pub fn new(auth: AuthResults, pct_roll: u8) -> DmarcEvaluator {
+        DmarcEvaluator {
+            auth,
+            phase: Phase::FromDomain,
+            pct_roll: pct_roll % 100,
+            used_org_domain: false,
+        }
+    }
+
+    fn dmarc_name(domain: &Name) -> Name {
+        Name::parse("_dmarc")
+            .unwrap()
+            .concat(domain)
+            .expect("_dmarc.<domain> fits")
+    }
+
+    /// Begin: emits the `_dmarc.<from-domain>` question.
+    pub fn start(&mut self) -> DmarcStep {
+        DmarcStep::NeedLookup {
+            name: Self::dmarc_name(&self.auth.from_domain),
+            rtype: RecordType::Txt,
+        }
+    }
+
+    /// Feed the outcome of the previously requested lookup.
+    pub fn on_answer(&mut self, outcome: ResolveOutcome) -> DmarcStep {
+        let record = match outcome {
+            ResolveOutcome::Records(records) => records
+                .iter()
+                .filter_map(|r| r.rdata.txt_joined())
+                .filter(|txt| looks_like_dmarc(txt))
+                .find_map(|txt| DmarcRecord::parse(&txt).ok()),
+            // Transient DNS errors: RFC 7489 says try again later; for a
+            // single evaluation this means no policy can be applied.
+            _ => None,
+        };
+        match (&self.phase, record) {
+            (Phase::FromDomain, Some(record)) => {
+                self.phase = Phase::Finished;
+                DmarcStep::Done(self.verdict(Some(record)))
+            }
+            (Phase::FromDomain, None) => {
+                let org = organizational_domain(&self.auth.from_domain);
+                if org != self.auth.from_domain {
+                    self.phase = Phase::OrgDomain;
+                    self.used_org_domain = true;
+                    DmarcStep::NeedLookup {
+                        name: Self::dmarc_name(&org),
+                        rtype: RecordType::Txt,
+                    }
+                } else {
+                    self.phase = Phase::Finished;
+                    DmarcStep::Done(self.verdict(None))
+                }
+            }
+            (Phase::OrgDomain, record) => {
+                self.phase = Phase::Finished;
+                DmarcStep::Done(self.verdict(record))
+            }
+            (Phase::Finished, _) => unreachable!("evaluator already finished"),
+        }
+    }
+
+    /// Check identifier alignment and compute the verdict.
+    fn verdict(&self, record: Option<DmarcRecord>) -> DmarcVerdict {
+        let Some(record) = record else {
+            return DmarcVerdict {
+                pass: false,
+                passed_via: None,
+                record: None,
+                disposition: DmarcDisposition::NoPolicy,
+            };
+        };
+
+        let aligned = |mode: AlignmentMode, domain: &Name| match mode {
+            AlignmentMode::Strict => *domain == self.auth.from_domain,
+            AlignmentMode::Relaxed => relaxed_aligned(domain, &self.auth.from_domain),
+        };
+
+        let spf_ok = self.auth.spf_result == SpfResult::Pass
+            && self
+                .auth
+                .spf_domain
+                .as_ref()
+                .is_some_and(|d| aligned(record.aspf, d));
+
+        let dkim_ok = self
+            .auth
+            .dkim
+            .iter()
+            .any(|(d, verified)| *verified && aligned(record.adkim, d));
+
+        let pass = spf_ok || dkim_ok;
+        let passed_via = if spf_ok {
+            Some(PassVia::Spf)
+        } else if dkim_ok {
+            Some(PassVia::Dkim)
+        } else {
+            None
+        };
+
+        let effective_policy = if self.used_org_domain {
+            record.subdomain_policy.unwrap_or(record.policy)
+        } else {
+            record.policy
+        };
+
+        let disposition = if pass {
+            DmarcDisposition::Accept
+        } else if self.pct_roll >= record.pct {
+            // Outside the sampled fraction (§6.6.4): apply the next-
+            // weaker disposition.
+            match effective_policy {
+                DmarcPolicy::Reject => DmarcDisposition::Quarantine,
+                _ => DmarcDisposition::Accept,
+            }
+        } else {
+            match effective_policy {
+                DmarcPolicy::None => DmarcDisposition::Accept,
+                DmarcPolicy::Quarantine => DmarcDisposition::Quarantine,
+                DmarcPolicy::Reject => DmarcDisposition::Reject,
+            }
+        };
+
+        DmarcVerdict {
+            pass,
+            passed_via,
+            record: Some(record),
+            disposition,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mailval_dns::rr::RData;
+    use mailval_dns::Record;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn txt_answer(name: &str, value: &str) -> ResolveOutcome {
+        ResolveOutcome::Records(vec![Record::new(n(name), 300, RData::txt_from_str(value))])
+    }
+
+    fn auth(from: &str, spf: SpfResult, spf_dom: Option<&str>, dkim: &[(&str, bool)]) -> AuthResults {
+        AuthResults {
+            from_domain: n(from),
+            spf_result: spf,
+            spf_domain: spf_dom.map(n),
+            dkim: dkim.iter().map(|(d, v)| (n(d), *v)).collect(),
+        }
+    }
+
+    fn run(auth: AuthResults, answers: &[(&str, Option<&str>)]) -> (DmarcVerdict, Vec<Name>) {
+        let mut ev = DmarcEvaluator::new(auth, 0);
+        let mut asked = Vec::new();
+        let mut step = ev.start();
+        loop {
+            match step {
+                DmarcStep::NeedLookup { name, .. } => {
+                    asked.push(name.clone());
+                    let answer = answers
+                        .iter()
+                        .find(|(qname, _)| n(qname) == name)
+                        .and_then(|(qname, v)| v.map(|value| txt_answer(qname, value)))
+                        .unwrap_or(ResolveOutcome::NxDomain);
+                    step = ev.on_answer(answer);
+                }
+                DmarcStep::Done(v) => return (v, asked),
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_spf_pass() {
+        let (v, asked) = run(
+            auth("example.com", SpfResult::Pass, Some("example.com"), &[]),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=reject"))],
+        );
+        assert!(v.pass);
+        assert_eq!(v.passed_via, Some(PassVia::Spf));
+        assert_eq!(v.disposition, DmarcDisposition::Accept);
+        assert_eq!(asked, vec![n("_dmarc.example.com")]);
+    }
+
+    #[test]
+    fn aligned_dkim_pass_spf_fail() {
+        let (v, _) = run(
+            auth(
+                "example.com",
+                SpfResult::Fail,
+                Some("other.test"),
+                &[("mail.example.com", true)],
+            ),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=reject"))],
+        );
+        assert!(v.pass);
+        assert_eq!(v.passed_via, Some(PassVia::Dkim));
+    }
+
+    #[test]
+    fn both_fail_reject() {
+        let (v, _) = run(
+            auth("example.com", SpfResult::Fail, Some("example.com"), &[("example.com", false)]),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=reject"))],
+        );
+        assert!(!v.pass);
+        assert_eq!(v.disposition, DmarcDisposition::Reject);
+    }
+
+    #[test]
+    fn unaligned_spf_pass_fails_dmarc() {
+        // SPF passed but for an unrelated domain (classic spoofing hole
+        // DMARC closes).
+        let (v, _) = run(
+            auth("victim.com", SpfResult::Pass, Some("attacker.net"), &[]),
+            &[("_dmarc.victim.com", Some("v=DMARC1; p=quarantine"))],
+        );
+        assert!(!v.pass);
+        assert_eq!(v.disposition, DmarcDisposition::Quarantine);
+    }
+
+    #[test]
+    fn strict_vs_relaxed_alignment() {
+        // Relaxed: subdomain aligns.
+        let (v, _) = run(
+            auth("example.com", SpfResult::Pass, Some("mail.example.com"), &[]),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=reject"))],
+        );
+        assert!(v.pass);
+        // Strict: subdomain does not align.
+        let (v, _) = run(
+            auth("example.com", SpfResult::Pass, Some("mail.example.com"), &[]),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=reject; aspf=s"))],
+        );
+        assert!(!v.pass);
+    }
+
+    #[test]
+    fn org_domain_fallback() {
+        let (v, asked) = run(
+            auth("sub.mail.example.com", SpfResult::Fail, None, &[]),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=reject; sp=quarantine"))],
+        );
+        assert_eq!(
+            asked,
+            vec![n("_dmarc.sub.mail.example.com"), n("_dmarc.example.com")]
+        );
+        // Subdomain policy applies.
+        assert_eq!(v.disposition, DmarcDisposition::Quarantine);
+    }
+
+    #[test]
+    fn no_policy_anywhere() {
+        let (v, asked) = run(auth("sub.example.com", SpfResult::Fail, None, &[]), &[]);
+        assert_eq!(v.disposition, DmarcDisposition::NoPolicy);
+        assert_eq!(asked.len(), 2);
+    }
+
+    #[test]
+    fn org_domain_not_queried_twice() {
+        let (_, asked) = run(auth("example.com", SpfResult::Fail, None, &[]), &[]);
+        assert_eq!(asked, vec![n("_dmarc.example.com")]);
+    }
+
+    #[test]
+    fn policy_none_accepts() {
+        let (v, _) = run(
+            auth("example.com", SpfResult::Fail, None, &[]),
+            &[("_dmarc.example.com", Some("v=DMARC1; p=none"))],
+        );
+        assert!(!v.pass);
+        assert_eq!(v.disposition, DmarcDisposition::Accept);
+    }
+
+    #[test]
+    fn pct_sampling() {
+        let auth_fail = || auth("example.com", SpfResult::Fail, None, &[]);
+        // Roll 40 with pct=30 → outside sample → reject downgrades to
+        // quarantine.
+        let mut ev = DmarcEvaluator::new(auth_fail(), 40);
+        let _ = ev.start();
+        let DmarcStep::Done(v) = ev.on_answer(txt_answer(
+            "_dmarc.example.com",
+            "v=DMARC1; p=reject; pct=30",
+        )) else {
+            panic!()
+        };
+        assert_eq!(v.disposition, DmarcDisposition::Quarantine);
+        // Roll 10 with pct=30 → inside sample → full reject.
+        let mut ev = DmarcEvaluator::new(auth_fail(), 10);
+        let _ = ev.start();
+        let DmarcStep::Done(v) = ev.on_answer(txt_answer(
+            "_dmarc.example.com",
+            "v=DMARC1; p=reject; pct=30",
+        )) else {
+            panic!()
+        };
+        assert_eq!(v.disposition, DmarcDisposition::Reject);
+    }
+
+    #[test]
+    fn malformed_record_treated_as_absent() {
+        let (v, asked) = run(
+            auth("sub.example.com", SpfResult::Fail, None, &[]),
+            &[("_dmarc.sub.example.com", Some("v=DMARC1; p=bogus"))],
+        );
+        assert_eq!(asked.len(), 2, "fell back to org domain");
+        assert_eq!(v.disposition, DmarcDisposition::NoPolicy);
+    }
+}

@@ -1,0 +1,27 @@
+//! # mailval-dmarc
+//!
+//! Domain-based Message Authentication, Reporting and Conformance
+//! (RFC 7489), from scratch:
+//!
+//! * [`record`] — the `v=DMARC1` policy record grammar (§6.3).
+//! * [`orgdomain`] — organizational-domain determination via an embedded
+//!   public-suffix subset (§3.2).
+//! * [`eval`] — resumable policy discovery + verdict: yields the
+//!   `_dmarc.<domain>` TXT questions (the DNS observable the paper's
+//!   apparatus uses to classify an MTA as DMARC-validating), checks
+//!   SPF/DKIM identifier alignment (§3.1), and produces a disposition.
+//! * [`report`] — aggregate-report row structures (§7.2), the
+//!   `rua=` feedback channel the paper used as one of its contact
+//!   channels (§5.3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eval;
+pub mod orgdomain;
+pub mod record;
+pub mod report;
+
+pub use eval::{DmarcDisposition, DmarcEvaluator, DmarcStep, DmarcVerdict};
+pub use orgdomain::organizational_domain;
+pub use record::{AlignmentMode, DmarcPolicy, DmarcRecord};

@@ -1,0 +1,132 @@
+//! Organizational-domain determination (RFC 7489 §3.2).
+//!
+//! RFC 7489 defines the organizational domain via the public suffix list.
+//! Shipping the full Mozilla PSL is out of scope for a measurement
+//! reproduction, so this module embeds the multi-label public suffixes
+//! that actually occur in the paper's datasets (Table 1 lists the TLD
+//! mix: com, net, org, edu, gov, ru, pl, br, de, ua, it, cz, ro, us, uk,
+//! ca, jp, au, in, ...) plus the ccTLD second-level registries under
+//! them. Every single-label TLD is a public suffix by default, which is
+//! the PSL's own fallback rule (the `*` rule).
+
+use mailval_dns::Name;
+
+/// Multi-label public suffixes relevant to the datasets. Single-label
+/// TLDs need no listing (the default rule covers them).
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    // United Kingdom
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk", "sch.uk",
+    // Brazil
+    "com.br", "net.br", "org.br", "gov.br", "edu.br",
+    // Japan
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+    // Australia
+    "com.au", "net.au", "org.au", "edu.au", "gov.au",
+    // Russia / Ukraine
+    "com.ru", "net.ru", "org.ru", "com.ua", "net.ua", "org.ua", "in.ua",
+    // Poland / Czechia / Romania
+    "com.pl", "net.pl", "org.pl", "edu.pl", "waw.pl", "co.ro", "org.ro",
+    // Americas
+    "com.mx", "com.ar", "com.co", "com.pe", "com.ve",
+    // Asia
+    "co.in", "net.in", "org.in", "com.cn", "net.cn", "org.cn", "com.tw",
+    "co.kr", "or.kr", "com.sg", "com.hk", "com.my",
+    // Europe misc
+    "co.at", "or.at", "com.tr", "com.gr", "co.hu", "com.pt", "com.es",
+    // Africa / misc
+    "co.za", "org.za", "com.ng", "co.il", "org.il", "com.eg",
+    // US locality style
+    "k12.ut.us", "state.ut.us",
+];
+
+/// Is `name` a public suffix?
+pub fn is_public_suffix(name: &Name) -> bool {
+    match name.label_count() {
+        0 => true,
+        1 => true, // every TLD
+        _ => {
+            let s = name.to_string();
+            MULTI_LABEL_SUFFIXES.contains(&s.as_str())
+        }
+    }
+}
+
+/// The organizational domain: the public suffix plus one label
+/// (RFC 7489 §3.2). A name that is itself a public suffix (or the root)
+/// is returned unchanged.
+pub fn organizational_domain(name: &Name) -> Name {
+    let labels = name.label_count();
+    // Walk from the TLD downward: the org domain is suffix(k+1) where
+    // suffix(k) is the longest public suffix.
+    let mut longest_suffix = 1; // every TLD is a suffix
+    // Check 2- and 3-label suffixes against the table.
+    for k in 2..labels {
+        if is_public_suffix(&name.suffix(k)) {
+            longest_suffix = k;
+        }
+    }
+    if labels <= longest_suffix {
+        return name.clone();
+    }
+    name.suffix(longest_suffix + 1)
+}
+
+/// Relaxed alignment (RFC 7489 §3.1): do the two domains share an
+/// organizational domain?
+pub fn relaxed_aligned(a: &Name, b: &Name) -> bool {
+    organizational_domain(a) == organizational_domain(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn simple_tld() {
+        assert_eq!(organizational_domain(&n("mail.example.com")), n("example.com"));
+        assert_eq!(organizational_domain(&n("example.com")), n("example.com"));
+        assert_eq!(
+            organizational_domain(&n("a.b.c.d.example.org")),
+            n("example.org")
+        );
+    }
+
+    #[test]
+    fn cctld_registries() {
+        assert_eq!(
+            organizational_domain(&n("mail.example.co.uk")),
+            n("example.co.uk")
+        );
+        assert_eq!(organizational_domain(&n("example.co.uk")), n("example.co.uk"));
+        assert_eq!(
+            organizational_domain(&n("mx1.corp.com.br")),
+            n("corp.com.br")
+        );
+    }
+
+    #[test]
+    fn suffix_itself_unchanged() {
+        assert_eq!(organizational_domain(&n("co.uk")), n("co.uk"));
+        assert_eq!(organizational_domain(&n("com")), n("com"));
+    }
+
+    #[test]
+    fn three_label_suffix() {
+        assert_eq!(
+            organizational_domain(&n("school.district.k12.ut.us")),
+            n("district.k12.ut.us")
+        );
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(relaxed_aligned(&n("mail.example.com"), &n("example.com")));
+        assert!(relaxed_aligned(&n("a.x.test"), &n("b.x.test")));
+        assert!(!relaxed_aligned(&n("example.com"), &n("example.net")));
+        assert!(!relaxed_aligned(&n("a.co.uk"), &n("b.co.uk")));
+    }
+}

@@ -1,0 +1,275 @@
+//! DMARC policy records (RFC 7489 §6.3), published as TXT at
+//! `_dmarc.<domain>`.
+
+use std::fmt;
+
+/// Requested handling for failing mail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmarcPolicy {
+    /// Monitor only.
+    None,
+    /// Treat with suspicion (e.g. spam-folder).
+    Quarantine,
+    /// Reject at SMTP time.
+    Reject,
+}
+
+impl fmt::Display for DmarcPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmarcPolicy::None => write!(f, "none"),
+            DmarcPolicy::Quarantine => write!(f, "quarantine"),
+            DmarcPolicy::Reject => write!(f, "reject"),
+        }
+    }
+}
+
+/// Identifier alignment mode (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignmentMode {
+    /// Relaxed: organizational domains must match.
+    Relaxed,
+    /// Strict: FQDNs must match exactly.
+    Strict,
+}
+
+/// A parsed DMARC record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmarcRecord {
+    /// `p=`: policy for the domain.
+    pub policy: DmarcPolicy,
+    /// `sp=`: policy for subdomains (defaults to `p=`).
+    pub subdomain_policy: Option<DmarcPolicy>,
+    /// `adkim=`: DKIM alignment mode (default relaxed).
+    pub adkim: AlignmentMode,
+    /// `aspf=`: SPF alignment mode (default relaxed).
+    pub aspf: AlignmentMode,
+    /// `pct=`: sampling percentage (default 100).
+    pub pct: u8,
+    /// `rua=`: aggregate report URIs.
+    pub rua: Vec<String>,
+    /// `ruf=`: failure report URIs.
+    pub ruf: Vec<String>,
+}
+
+/// Record parse errors. A malformed record is treated as absent (§6.6.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmarcParseError {
+    /// Missing/incorrect `v=DMARC1` (must be the first tag).
+    NotDmarc,
+    /// Missing required `p=` tag.
+    MissingPolicy,
+    /// Unknown policy value.
+    BadPolicy,
+    /// Bad pct value.
+    BadPct,
+}
+
+impl fmt::Display for DmarcParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            DmarcParseError::NotDmarc => "not a DMARC record",
+            DmarcParseError::MissingPolicy => "missing p= tag",
+            DmarcParseError::BadPolicy => "bad policy value",
+            DmarcParseError::BadPct => "bad pct value",
+        };
+        write!(f, "{what}")
+    }
+}
+
+impl std::error::Error for DmarcParseError {}
+
+fn parse_policy(v: &str) -> Result<DmarcPolicy, DmarcParseError> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "none" => Ok(DmarcPolicy::None),
+        "quarantine" => Ok(DmarcPolicy::Quarantine),
+        "reject" => Ok(DmarcPolicy::Reject),
+        _ => Err(DmarcParseError::BadPolicy),
+    }
+}
+
+/// Quick check whether a TXT string is a DMARC record.
+pub fn looks_like_dmarc(txt: &str) -> bool {
+    let t = txt.trim_start();
+    t.len() >= 8 && t[..8].eq_ignore_ascii_case("v=DMARC1")
+}
+
+impl DmarcRecord {
+    /// Parse a DMARC record TXT string.
+    pub fn parse(txt: &str) -> Result<DmarcRecord, DmarcParseError> {
+        let mut tags: Vec<(String, String)> = Vec::new();
+        for entry in txt.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some(eq) = entry.find('=') else {
+                continue; // lenient: skip junk entries (§6.6.3 tolerance)
+            };
+            tags.push((
+                entry[..eq].trim().to_ascii_lowercase(),
+                entry[eq + 1..].trim().to_string(),
+            ));
+        }
+        // v must be present, first, and DMARC1.
+        match tags.first() {
+            Some((name, value)) if name == "v" && value.eq_ignore_ascii_case("DMARC1") => {}
+            _ => return Err(DmarcParseError::NotDmarc),
+        }
+        let get = |name: &str| tags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+        let policy = parse_policy(get("p").ok_or(DmarcParseError::MissingPolicy)?)?;
+        let subdomain_policy = match get("sp") {
+            Some(v) => Some(parse_policy(v)?),
+            None => None,
+        };
+        let mode = |v: Option<&str>| match v.map(|s| s.trim().to_ascii_lowercase()) {
+            Some(s) if s == "s" => AlignmentMode::Strict,
+            _ => AlignmentMode::Relaxed,
+        };
+        let pct = match get("pct") {
+            Some(v) => {
+                let n: u8 = v.trim().parse().map_err(|_| DmarcParseError::BadPct)?;
+                if n > 100 {
+                    return Err(DmarcParseError::BadPct);
+                }
+                n
+            }
+            None => 100,
+        };
+        let uris = |v: Option<&str>| -> Vec<String> {
+            v.map(|s| {
+                s.split(',')
+                    .map(|u| u.trim().to_string())
+                    .filter(|u| !u.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+        };
+        Ok(DmarcRecord {
+            policy,
+            subdomain_policy,
+            adkim: mode(get("adkim")),
+            aspf: mode(get("aspf")),
+            pct,
+            rua: uris(get("rua")),
+            ruf: uris(get("ruf")),
+        })
+    }
+
+    /// Serialize back to record text.
+    pub fn to_record_text(&self) -> String {
+        let mut parts = vec!["v=DMARC1".to_string(), format!("p={}", self.policy)];
+        if let Some(sp) = self.subdomain_policy {
+            parts.push(format!("sp={sp}"));
+        }
+        if self.adkim == AlignmentMode::Strict {
+            parts.push("adkim=s".into());
+        }
+        if self.aspf == AlignmentMode::Strict {
+            parts.push("aspf=s".into());
+        }
+        if self.pct != 100 {
+            parts.push(format!("pct={}", self.pct));
+        }
+        if !self.rua.is_empty() {
+            parts.push(format!("rua={}", self.rua.join(",")));
+        }
+        if !self.ruf.is_empty() {
+            parts.push(format!("ruf={}", self.ruf.join(",")));
+        }
+        parts.join("; ")
+    }
+
+    /// A strict reject policy with an aggregate-report address — the
+    /// configuration the paper published for every From domain (§4.3,
+    /// §5.3).
+    pub fn strict_reject(rua_mailto: &str) -> DmarcRecord {
+        DmarcRecord {
+            policy: DmarcPolicy::Reject,
+            subdomain_policy: None,
+            adkim: AlignmentMode::Relaxed,
+            aspf: AlignmentMode::Relaxed,
+            pct: 100,
+            rua: vec![format!("mailto:{rua_mailto}")],
+            ruf: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let r = DmarcRecord::parse("v=DMARC1; p=reject; rua=mailto:agg@dns-lab.org").unwrap();
+        assert_eq!(r.policy, DmarcPolicy::Reject);
+        assert_eq!(r.pct, 100);
+        assert_eq!(r.adkim, AlignmentMode::Relaxed);
+        assert_eq!(r.rua, vec!["mailto:agg@dns-lab.org"]);
+    }
+
+    #[test]
+    fn parse_full() {
+        let r = DmarcRecord::parse(
+            "v=DMARC1; p=quarantine; sp=none; adkim=s; aspf=s; pct=30; \
+             rua=mailto:a@x.test,mailto:b@x.test; ruf=mailto:f@x.test",
+        )
+        .unwrap();
+        assert_eq!(r.policy, DmarcPolicy::Quarantine);
+        assert_eq!(r.subdomain_policy, Some(DmarcPolicy::None));
+        assert_eq!(r.adkim, AlignmentMode::Strict);
+        assert_eq!(r.aspf, AlignmentMode::Strict);
+        assert_eq!(r.pct, 30);
+        assert_eq!(r.rua.len(), 2);
+        assert_eq!(r.ruf.len(), 1);
+    }
+
+    #[test]
+    fn v_must_be_first() {
+        assert_eq!(
+            DmarcRecord::parse("p=reject; v=DMARC1"),
+            Err(DmarcParseError::NotDmarc)
+        );
+        assert_eq!(
+            DmarcRecord::parse("v=spf1 -all"),
+            Err(DmarcParseError::NotDmarc)
+        );
+    }
+
+    #[test]
+    fn required_policy() {
+        assert_eq!(
+            DmarcRecord::parse("v=DMARC1; rua=mailto:x@y.test"),
+            Err(DmarcParseError::MissingPolicy)
+        );
+        assert_eq!(
+            DmarcRecord::parse("v=DMARC1; p=destroy"),
+            Err(DmarcParseError::BadPolicy)
+        );
+    }
+
+    #[test]
+    fn pct_bounds() {
+        assert_eq!(
+            DmarcRecord::parse("v=DMARC1; p=none; pct=101"),
+            Err(DmarcParseError::BadPct)
+        );
+        let r = DmarcRecord::parse("v=DMARC1; p=none; pct=0").unwrap();
+        assert_eq!(r.pct, 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = DmarcRecord::strict_reject("agg@dns-lab.org");
+        let text = r.to_record_text();
+        assert_eq!(text, "v=DMARC1; p=reject; rua=mailto:agg@dns-lab.org");
+        assert_eq!(DmarcRecord::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn detection() {
+        assert!(looks_like_dmarc("v=DMARC1; p=none"));
+        assert!(!looks_like_dmarc("v=spf1 -all"));
+    }
+}

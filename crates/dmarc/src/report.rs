@@ -1,0 +1,107 @@
+//! DMARC aggregate-report structures (RFC 7489 §7.2).
+//!
+//! The paper published an `rua=` address on every From domain (§5.3) as
+//! one of its contact/attribution channels; receivers that send
+//! aggregate reports would address rows like these to it.
+
+use crate::eval::DmarcDisposition;
+use mailval_dns::Name;
+use mailval_spf::SpfResult;
+use std::net::IpAddr;
+
+/// One row of an aggregate report: a (source IP, disposition, results)
+/// tuple with a message count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportRow {
+    /// Sending IP observed.
+    pub source_ip: IpAddr,
+    /// Messages aggregated into this row.
+    pub count: u64,
+    /// Disposition applied.
+    pub disposition: DmarcDisposition,
+    /// Raw SPF result.
+    pub spf: SpfResult,
+    /// DKIM pass/fail (any aligned signature).
+    pub dkim_pass: bool,
+    /// RFC5322.From domain.
+    pub header_from: Name,
+}
+
+/// An aggregate report for one (reporting org, policy domain, window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateReport {
+    /// Reporting organization name.
+    pub org_name: String,
+    /// The domain the policy belongs to.
+    pub policy_domain: Name,
+    /// Report window start (unix seconds).
+    pub begin: u64,
+    /// Report window end (unix seconds).
+    pub end: u64,
+    /// Rows.
+    pub rows: Vec<ReportRow>,
+}
+
+impl AggregateReport {
+    /// Total messages covered.
+    pub fn total_messages(&self) -> u64 {
+        self.rows.iter().map(|r| r.count).sum()
+    }
+
+    /// Render a compact single-line-per-row text form (not the XML of
+    /// RFC 7489 Appendix C; the reproduction only needs the content).
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "report org={} domain={} window={}..{}\n",
+            self.org_name, self.policy_domain, self.begin, self.end
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "  ip={} count={} disposition={:?} spf={} dkim={}\n",
+                row.source_ip,
+                row.count,
+                row.disposition,
+                row.spf,
+                if row.dkim_pass { "pass" } else { "fail" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_text() {
+        let report = AggregateReport {
+            org_name: "recv.test".into(),
+            policy_domain: Name::parse("d1.dns-lab.org").unwrap(),
+            begin: 1,
+            end: 86400,
+            rows: vec![
+                ReportRow {
+                    source_ip: "192.0.2.1".parse().unwrap(),
+                    count: 3,
+                    disposition: DmarcDisposition::Accept,
+                    spf: SpfResult::Pass,
+                    dkim_pass: true,
+                    header_from: Name::parse("d1.dns-lab.org").unwrap(),
+                },
+                ReportRow {
+                    source_ip: "198.51.100.9".parse().unwrap(),
+                    count: 2,
+                    disposition: DmarcDisposition::Reject,
+                    spf: SpfResult::Fail,
+                    dkim_pass: false,
+                    header_from: Name::parse("d1.dns-lab.org").unwrap(),
+                },
+            ],
+        };
+        assert_eq!(report.total_messages(), 5);
+        let text = report.to_text();
+        assert!(text.contains("ip=192.0.2.1 count=3"));
+        assert!(text.contains("disposition=Reject"));
+    }
+}

@@ -1,0 +1,152 @@
+//! DNS message model and builders (RFC 1035 §4.1).
+
+use crate::name::Name;
+use crate::rr::{Record, RecordClass, RecordType};
+use crate::wire::Rcode;
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub rtype: RecordType,
+    /// Queried class.
+    pub class: RecordClass,
+}
+
+/// A parsed or to-be-encoded DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// QR flag: false for queries, true for responses.
+    pub is_response: bool,
+    /// Opcode (0 = standard query).
+    pub opcode: u8,
+    /// AA flag.
+    pub authoritative: bool,
+    /// TC flag: response was truncated, retry over TCP (RFC 1035 §4.2.1).
+    pub truncated: bool,
+    /// RD flag.
+    pub recursion_desired: bool,
+    /// RA flag.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Build a standard query for `name`/`rtype`, class IN.
+    pub fn query(id: u16, name: Name, rtype: RecordType) -> Message {
+        Message {
+            id,
+            is_response: false,
+            opcode: 0,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: false,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question {
+                name,
+                rtype,
+                class: RecordClass::In,
+            }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build an (empty) response to `query`, echoing id and question.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Message {
+        Message {
+            id: query.id,
+            is_response: true,
+            opcode: query.opcode,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: query.recursion_desired,
+            recursion_available: false,
+            rcode,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The first (and in practice only) question, if any.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Iterate over answer records of a given type.
+    pub fn answers_of_type(&self, rtype: RecordType) -> impl Iterator<Item = &Record> {
+        self.answers.iter().filter(move |r| r.rtype() == rtype)
+    }
+
+    /// Encode to wire bytes (convenience for [`crate::wire::encode_message`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::wire::encode_message(self)
+    }
+
+    /// Decode from wire bytes (convenience for [`crate::wire::decode_message`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Message, crate::wire::WireError> {
+        crate::wire::decode_message(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rr::RData;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_shape() {
+        let q = Message::query(7, n("example.com"), RecordType::Txt);
+        assert!(!q.is_response);
+        assert_eq!(q.question().unwrap().rtype, RecordType::Txt);
+        assert_eq!(q.question().unwrap().name, n("example.com"));
+    }
+
+    #[test]
+    fn response_echoes_id_and_question() {
+        let q = Message::query(99, n("x.test"), RecordType::A);
+        let r = Message::response_to(&q, Rcode::NxDomain);
+        assert!(r.is_response);
+        assert_eq!(r.id, 99);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn answers_of_type_filters() {
+        let q = Message::query(1, n("x.test"), RecordType::A);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(Record::new(
+            n("x.test"),
+            60,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        r.answers
+            .push(Record::new(n("x.test"), 60, RData::txt_from_str("hello")));
+        assert_eq!(r.answers_of_type(RecordType::A).count(), 1);
+        assert_eq!(r.answers_of_type(RecordType::Txt).count(), 1);
+        assert_eq!(r.answers_of_type(RecordType::Mx).count(), 0);
+    }
+}

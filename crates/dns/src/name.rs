@@ -1,0 +1,288 @@
+//! Domain names (RFC 1035 §2.3, §3.1).
+//!
+//! Names are stored as lowercase ASCII labels. DNS names are
+//! case-insensitive (RFC 1035 §2.3.3) and every name produced or consumed
+//! by the measurement apparatus is lowercase, so normalizing at the edge
+//! keeps comparisons cheap and `Name` usable as a map key.
+
+use std::fmt;
+
+/// Maximum length of a single label in bytes.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name on the wire (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Errors constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (`foo..bar`) in a position where that is invalid.
+    EmptyLabel,
+    /// A label exceeded 63 bytes.
+    LabelTooLong,
+    /// The whole name exceeded 255 wire bytes.
+    NameTooLong,
+    /// A label contained a byte outside printable ASCII.
+    BadCharacter(u8),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong => write!(f, "label exceeds 63 bytes"),
+            NameError::NameTooLong => write!(f, "name exceeds 255 bytes"),
+            NameError::BadCharacter(b) => write!(f, "invalid character 0x{b:02x} in label"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A fully-qualified domain name, stored as lowercase labels without the
+/// trailing root label.
+///
+/// The root name is the empty label sequence and displays as `.`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The root name.
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse from presentation format (`mail.example.com`, optional
+    /// trailing dot). The empty string and `"."` both give the root.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for label in s.split('.') {
+            labels.push(Self::check_label(label)?);
+        }
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    fn check_label(label: &str) -> Result<String, NameError> {
+        if label.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong);
+        }
+        for &b in label.as_bytes() {
+            // Accept any printable ASCII except '.' — hostnames in the wild
+            // (and our synthesized test names) use letters, digits, '-', '_'.
+            if !(0x21..=0x7e).contains(&b) || b == b'.' {
+                return Err(NameError::BadCharacter(b));
+            }
+        }
+        Ok(label.to_ascii_lowercase())
+    }
+
+    /// Construct from labels (each validated and lowercased).
+    pub fn from_labels<I, S>(iter: I) -> Result<Self, NameError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut labels = Vec::new();
+        for l in iter {
+            labels.push(Self::check_label(l.as_ref())?);
+        }
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Length in wire bytes (length octets + labels + terminating zero).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// The parent name (one label removed from the left); `None` at root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepend a label: `label.self`.
+    pub fn prepend(&self, label: &str) -> Result<Name, NameError> {
+        let mut labels = vec![Self::check_label(label)?];
+        labels.extend_from_slice(&self.labels);
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// Concatenate: `self.other` (self's labels first).
+    pub fn concat(&self, other: &Name) -> Result<Name, NameError> {
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(name)
+    }
+
+    /// True if `self` equals `ancestor` or is a subdomain of it.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - ancestor.labels.len();
+        self.labels[offset..] == ancestor.labels[..]
+    }
+
+    /// Strip `suffix` from the right, returning the remaining left labels.
+    ///
+    /// `strip_suffix("a.b.example.com", "example.com") == Some(["a", "b"])`.
+    pub fn strip_suffix(&self, suffix: &Name) -> Option<&[String]> {
+        if !self.is_subdomain_of(suffix) {
+            return None;
+        }
+        Some(&self.labels[..self.labels.len() - suffix.labels.len()])
+    }
+
+    /// The `n` rightmost labels as a name (n may exceed the label count, in
+    /// which case the whole name is returned).
+    pub fn suffix(&self, n: usize) -> Name {
+        let start = self.labels.len().saturating_sub(n);
+        Name {
+            labels: self.labels[start..].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = NameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("example.com").to_string(), "example.com");
+        assert_eq!(n("Example.COM.").to_string(), "example.com");
+        assert_eq!(n("").to_string(), ".");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("a.b.c").label_count(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(n("MAIL.Example.Com"), n("mail.example.com"));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(Name::parse("a..b"), Err(NameError::EmptyLabel));
+        let long = "x".repeat(64);
+        assert_eq!(Name::parse(&long), Err(NameError::LabelTooLong));
+        assert_eq!(Name::parse("a b"), Err(NameError::BadCharacter(b' ')));
+    }
+
+    #[test]
+    fn rejects_too_long_name() {
+        let label = "a".repeat(63);
+        let long = vec![label.as_str(); 5].join(".");
+        assert_eq!(Name::parse(&long), Err(NameError::NameTooLong));
+    }
+
+    #[test]
+    fn wire_len() {
+        assert_eq!(n("").wire_len(), 1);
+        assert_eq!(n("com").wire_len(), 5); // 1+3 + 1
+        assert_eq!(n("example.com").wire_len(), 13);
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        assert!(n("a.b.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("a.example.com")));
+        assert!(!n("notexample.com").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn strip_suffix_labels() {
+        let name = n("t01.m5.spf-test.dns-lab.org");
+        let suffix = n("spf-test.dns-lab.org");
+        assert_eq!(name.strip_suffix(&suffix).unwrap(), &["t01", "m5"]);
+        assert_eq!(name.strip_suffix(&n("other.org")), None);
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        assert_eq!(n("a.b.c").parent().unwrap(), n("b.c"));
+        assert_eq!(Name::root().parent(), None);
+        assert_eq!(n("b.c").prepend("a").unwrap(), n("a.b.c"));
+        assert_eq!(n("b.c").concat(&n("d.e")).unwrap(), n("b.c.d.e"));
+    }
+
+    #[test]
+    fn suffix_n() {
+        assert_eq!(n("a.b.c.d").suffix(2), n("c.d"));
+        assert_eq!(n("a.b").suffix(5), n("a.b"));
+        assert_eq!(n("a.b").suffix(0), Name::root());
+    }
+}

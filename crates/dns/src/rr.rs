@@ -1,0 +1,286 @@
+//! Resource records: types, classes, and typed RDATA (RFC 1035 §3.2–3.4,
+//! RFC 3596 for AAAA).
+//!
+//! The record types implemented are exactly those the measurement
+//! methodology exercises: `A`/`AAAA` (address resolution and SPF `a`/`mx`
+//! mechanisms), `MX` (mail routing and the SPF `mx` mechanism), `TXT` (SPF
+//! policies, DKIM keys, DMARC policies), `SOA` (contact publication, §5.3
+//! of the paper), plus `NS`, `CNAME` and `PTR` for zone plumbing and the
+//! SPF `ptr` mechanism.
+
+use crate::name::Name;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A DNS record type code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// IPv4 address.
+    A,
+    /// Name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Domain name pointer (reverse DNS).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text strings.
+    Txt,
+    /// IPv6 address.
+    Aaaa,
+    /// EDNS(0) OPT pseudo-record.
+    Opt,
+    /// Any other type, carried opaquely.
+    Other(u16),
+}
+
+impl RecordType {
+    /// The 16-bit wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Soa => 6,
+            RecordType::Ptr => 12,
+            RecordType::Mx => 15,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Opt => 41,
+            RecordType::Other(c) => c,
+        }
+    }
+
+    /// From a wire code.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            6 => RecordType::Soa,
+            12 => RecordType::Ptr,
+            15 => RecordType::Mx,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            41 => RecordType::Opt,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::Ns => write!(f, "NS"),
+            RecordType::Cname => write!(f, "CNAME"),
+            RecordType::Soa => write!(f, "SOA"),
+            RecordType::Ptr => write!(f, "PTR"),
+            RecordType::Mx => write!(f, "MX"),
+            RecordType::Txt => write!(f, "TXT"),
+            RecordType::Aaaa => write!(f, "AAAA"),
+            RecordType::Opt => write!(f, "OPT"),
+            RecordType::Other(c) => write!(f, "TYPE{c}"),
+        }
+    }
+}
+
+/// A DNS class. Only `IN` is meaningful here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordClass {
+    /// The Internet class.
+    In,
+    /// Any other class, carried opaquely (also used for OPT's payload size).
+    Other(u16),
+}
+
+impl RecordClass {
+    /// The 16-bit wire code.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Other(c) => c,
+        }
+    }
+
+    /// From a wire code.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            1 => RecordClass::In,
+            other => RecordClass::Other(other),
+        }
+    }
+}
+
+/// SOA RDATA (RFC 1035 §3.3.13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaData {
+    /// Primary name server.
+    pub mname: Name,
+    /// Responsible mailbox (the paper published a contact address here,
+    /// §5.3).
+    pub rname: Name,
+    /// Zone serial.
+    pub serial: u32,
+    /// Refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval (seconds).
+    pub retry: u32,
+    /// Expire interval (seconds).
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308).
+    pub minimum: u32,
+}
+
+/// Typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Name server.
+    Ns(Name),
+    /// Alias target.
+    Cname(Name),
+    /// Reverse pointer target.
+    Ptr(Name),
+    /// Mail exchange: preference and exchange host.
+    Mx {
+        /// Lower is preferred (RFC 5321 §5.1).
+        preference: u16,
+        /// The exchange host name.
+        exchange: Name,
+    },
+    /// One or more character-strings, each at most 255 bytes.
+    Txt(Vec<Vec<u8>>),
+    /// SOA.
+    Soa(SoaData),
+    /// EDNS(0) OPT rdata (options, opaque).
+    Opt(Vec<u8>),
+    /// Unknown type, opaque bytes.
+    Other(Vec<u8>),
+}
+
+impl RData {
+    /// The record type this RDATA corresponds to.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::Aaaa,
+            RData::Ns(_) => RecordType::Ns,
+            RData::Cname(_) => RecordType::Cname,
+            RData::Ptr(_) => RecordType::Ptr,
+            RData::Mx { .. } => RecordType::Mx,
+            RData::Txt(_) => RecordType::Txt,
+            RData::Soa(_) => RecordType::Soa,
+            RData::Opt(_) => RecordType::Opt,
+            RData::Other(_) => RecordType::Other(0),
+        }
+    }
+
+    /// Build TXT rdata from a single logical string, splitting into
+    /// 255-byte character-strings as the wire format requires. This is how
+    /// SPF policies longer than 255 octets are published (RFC 7208 §3.3).
+    pub fn txt_from_str(s: &str) -> RData {
+        let bytes = s.as_bytes();
+        if bytes.is_empty() {
+            return RData::Txt(vec![Vec::new()]);
+        }
+        RData::Txt(bytes.chunks(255).map(|c| c.to_vec()).collect())
+    }
+
+    /// If this is TXT rdata, join the character-strings into one string
+    /// (RFC 7208 §3.3: "concatenated together without adding spaces").
+    pub fn txt_joined(&self) -> Option<String> {
+        match self {
+            RData::Txt(strings) => {
+                let mut out = Vec::new();
+                for s in strings {
+                    out.extend_from_slice(s);
+                }
+                Some(String::from_utf8_lossy(&out).into_owned())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (IN for everything except OPT abuse of the field).
+    pub class: RecordClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// The typed payload.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor with class IN.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record {
+            name,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record's type.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [
+            RecordType::A,
+            RecordType::Ns,
+            RecordType::Cname,
+            RecordType::Soa,
+            RecordType::Ptr,
+            RecordType::Mx,
+            RecordType::Txt,
+            RecordType::Aaaa,
+            RecordType::Opt,
+            RecordType::Other(999),
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn txt_splitting() {
+        let short = RData::txt_from_str("v=spf1 -all");
+        assert_eq!(short, RData::Txt(vec![b"v=spf1 -all".to_vec()]));
+
+        let long = "x".repeat(600);
+        let rdata = RData::txt_from_str(&long);
+        if let RData::Txt(parts) = &rdata {
+            assert_eq!(parts.len(), 3);
+            assert_eq!(parts[0].len(), 255);
+            assert_eq!(parts[1].len(), 255);
+            assert_eq!(parts[2].len(), 90);
+        } else {
+            panic!("not txt");
+        }
+        assert_eq!(rdata.txt_joined().unwrap(), long);
+    }
+
+    #[test]
+    fn txt_empty() {
+        assert_eq!(RData::txt_from_str(""), RData::Txt(vec![Vec::new()]));
+    }
+}

@@ -1,0 +1,661 @@
+//! DNS wire format (RFC 1035 §4): header, questions, resource records,
+//! name compression and decompression.
+//!
+//! The encoder performs standard suffix compression (every encoded name
+//! suffix at an offset < 0x4000 is remembered and reused as a pointer).
+//! The decoder follows compression pointers with strict loop protection:
+//! pointers must point strictly backwards, bounding the walk.
+
+use crate::message::{Message, Question};
+use crate::name::{Name, MAX_LABEL_LEN};
+use crate::rr::{RData, Record, RecordClass, RecordType, SoaData};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Response codes (RFC 1035 §4.1.1, names per RFC 2136 usage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused.
+    Refused,
+    /// Any other code.
+    Other(u8),
+}
+
+impl Rcode {
+    /// 4-bit wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(c) => c & 0xf,
+        }
+    }
+
+    /// From a 4-bit wire code.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0xf {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            c => Rcode::Other(c),
+        }
+    }
+}
+
+/// Errors decoding (or encoding) wire-format messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran off the end of the buffer.
+    Truncated,
+    /// A compression pointer pointed forwards or at itself.
+    BadPointer,
+    /// A label exceeded 63 bytes or used a reserved length prefix.
+    BadLabel,
+    /// A decompressed name exceeded 255 bytes.
+    NameTooLong,
+    /// RDATA length did not match its contents.
+    BadRdataLength,
+    /// A name contained bytes we refuse to process.
+    BadName,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            WireError::Truncated => "message truncated",
+            WireError::BadPointer => "bad compression pointer",
+            WireError::BadLabel => "bad label",
+            WireError::NameTooLong => "name too long",
+            WireError::BadRdataLength => "rdata length mismatch",
+            WireError::BadName => "invalid name contents",
+        };
+        write!(f, "{what}")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Streaming encoder with name compression.
+pub struct Encoder {
+    buf: Vec<u8>,
+    /// Map from a name's presentation form to the offset of its first
+    /// occurrence, for compression pointers.
+    name_offsets: HashMap<String, usize>,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Encoder {
+            buf: Vec::with_capacity(512),
+            name_offsets: HashMap::new(),
+        }
+    }
+
+    /// Finish, returning the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Encode a name with compression.
+    pub fn put_name(&mut self, name: &Name) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix: Vec<&str> = labels[i..].iter().map(|s| s.as_str()).collect();
+            let key = suffix.join(".");
+            if let Some(&off) = self.name_offsets.get(&key) {
+                // Emit a pointer to the previously-encoded suffix.
+                self.put_u16(0xc000 | off as u16);
+                return;
+            }
+            if self.buf.len() < 0x3fff {
+                self.name_offsets.insert(key, self.buf.len());
+            }
+            let label = &labels[i];
+            debug_assert!(label.len() <= MAX_LABEL_LEN);
+            self.put_u8(label.len() as u8);
+            self.buf.extend_from_slice(label.as_bytes());
+        }
+        self.put_u8(0);
+    }
+
+    /// Encode a name without compression (required inside RDATA of types
+    /// that some implementations won't decompress; we compress only
+    /// NS/CNAME/PTR/MX/SOA names which RFC 3597 grandfathers).
+    pub fn put_name_uncompressed(&mut self, name: &Name) {
+        for label in name.labels() {
+            self.put_u8(label.len() as u8);
+            self.buf.extend_from_slice(label.as_bytes());
+        }
+        self.put_u8(0);
+    }
+
+    fn put_question(&mut self, q: &Question) {
+        self.put_name(&q.name);
+        self.put_u16(q.rtype.code());
+        self.put_u16(q.class.code());
+    }
+
+    fn put_record(&mut self, r: &Record) {
+        self.put_name(&r.name);
+        self.put_u16(r.rtype().code());
+        self.put_u16(r.class.code());
+        self.put_u32(r.ttl);
+        // Reserve rdlength, fill after encoding rdata.
+        let len_pos = self.buf.len();
+        self.put_u16(0);
+        let start = self.buf.len();
+        match &r.rdata {
+            RData::A(ip) => self.buf.extend_from_slice(&ip.octets()),
+            RData::Aaaa(ip) => self.buf.extend_from_slice(&ip.octets()),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => self.put_name(n),
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
+                self.put_u16(*preference);
+                self.put_name(exchange);
+            }
+            RData::Txt(strings) => {
+                for s in strings {
+                    debug_assert!(s.len() <= 255);
+                    self.put_u8(s.len() as u8);
+                    self.buf.extend_from_slice(s);
+                }
+            }
+            RData::Soa(soa) => {
+                self.put_name(&soa.mname);
+                self.put_name(&soa.rname);
+                self.put_u32(soa.serial);
+                self.put_u32(soa.refresh);
+                self.put_u32(soa.retry);
+                self.put_u32(soa.expire);
+                self.put_u32(soa.minimum);
+            }
+            RData::Opt(bytes) | RData::Other(bytes) => self.buf.extend_from_slice(bytes),
+        }
+        let rdlen = (self.buf.len() - start) as u16;
+        self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+    }
+}
+
+/// Encode a complete message to wire format.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u16(msg.id);
+    let mut flags: u16 = 0;
+    if msg.is_response {
+        flags |= 0x8000;
+    }
+    flags |= ((msg.opcode & 0xf) as u16) << 11;
+    if msg.authoritative {
+        flags |= 0x0400;
+    }
+    if msg.truncated {
+        flags |= 0x0200;
+    }
+    if msg.recursion_desired {
+        flags |= 0x0100;
+    }
+    if msg.recursion_available {
+        flags |= 0x0080;
+    }
+    flags |= msg.rcode.code() as u16;
+    enc.put_u16(flags);
+    enc.put_u16(msg.questions.len() as u16);
+    enc.put_u16(msg.answers.len() as u16);
+    enc.put_u16(msg.authorities.len() as u16);
+    enc.put_u16(msg.additionals.len() as u16);
+    for q in &msg.questions {
+        enc.put_question(q);
+    }
+    for r in &msg.answers {
+        enc.put_record(r);
+    }
+    for r in &msg.authorities {
+        enc.put_record(r);
+    }
+    for r in &msg.additionals {
+        enc.put_record(r);
+    }
+    enc.into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    fn get_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(((self.get_u8()? as u16) << 8) | self.get_u8()? as u16)
+    }
+
+    fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(((self.get_u16()? as u32) << 16) | self.get_u16()? as u32)
+    }
+
+    fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Decode a (possibly compressed) name starting at the current
+    /// position. Pointers must point strictly backwards.
+    fn get_name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut wire_len = 1usize; // terminating zero
+        let mut pos = self.pos;
+        // `end` is where parsing resumes after the name: set at the first
+        // pointer encountered (or after the terminating zero if none).
+        let mut resume: Option<usize> = None;
+        // Strictly-decreasing pointer targets bound the loop.
+        let mut min_ptr = pos;
+
+        loop {
+            let len = *self.data.get(pos).ok_or(WireError::Truncated)?;
+            match len {
+                0 => {
+                    pos += 1;
+                    break;
+                }
+                1..=63 => {
+                    let start = pos + 1;
+                    let end = start + len as usize;
+                    if end > self.data.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    wire_len += 1 + len as usize;
+                    if wire_len > 255 {
+                        return Err(WireError::NameTooLong);
+                    }
+                    let raw = &self.data[start..end];
+                    let mut label = String::with_capacity(raw.len());
+                    for &b in raw {
+                        if !(0x21..=0x7e).contains(&b) || b == b'.' {
+                            return Err(WireError::BadName);
+                        }
+                        label.push(b.to_ascii_lowercase() as char);
+                    }
+                    labels.push(label);
+                    pos = end;
+                }
+                l if l & 0xc0 == 0xc0 => {
+                    let second = *self.data.get(pos + 1).ok_or(WireError::Truncated)?;
+                    let target = (((l & 0x3f) as usize) << 8) | second as usize;
+                    if resume.is_none() {
+                        resume = Some(pos + 2);
+                    }
+                    if target >= min_ptr {
+                        return Err(WireError::BadPointer);
+                    }
+                    min_ptr = target;
+                    pos = target;
+                }
+                _ => return Err(WireError::BadLabel),
+            }
+        }
+        self.pos = resume.unwrap_or(pos);
+        Name::from_labels(labels).map_err(|_| WireError::BadName)
+    }
+
+    fn get_question(&mut self) -> Result<Question, WireError> {
+        let name = self.get_name()?;
+        let rtype = RecordType::from_code(self.get_u16()?);
+        let class = RecordClass::from_code(self.get_u16()?);
+        Ok(Question { name, rtype, class })
+    }
+
+    fn get_record(&mut self) -> Result<Record, WireError> {
+        let name = self.get_name()?;
+        let rtype = RecordType::from_code(self.get_u16()?);
+        let class = RecordClass::from_code(self.get_u16()?);
+        let ttl = self.get_u32()?;
+        let rdlen = self.get_u16()? as usize;
+        let rdata_end = self
+            .pos
+            .checked_add(rdlen)
+            .ok_or(WireError::Truncated)?;
+        if rdata_end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let rdata = match rtype {
+            RecordType::A => {
+                if rdlen != 4 {
+                    return Err(WireError::BadRdataLength);
+                }
+                let o = self.get_bytes(4)?;
+                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            RecordType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(WireError::BadRdataLength);
+                }
+                let o = self.get_bytes(16)?;
+                let mut oct = [0u8; 16];
+                oct.copy_from_slice(o);
+                RData::Aaaa(Ipv6Addr::from(oct))
+            }
+            RecordType::Ns => RData::Ns(self.get_name()?),
+            RecordType::Cname => RData::Cname(self.get_name()?),
+            RecordType::Ptr => RData::Ptr(self.get_name()?),
+            RecordType::Mx => {
+                let preference = self.get_u16()?;
+                let exchange = self.get_name()?;
+                RData::Mx {
+                    preference,
+                    exchange,
+                }
+            }
+            RecordType::Txt => {
+                let mut strings = Vec::new();
+                while self.pos < rdata_end {
+                    let len = self.get_u8()? as usize;
+                    if self.pos + len > rdata_end {
+                        return Err(WireError::BadRdataLength);
+                    }
+                    strings.push(self.get_bytes(len)?.to_vec());
+                }
+                RData::Txt(strings)
+            }
+            RecordType::Soa => {
+                let mname = self.get_name()?;
+                let rname = self.get_name()?;
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial: self.get_u32()?,
+                    refresh: self.get_u32()?,
+                    retry: self.get_u32()?,
+                    expire: self.get_u32()?,
+                    minimum: self.get_u32()?,
+                })
+            }
+            RecordType::Opt => RData::Opt(self.get_bytes(rdlen)?.to_vec()),
+            RecordType::Other(_) => RData::Other(self.get_bytes(rdlen)?.to_vec()),
+        };
+        if self.pos != rdata_end {
+            return Err(WireError::BadRdataLength);
+        }
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+}
+
+/// Decode a complete wire-format message.
+pub fn decode_message(data: &[u8]) -> Result<Message, WireError> {
+    let mut dec = Decoder::new(data);
+    let id = dec.get_u16()?;
+    let flags = dec.get_u16()?;
+    let qd = dec.get_u16()? as usize;
+    let an = dec.get_u16()? as usize;
+    let ns = dec.get_u16()? as usize;
+    let ar = dec.get_u16()? as usize;
+    let mut msg = Message {
+        id,
+        is_response: flags & 0x8000 != 0,
+        opcode: ((flags >> 11) & 0xf) as u8,
+        authoritative: flags & 0x0400 != 0,
+        truncated: flags & 0x0200 != 0,
+        recursion_desired: flags & 0x0100 != 0,
+        recursion_available: flags & 0x0080 != 0,
+        rcode: Rcode::from_code(flags as u8),
+        questions: Vec::with_capacity(qd),
+        answers: Vec::with_capacity(an.min(64)),
+        authorities: Vec::with_capacity(ns.min(64)),
+        additionals: Vec::with_capacity(ar.min(64)),
+    };
+    for _ in 0..qd {
+        msg.questions.push(dec.get_question()?);
+    }
+    for _ in 0..an {
+        msg.answers.push(dec.get_record()?);
+    }
+    for _ in 0..ns {
+        msg.authorities.push(dec.get_record()?);
+    }
+    for _ in 0..ar {
+        msg.additionals.push(dec.get_record()?);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn sample_message() -> Message {
+        let mut msg = Message::query(0x1234, n("t01.m5.spf.example"), RecordType::Txt);
+        msg.recursion_desired = true;
+        msg
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let msg = sample_message();
+        let bytes = encode_message(&msg);
+        let decoded = decode_message(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn response_roundtrip_all_rdata_types() {
+        let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
+        msg.authoritative = true;
+        msg.answers = vec![
+            Record::new(n("a.example"), 300, RData::A("192.0.2.1".parse().unwrap())),
+            Record::new(
+                n("a.example"),
+                300,
+                RData::Aaaa("2001:db8::1".parse().unwrap()),
+            ),
+            Record::new(
+                n("a.example"),
+                300,
+                RData::Mx {
+                    preference: 10,
+                    exchange: n("mx1.a.example"),
+                },
+            ),
+            Record::new(
+                n("a.example"),
+                60,
+                RData::Txt(vec![b"v=spf1 ip4:192.0.2.1 -all".to_vec()]),
+            ),
+            Record::new(n("alias.example"), 60, RData::Cname(n("a.example"))),
+            Record::new(n("a.example"), 60, RData::Ns(n("ns1.a.example"))),
+            Record::new(
+                n("1.2.0.192.in-addr.arpa"),
+                60,
+                RData::Ptr(n("a.example")),
+            ),
+        ];
+        msg.authorities = vec![Record::new(
+            n("example"),
+            3600,
+            RData::Soa(SoaData {
+                mname: n("ns1.example"),
+                rname: n("hostmaster.example"),
+                serial: 2021120701,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        )];
+        let bytes = encode_message(&msg);
+        let decoded = decode_message(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
+        let name = n("really.quite.long.domain.name.example.com");
+        for i in 0..10 {
+            msg.answers.push(Record::new(
+                name.clone(),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, i)),
+            ));
+        }
+        let bytes = encode_message(&msg);
+        // Without compression each record would repeat the 44-byte name;
+        // with compression later records use a 2-byte pointer.
+        let uncompressed_estimate = 12 + 30 + 10 * (44 + 14);
+        assert!(
+            bytes.len() < uncompressed_estimate - 300,
+            "len={} not compressed",
+            bytes.len()
+        );
+        let decoded = decode_message(&bytes).unwrap();
+        assert_eq!(decoded.answers.len(), 10);
+        assert_eq!(decoded.answers[9].name, name);
+    }
+
+    #[test]
+    fn multi_string_txt_roundtrip() {
+        let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
+        let long = "y".repeat(700);
+        msg.answers = vec![Record::new(n("p.example"), 60, RData::txt_from_str(&long))];
+        let bytes = encode_message(&msg);
+        let decoded = decode_message(&bytes).unwrap();
+        assert_eq!(decoded.answers[0].rdata.txt_joined().unwrap(), long);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode_message(&sample_message());
+        for cut in 0..bytes.len() {
+            assert!(decode_message(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        // Header + a name that is a pointer to itself.
+        let mut bytes = vec![0u8; 12];
+        bytes[5] = 1; // one question
+        bytes.extend_from_slice(&[0xc0, 0x0c]); // pointer to offset 12 (itself)
+        bytes.extend_from_slice(&[0, 16, 0, 1]);
+        assert_eq!(decode_message(&bytes), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loop() {
+        let mut bytes = vec![0u8; 12];
+        bytes[5] = 1;
+        // name at 12: label "a" then pointer back to offset 12 -> loop
+        bytes.extend_from_slice(&[1, b'a', 0xc0, 0x0c]);
+        bytes.extend_from_slice(&[0, 16, 0, 1]);
+        assert_eq!(decode_message(&bytes), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn decode_rejects_bad_rdata_length() {
+        let q = sample_message();
+        let mut msg = Message::response_to(&q, Rcode::NoError);
+        msg.answers = vec![Record::new(
+            n("a.example"),
+            60,
+            RData::A(Ipv4Addr::new(1, 2, 3, 4)),
+        )];
+        let mut bytes = encode_message(&msg);
+        // Corrupt the A rdlength (last 6 bytes are rdlength + 4 octets).
+        let pos = bytes.len() - 6;
+        bytes[pos] = 0;
+        bytes[pos + 1] = 3;
+        assert!(decode_message(&bytes).is_err());
+    }
+
+    #[test]
+    fn rcode_roundtrip() {
+        for c in 0..16u8 {
+            assert_eq!(Rcode::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn truncated_flag_roundtrip() {
+        let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
+        msg.truncated = true;
+        let decoded = decode_message(&encode_message(&msg)).unwrap();
+        assert!(decoded.truncated);
+    }
+}

@@ -1,0 +1,260 @@
+//! Static zone storage with RFC 1034 §4.3.2 lookup semantics
+//! (exact match, CNAME chasing, NXDOMAIN vs NODATA distinction).
+//!
+//! The measurement apparatus mostly *synthesizes* responses (see
+//! `mailval-measure`), but static zones back the live-loopback example,
+//! the MTA-side zones in the simulation (MX/A records for receiving
+//! domains), and the apex metadata (SOA/NS) of the apparatus domain.
+
+use crate::name::Name;
+use crate::rr::{RData, Record, RecordType, SoaData};
+use std::collections::BTreeMap;
+
+/// Result of a zone lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneLookup {
+    /// Records found (includes any CNAME chain traversed, in order).
+    Found(Vec<Record>),
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist in the zone.
+    NxDomain,
+    /// The name is outside this zone's authority.
+    NotAuthoritative,
+}
+
+/// A single authoritative zone.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: Name,
+    soa: SoaData,
+    default_ttl: u32,
+    records: BTreeMap<Name, Vec<Record>>,
+}
+
+impl Zone {
+    /// Create a zone rooted at `origin` with the given SOA.
+    pub fn new(origin: Name, soa: SoaData) -> Self {
+        let mut zone = Zone {
+            origin: origin.clone(),
+            soa: soa.clone(),
+            default_ttl: 300,
+            records: BTreeMap::new(),
+        };
+        zone.add(Record::new(origin, 3600, RData::Soa(soa)));
+        zone
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &Name {
+        &self.origin
+    }
+
+    /// The zone's SOA record (used in negative responses).
+    pub fn soa_record(&self) -> Record {
+        Record::new(self.origin.clone(), 3600, RData::Soa(self.soa.clone()))
+    }
+
+    /// Add a record. Panics if the record is out of bailiwick — that is
+    /// always a programming error in this codebase.
+    pub fn add(&mut self, record: Record) {
+        assert!(
+            record.name.is_subdomain_of(&self.origin),
+            "record {} out of zone {}",
+            record.name,
+            self.origin
+        );
+        self.records.entry(record.name.clone()).or_default().push(record);
+    }
+
+    /// Convenience: add a record with the zone default TTL.
+    pub fn add_rdata(&mut self, name: Name, rdata: RData) {
+        self.add(Record::new(name, self.default_ttl, rdata));
+    }
+
+    /// Number of record sets (owner names).
+    pub fn name_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total number of records.
+    pub fn record_count(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Does any record exist at or below `name`? (Empty non-terminals
+    /// exist per RFC 8020.)
+    fn name_exists(&self, name: &Name) -> bool {
+        if self.records.contains_key(name) {
+            return true;
+        }
+        // An empty non-terminal exists if any stored name is a subdomain.
+        // (Linear scan: label-wise Ord is not hierarchical, and zones here
+        // are small — the huge logical zone is synthesized, not stored.)
+        self.records.keys().any(|n| n.is_subdomain_of(name))
+    }
+
+    /// Look up `name`/`rtype`, chasing CNAMEs within the zone
+    /// (up to 8 links, the customary server-side bound).
+    pub fn lookup(&self, name: &Name, rtype: RecordType) -> ZoneLookup {
+        if !name.is_subdomain_of(&self.origin) {
+            return ZoneLookup::NotAuthoritative;
+        }
+        let mut chain: Vec<Record> = Vec::new();
+        let mut current = name.clone();
+        for _ in 0..8 {
+            match self.records.get(&current) {
+                Some(rrset) => {
+                    let matching: Vec<Record> = rrset
+                        .iter()
+                        .filter(|r| r.rtype() == rtype)
+                        .cloned()
+                        .collect();
+                    if !matching.is_empty() {
+                        chain.extend(matching);
+                        return ZoneLookup::Found(chain);
+                    }
+                    // CNAME at the node (and the query is not for CNAME)?
+                    if rtype != RecordType::Cname {
+                        if let Some(cname_rec) =
+                            rrset.iter().find(|r| r.rtype() == RecordType::Cname)
+                        {
+                            chain.push(cname_rec.clone());
+                            if let RData::Cname(target) = &cname_rec.rdata {
+                                if target.is_subdomain_of(&self.origin) {
+                                    current = target.clone();
+                                    continue;
+                                }
+                            }
+                            // Out-of-zone target: return what we have.
+                            return ZoneLookup::Found(chain);
+                        }
+                    }
+                    return ZoneLookup::NoData;
+                }
+                None => {
+                    if self.name_exists(&current) {
+                        return ZoneLookup::NoData;
+                    }
+                    return ZoneLookup::NxDomain;
+                }
+            }
+        }
+        // CNAME chain too long — treat as what we collected so far.
+        ZoneLookup::Found(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn soa() -> SoaData {
+        SoaData {
+            mname: n("ns1.example.com"),
+            rname: n("hostmaster.example.com"),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::new(n("example.com"), soa());
+        z.add_rdata(n("a.example.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+        z.add_rdata(n("a.example.com"), RData::A(Ipv4Addr::new(192, 0, 2, 2)));
+        z.add_rdata(n("a.example.com"), RData::txt_from_str("hello"));
+        z.add_rdata(n("www.example.com"), RData::Cname(n("a.example.com")));
+        z.add_rdata(
+            n("deep.tree.example.com"),
+            RData::A(Ipv4Addr::new(192, 0, 2, 3)),
+        );
+        z.add_rdata(n("c1.example.com"), RData::Cname(n("c2.example.com")));
+        z.add_rdata(n("c2.example.com"), RData::Cname(n("c1.example.com")));
+        z
+    }
+
+    #[test]
+    fn exact_match() {
+        let z = test_zone();
+        match z.lookup(&n("a.example.com"), RecordType::A) {
+            ZoneLookup::Found(records) => assert_eq!(records.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nodata_vs_nxdomain() {
+        let z = test_zone();
+        assert_eq!(
+            z.lookup(&n("a.example.com"), RecordType::Mx),
+            ZoneLookup::NoData
+        );
+        assert_eq!(
+            z.lookup(&n("missing.example.com"), RecordType::A),
+            ZoneLookup::NxDomain
+        );
+        // Empty non-terminal: tree.example.com exists because
+        // deep.tree.example.com does.
+        assert_eq!(
+            z.lookup(&n("tree.example.com"), RecordType::A),
+            ZoneLookup::NoData
+        );
+    }
+
+    #[test]
+    fn cname_chase() {
+        let z = test_zone();
+        match z.lookup(&n("www.example.com"), RecordType::A) {
+            ZoneLookup::Found(records) => {
+                assert_eq!(records.len(), 3); // CNAME + 2 A
+                assert_eq!(records[0].rtype(), RecordType::Cname);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Query for the CNAME itself does not chase.
+        match z.lookup(&n("www.example.com"), RecordType::Cname) {
+            ZoneLookup::Found(records) => assert_eq!(records.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_loop_bounded() {
+        let z = test_zone();
+        match z.lookup(&n("c1.example.com"), RecordType::A) {
+            ZoneLookup::Found(records) => assert!(records.len() <= 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_zone() {
+        let z = test_zone();
+        assert_eq!(
+            z.lookup(&n("other.org"), RecordType::A),
+            ZoneLookup::NotAuthoritative
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of zone")]
+    fn add_out_of_bailiwick_panics() {
+        let mut z = test_zone();
+        z.add_rdata(n("other.org"), RData::A(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn counts() {
+        let z = test_zone();
+        assert_eq!(z.name_count(), 6); // apex + 5 owner names
+        assert!(z.record_count() >= 8);
+    }
+}

@@ -1,0 +1,324 @@
+//! The apparatus side: the synthesizing authoritative DNS server and the
+//! query log (§4.5 of the paper).
+//!
+//! [`SynthesizingAuthority`] implements `mailval_dns::server::Authority`
+//! by *generating* responses from the query name — the paper's solution
+//! to hosting 27.8M logical records. [`QueryLog`] is the measurement
+//! output: every query that reaches the server, timestamped and
+//! attributed via the name encoding; all of §6–§7's analyses consume it.
+
+use crate::names::{NameScheme, ParsedName};
+use crate::policies::{synthesize_notify, synthesize_probe, SynthAddrs};
+use mailval_dns::rr::RecordType;
+use mailval_dns::server::{Authority, AuthorityAnswer, Transport};
+use mailval_dns::Name;
+
+/// Attribution of one observed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// Test id (`tNN`), when the name is under the probe suffix.
+    pub testid: Option<String>,
+    /// MTA index for probe names.
+    pub host_index: Option<usize>,
+    /// Domain index for notification names.
+    pub domain_index: Option<usize>,
+    /// The labels left of the identifying pair (policy path).
+    pub path: Vec<String>,
+}
+
+/// One logged query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Virtual receive time, ms.
+    pub time_ms: u64,
+    /// The queried name.
+    pub qname: Name,
+    /// The queried type.
+    pub qtype: RecordType,
+    /// UDP or TCP.
+    pub transport: Transport,
+    /// Arrived on the IPv6 endpoint.
+    pub via_ipv6: bool,
+    /// Attribution, if the name parsed.
+    pub attribution: Option<Attribution>,
+}
+
+/// The query log: the raw measurement output.
+#[derive(Debug, Default)]
+pub struct QueryLog {
+    /// All queries in arrival order.
+    pub records: Vec<QueryRecord>,
+}
+
+impl QueryLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: QueryRecord) {
+        self.records.push(record);
+    }
+
+    /// Iterate records attributed to a given test.
+    pub fn for_test<'a>(&'a self, testid: &'a str) -> impl Iterator<Item = &'a QueryRecord> {
+        self.records.iter().filter(move |r| {
+            r.attribution
+                .as_ref()
+                .and_then(|a| a.testid.as_deref())
+                == Some(testid)
+        })
+    }
+
+    /// Iterate records attributed to a notification domain.
+    pub fn for_domain(&self, domain_index: usize) -> impl Iterator<Item = &QueryRecord> {
+        self.records.iter().filter(move |r| {
+            r.attribution.as_ref().and_then(|a| a.domain_index) == Some(domain_index)
+        })
+    }
+}
+
+/// The synthesizing authoritative server for both apparatus suffixes.
+pub struct SynthesizingAuthority {
+    scheme: NameScheme,
+    addrs: SynthAddrs,
+    dkim_key_record: String,
+    dmarc_record: String,
+}
+
+impl SynthesizingAuthority {
+    /// Create an authority.
+    pub fn new(
+        scheme: NameScheme,
+        addrs: SynthAddrs,
+        dkim_key_record: String,
+        dmarc_record: String,
+    ) -> Self {
+        SynthesizingAuthority {
+            scheme,
+            addrs,
+            dkim_key_record,
+            dmarc_record,
+        }
+    }
+
+    /// The name scheme in use.
+    pub fn scheme(&self) -> &NameScheme {
+        &self.scheme
+    }
+
+    /// Attribute a query name (used by the driver for logging).
+    pub fn attribute(&self, qname: &Name) -> Option<Attribution> {
+        let ParsedName {
+            testid,
+            entity,
+            path,
+        } = self.scheme.parse(qname)?;
+        Some(Attribution {
+            host_index: testid
+                .is_some()
+                .then(|| NameScheme::host_index(&entity))
+                .flatten(),
+            domain_index: testid
+                .is_none()
+                .then(|| NameScheme::domain_index(&entity))
+                .flatten(),
+            testid,
+            path,
+        })
+    }
+
+    /// Reconstruct the base (L0) name for a parsed query.
+    fn base_of(&self, parsed: &ParsedName) -> Option<Name> {
+        match &parsed.testid {
+            Some(testid) => Some(
+                self.scheme
+                    .probe_suffix
+                    .prepend(&parsed.entity)
+                    .ok()?
+                    .prepend(testid)
+                    .ok()?,
+            ),
+            None => Some(self.scheme.notify_suffix.prepend(&parsed.entity).ok()?),
+        }
+    }
+}
+
+impl Authority for SynthesizingAuthority {
+    fn answer(&self, qname: &Name, qtype: RecordType) -> Option<AuthorityAnswer> {
+        // Apex names of the suffixes themselves: answer NODATA so
+        // diagnostic queries (SOA etc.) are in-bailiwick.
+        if *qname == self.scheme.probe_suffix || *qname == self.scheme.notify_suffix {
+            return Some(AuthorityAnswer::nodata());
+        }
+        if !qname.is_subdomain_of(&self.scheme.probe_suffix)
+            && !qname.is_subdomain_of(&self.scheme.notify_suffix)
+        {
+            return None; // out of bailiwick → REFUSED
+        }
+        let Some(parsed) = self.scheme.parse(qname) else {
+            return Some(AuthorityAnswer::nxdomain());
+        };
+        let Some(base) = self.base_of(&parsed) else {
+            return Some(AuthorityAnswer::nxdomain());
+        };
+        Some(match &parsed.testid {
+            Some(testid) => {
+                synthesize_probe(testid, &parsed.path, qname, &base, qtype, &self.addrs)
+            }
+            None => synthesize_notify(
+                &parsed.path,
+                qname,
+                &base,
+                qtype,
+                &self.addrs,
+                &self.dkim_key_record,
+                &self.dmarc_record,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mailval_dns::message::Message;
+    use mailval_dns::server::ServerCore;
+    use mailval_dns::wire::Rcode;
+
+    fn authority() -> SynthesizingAuthority {
+        SynthesizingAuthority::new(
+            NameScheme::default(),
+            SynthAddrs::default(),
+            "v=DKIM1; k=rsa; p=TESTKEY".into(),
+            "v=DMARC1; p=reject; rua=mailto:agg@dns-lab.org".into(),
+        )
+    }
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn serves_probe_policies_end_to_end() {
+        let server = ServerCore::new(authority());
+        let q = Message::query(1, n("t01.m00007.spf-test.dns-lab.org"), RecordType::Txt);
+        let reply = server.handle(&q.to_bytes(), Transport::Udp, false).unwrap();
+        let resp = Message::from_bytes(&reply.bytes).unwrap();
+        assert_eq!(resp.rcode, Rcode::NoError);
+        let policy = resp.answers[0].rdata.txt_joined().unwrap();
+        assert!(policy.contains("include:l1.t01.m00007.spf-test.dns-lab.org"));
+    }
+
+    #[test]
+    fn delay_metadata_propagates() {
+        let server = ServerCore::new(authority());
+        let q = Message::query(2, n("l1.t01.m00007.spf-test.dns-lab.org"), RecordType::Txt);
+        let reply = server.handle(&q.to_bytes(), Transport::Udp, false).unwrap();
+        assert_eq!(reply.delay_ms, 100);
+    }
+
+    #[test]
+    fn tcp_only_test_truncates_udp() {
+        let server = ServerCore::new(authority());
+        let q = Message::query(3, n("t09.m00001.spf-test.dns-lab.org"), RecordType::Txt);
+        let udp = server.handle(&q.to_bytes(), Transport::Udp, false).unwrap();
+        let udp_resp = Message::from_bytes(&udp.bytes).unwrap();
+        assert!(udp_resp.truncated);
+        assert!(udp_resp.answers.is_empty());
+        let tcp = server.handle(&q.to_bytes(), Transport::Tcp, false).unwrap();
+        let tcp_resp = Message::from_bytes(&tcp.bytes).unwrap();
+        assert!(!tcp_resp.truncated);
+        assert_eq!(tcp_resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn v6_only_name_dropped_on_v4() {
+        let server = ServerCore::new(authority());
+        let q = Message::query(
+            4,
+            n("p.v6only.t10.m00001.spf-test.dns-lab.org"),
+            RecordType::Txt,
+        );
+        assert!(server.handle(&q.to_bytes(), Transport::Udp, false).is_none());
+        let v6 = server.handle(&q.to_bytes(), Transport::Udp, true).unwrap();
+        let resp = Message::from_bytes(&v6.bytes).unwrap();
+        assert_eq!(resp.answers.len(), 1);
+    }
+
+    #[test]
+    fn notify_names_served() {
+        let server = ServerCore::new(authority());
+        for (name, rtype, expect_substr) in [
+            ("d00001.dsav-mail.dns-lab.org", RecordType::Txt, "v=spf1"),
+            (
+                "sel1._domainkey.d00001.dsav-mail.dns-lab.org",
+                RecordType::Txt,
+                "v=DKIM1",
+            ),
+            (
+                "_dmarc.d00001.dsav-mail.dns-lab.org",
+                RecordType::Txt,
+                "v=DMARC1",
+            ),
+        ] {
+            let q = Message::query(5, n(name), rtype);
+            let reply = server.handle(&q.to_bytes(), Transport::Udp, false).unwrap();
+            let resp = Message::from_bytes(&reply.bytes).unwrap();
+            let text = resp.answers[0].rdata.txt_joined().unwrap();
+            assert!(text.contains(expect_substr), "{name}: {text}");
+        }
+    }
+
+    #[test]
+    fn out_of_bailiwick_refused() {
+        let server = ServerCore::new(authority());
+        let q = Message::query(6, n("example.com"), RecordType::Txt);
+        let reply = server.handle(&q.to_bytes(), Transport::Udp, false).unwrap();
+        let resp = Message::from_bytes(&reply.bytes).unwrap();
+        assert_eq!(resp.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn attribution_helper() {
+        let auth = authority();
+        let attr = auth
+            .attribute(&n("l2.t01.m00042.spf-test.dns-lab.org"))
+            .unwrap();
+        assert_eq!(attr.testid.as_deref(), Some("t01"));
+        assert_eq!(attr.host_index, Some(42));
+        assert_eq!(attr.path, vec!["l2"]);
+        let attr = auth
+            .attribute(&n("_dmarc.d00009.dsav-mail.dns-lab.org"))
+            .unwrap();
+        assert_eq!(attr.domain_index, Some(9));
+        assert!(auth.attribute(&n("unrelated.org")).is_none());
+    }
+
+    #[test]
+    fn query_log_filters() {
+        let mut log = QueryLog::new();
+        let auth = authority();
+        for (name, t) in [
+            ("t01.m00001.spf-test.dns-lab.org", 10),
+            ("l1.t01.m00001.spf-test.dns-lab.org", 20),
+            ("t02.m00002.spf-test.dns-lab.org", 30),
+            ("d00005.dsav-mail.dns-lab.org", 40),
+        ] {
+            let qname = n(name);
+            log.push(QueryRecord {
+                time_ms: t,
+                attribution: auth.attribute(&qname),
+                qname,
+                qtype: RecordType::Txt,
+                transport: Transport::Udp,
+                via_ipv6: false,
+            });
+        }
+        assert_eq!(log.for_test("t01").count(), 2);
+        assert_eq!(log.for_test("t02").count(), 1);
+        assert_eq!(log.for_domain(5).count(), 1);
+        assert_eq!(log.for_domain(6).count(), 0);
+    }
+}

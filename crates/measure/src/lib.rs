@@ -1,0 +1,46 @@
+//! # mailval-measure
+//!
+//! The paper's primary contribution: the apparatus that elicits and
+//! attributes SPF/DKIM/DMARC validation behavior **without delivering
+//! any illegitimate mail** (§4), plus the analyses that regenerate every
+//! table and figure of the evaluation (§6–§7).
+//!
+//! * [`names`] — the query-name encoding: every From domain embeds a
+//!   `testid` and `mtaid`/`domainid`, and every follow-up DNS query a
+//!   test policy induces carries the same labels, so any query arriving
+//!   at the authoritative server can be attributed to one MTA and one
+//!   test (§4.4–§4.5).
+//! * [`policies`] — the 39-test-policy catalog (§4.3.2), including the
+//!   serial-vs-parallel probe (Fig. 3), the 46-lookup stress tree
+//!   (Fig. 4) and every §7.3 behavior test.
+//! * [`apparatus`] — the on-the-fly policy-synthesizing authoritative
+//!   DNS server (§4.5): responses are generated from the query name, so
+//!   the 27.8M-record logical zone needs no storage, plus the query log
+//!   and attribution.
+//! * [`experiment`] — the virtual-time drivers for the three campaigns:
+//!   NotifyEmail (real deliveries, Exim-like client), NotifyMX and
+//!   TwoWeekMX (probe client with 15 s sleeps, aborted before DATA).
+//! * [`analysis`] — classification of raw observations into the paper's
+//!   tables: validation combos (Table 4), validating counts and deciles
+//!   (Table 5), providers (Table 6), Alexa tiers (Table 7), SPF-vs-
+//!   delivery timing (Fig. 2), serial/parallel (§7.1), lookup limits
+//!   (Fig. 5) and the §7.3 behavior battery.
+//! * [`fingerprint`] — the paper's proposed future work (§8):
+//!   clustering MTAs by their behavior vectors.
+//! * [`report`] — paper-vs-measured table rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod apparatus;
+pub mod experiment;
+pub mod fingerprint;
+pub mod names;
+pub mod policies;
+pub mod report;
+
+pub use apparatus::{Attribution, QueryLog, QueryRecord, SynthesizingAuthority};
+pub use experiment::{CampaignConfig, CampaignKind, CampaignResult};
+pub use names::NameScheme;
+pub use policies::{TestPolicyId, ALL_TESTS};

@@ -1,0 +1,76 @@
+//! Plain-text table rendering for the paper-vs-measured reports.
+
+/// Render a fixed-width table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Format "count (pct of total)".
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        return format!("{count} (–)");
+    }
+    format!("{count} ({})", pct(count as f64 / total as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render_table(
+            "Demo",
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(out.contains("== Demo =="));
+        assert!(out.contains("longer  22"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(pct(0.853), "85.3%");
+        assert_eq!(count_pct(85, 100), "85 (85.0%)");
+        assert_eq!(count_pct(1, 0), "1 (–)");
+    }
+}

@@ -1,0 +1,1000 @@
+//! The receiving-MTA actor: an SMTP session wired to the SPF/DKIM/DMARC
+//! evaluators through a per-MTA resolver, with a behavior profile's
+//! deviations applied.
+//!
+//! The actor is pure message-in/message-out: the embedding event loop
+//! feeds it SMTP lines, completed DNS resolutions and timer expiries,
+//! and receives SMTP reply text, resolution requests and timer arms.
+//! All the *observable* behavior the paper measures — which DNS queries
+//! reach the apparatus, when, and in what order — emerges from this
+//! actor running the real protocol stacks.
+
+use crate::profile::{MtaProfile, SpfTrigger};
+use mailval_dkim::verify::{DkimVerifier, VerifyStep};
+use mailval_dkim::DkimResult;
+use mailval_dmarc::eval::{AuthResults, DmarcEvaluator, DmarcStep};
+use mailval_dns::resolver::ResolveOutcome;
+use mailval_dns::rr::RecordType;
+use mailval_dns::Name;
+use mailval_smtp::mail::MailMessage;
+use mailval_smtp::reply::Reply;
+use mailval_smtp::server::{Action, Decision, PolicyQuery, Session};
+use mailval_spf::{EvalParams, EvalStep, SpfEvaluator, SpfResult};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// Per-connection context supplied by the driver.
+#[derive(Debug, Clone)]
+pub struct ConnContext {
+    /// The connecting client's IP (the identity SPF validates).
+    pub client_ip: IpAddr,
+    /// Whether the client's address is on DNSBLs at connect time — the
+    /// probe client earned listings during the NotifyMX campaign (§6.2).
+    pub client_blacklisted: bool,
+    /// Whether the session's recipients are guesses (TwoWeekMX, §6.3):
+    /// MTAs with `validates_guessed_recipient == false` skip sender
+    /// validation for such sessions.
+    pub recipients_guessed: bool,
+}
+
+/// Inputs to the actor.
+#[derive(Debug, Clone)]
+pub enum MtaInput {
+    /// TCP established: emit the greeting.
+    Connected,
+    /// One SMTP line from the client (CRLF stripped).
+    Line(String),
+    /// A resolution requested via [`MtaOutput::Resolve`] completed.
+    DnsFinished {
+        /// The request id.
+        qid: u64,
+        /// The outcome.
+        outcome: ResolveOutcome,
+    },
+    /// A timer armed via [`MtaOutput::SetTimer`] fired.
+    Timer {
+        /// The token.
+        token: u64,
+    },
+    /// The client disconnected.
+    Disconnected,
+}
+
+/// Notable milestones the driver records (timestamps for Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MtaEvent {
+    /// A message was accepted for delivery (the 250 after DATA content).
+    MessageAccepted,
+    /// An SPF evaluation concluded.
+    SpfConcluded(SpfResult),
+    /// A DKIM verification concluded.
+    DkimConcluded(bool),
+    /// A DMARC evaluation concluded (pass?).
+    DmarcConcluded(bool),
+}
+
+/// Outputs from the actor.
+#[derive(Debug, Clone)]
+pub enum MtaOutput {
+    /// SMTP reply text to transmit (includes CRLFs).
+    Smtp(String),
+    /// Ask the MTA's resolver to resolve this; report back with
+    /// [`MtaInput::DnsFinished`].
+    Resolve {
+        /// Request id (unique per connection).
+        qid: u64,
+        /// Name to resolve.
+        name: Name,
+        /// Record type.
+        rtype: RecordType,
+    },
+    /// Arm a timer.
+    SetTimer {
+        /// Token to return in [`MtaInput::Timer`].
+        token: u64,
+        /// Delay, ms.
+        delay_ms: u64,
+    },
+    /// Close the connection.
+    Close,
+    /// A milestone for the driver's logs.
+    Event(MtaEvent),
+}
+
+/// What validation work is in flight.
+enum Work {
+    /// SPF evaluation (HELO identity or MAIL FROM domain).
+    Spf {
+        evaluator: Box<SpfEvaluator>,
+        outstanding: HashMap<u64, mailval_spf::DnsQuestion>,
+        /// Completed lookups so far (for the §6.1 partial validators).
+        completed: u32,
+        /// Is this the HELO-identity check (result always ignored)?
+        helo_check: bool,
+    },
+    /// DKIM key fetch + verification.
+    Dkim {
+        verifier: Box<DkimVerifier>,
+        qid: u64,
+    },
+    /// DMARC discovery.
+    Dmarc { evaluator: Box<DmarcEvaluator>, qid: u64 },
+    /// Waiting out the accept-latency timer before the final 250.
+    AcceptDelay,
+}
+
+/// Queued work items that run sequentially before the pending SMTP
+/// decision is answered. (SPF evaluations start eagerly and are never
+/// queued behind other work.)
+enum QueuedWork {
+    Dkim,
+    Dmarc,
+    AcceptDelay,
+}
+
+const TIMER_ACCEPT: u64 = 1;
+const TIMER_POST_DELIVERY: u64 = 2;
+
+/// The receiving-MTA actor.
+pub struct MtaActor {
+    profile: MtaProfile,
+    ctx: ConnContext,
+    session: Session,
+    next_qid: u64,
+    current: Option<Work>,
+    queue: Vec<QueuedWork>,
+    /// The SMTP decision owed once the queue drains.
+    owed_decision: Option<Decision>,
+    /// Sender validation bypassed for this session (postmaster
+    /// whitelisting, §6.3).
+    bypassed: bool,
+    spf_done: bool,
+    spf_result: Option<SpfResult>,
+    dkim_results: Vec<(Name, bool)>,
+    message: Option<MailMessage>,
+    mail_from_domain: Option<Name>,
+    mail_from_local: Option<String>,
+    closed: bool,
+}
+
+impl MtaActor {
+    /// Create an actor for one connection.
+    pub fn new(hostname: &str, profile: MtaProfile, ctx: ConnContext) -> MtaActor {
+        MtaActor {
+            profile,
+            ctx,
+            session: Session::new(hostname),
+            next_qid: 1,
+            current: None,
+            queue: Vec::new(),
+            owed_decision: None,
+            bypassed: false,
+            spf_done: false,
+            spf_result: None,
+            dkim_results: Vec::new(),
+            message: None,
+            mail_from_domain: None,
+            mail_from_local: None,
+            closed: false,
+        }
+    }
+
+    /// The behavior profile.
+    pub fn profile(&self) -> &MtaProfile {
+        &self.profile
+    }
+
+    fn qid(&mut self) -> u64 {
+        let q = self.next_qid;
+        self.next_qid += 1;
+        q
+    }
+
+    /// Feed an input; collect outputs.
+    ///
+    /// A closed connection stops SMTP traffic, but DNS completions and
+    /// timers keep flowing: post-delivery validation (§6.2) is offline
+    /// processing that outlives the TCP session.
+    pub fn handle(&mut self, input: MtaInput) -> Vec<MtaOutput> {
+        if self.closed && matches!(input, MtaInput::Connected | MtaInput::Line(_)) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match input {
+            MtaInput::Connected => {
+                out.push(MtaOutput::Smtp(self.session.greeting().to_wire()));
+            }
+            MtaInput::Line(line) => {
+                let action = self.session.on_line(&line);
+                self.apply_action(action, &mut out);
+            }
+            MtaInput::DnsFinished { qid, outcome } => {
+                self.on_dns(qid, outcome, &mut out);
+            }
+            MtaInput::Timer { token } => {
+                self.on_timer(token, &mut out);
+            }
+            MtaInput::Disconnected => {
+                self.closed = true;
+            }
+        }
+        out
+    }
+
+    fn apply_action(&mut self, action: Action, out: &mut Vec<MtaOutput>) {
+        match action {
+            Action::Reply(r) => out.push(MtaOutput::Smtp(r.to_wire())),
+            Action::ReplyAndClose(r) => {
+                out.push(MtaOutput::Smtp(r.to_wire()));
+                out.push(MtaOutput::Close);
+                self.closed = true;
+            }
+            Action::None => {}
+            Action::Ask(query) => self.on_policy(query, out),
+        }
+    }
+
+    fn on_policy(&mut self, query: PolicyQuery, out: &mut Vec<MtaOutput>) {
+        match query {
+            PolicyQuery::Helo { ref identity, .. } => {
+                let helo_suppressed = (self.ctx.recipients_guessed
+                    && !self.profile.validates_guessed_recipient)
+                    // HELO checking is a connect-time filter of MTAs that
+                    // validate in real time at MAIL (§7.3: every observed
+                    // HELO checker proceeded to the MAIL policy lookup).
+                    || self.profile.spf_trigger != SpfTrigger::AtMail;
+                if self.profile.checks_helo && self.profile.combo.spf && !helo_suppressed {
+                    if let Ok(domain) = Name::parse(identity) {
+                        if !domain.is_root() {
+                            // §7.3: check the HELO identity's policy. All
+                            // observed MTAs ignored the verdict, so the
+                            // decision is Accept either way.
+                            self.owed_decision = Some(Decision::Accept);
+                            self.start_helo_spf(domain, out);
+                            return;
+                        }
+                    }
+                }
+                let reply = self.session.on_decision(Decision::Accept);
+                out.push(MtaOutput::Smtp(reply.to_wire()));
+            }
+            PolicyQuery::Mail { ref from } => {
+                if self.ctx.client_blacklisted && self.profile.rejects_spam {
+                    let reply = self.session.on_decision(Decision::Reject(Reply::new(
+                        554,
+                        "5.7.1 Rejected: sender address triggered spam filters",
+                    )));
+                    out.push(MtaOutput::Smtp(reply.to_wire()));
+                    return;
+                }
+                if self.ctx.client_blacklisted && self.profile.rejects_blacklist {
+                    let reply = self.session.on_decision(Decision::Reject(Reply::new(
+                        554,
+                        "5.7.1 Client host found on blacklist (DNSBL)",
+                    )));
+                    out.push(MtaOutput::Smtp(reply.to_wire()));
+                    return;
+                }
+                if let Some(addr) = from {
+                    self.mail_from_domain = Some(addr.domain.clone());
+                    self.mail_from_local = Some(addr.local.clone());
+                }
+                if self.should_run_spf(SpfTrigger::AtMail) && from.is_some() {
+                    self.owed_decision = Some(Decision::Accept);
+                    self.start_mail_spf(out);
+                    return;
+                }
+                let reply = self.session.on_decision(Decision::Accept);
+                out.push(MtaOutput::Smtp(reply.to_wire()));
+            }
+            PolicyQuery::Rcpt { ref to } => {
+                let local = to.local.to_ascii_lowercase();
+                let accepted = if !self.ctx.recipients_guessed
+                    && !matches!(
+                        local.as_str(),
+                        "michael" | "john.smith" | "support" | "postmaster"
+                    ) {
+                    // A real address (NotifyEmail/NotifyMX recipients come
+                    // from the notification list, which is defined by
+                    // accepted deliveries).
+                    true
+                } else if self.profile.rejects_all_recipients {
+                    false
+                } else if local == "postmaster" {
+                    true
+                } else {
+                    self.profile.accepted_username.as_deref() == Some(local.as_str())
+                };
+                if !accepted {
+                    let reply = self
+                        .session
+                        .on_decision(Decision::Reject(Reply::no_such_user(&to.local)));
+                    out.push(MtaOutput::Smtp(reply.to_wire()));
+                    return;
+                }
+                let first_rcpt = self.session.rcpt_to.is_empty();
+                if local == "postmaster" && self.profile.postmaster_bypass {
+                    // §6.3 whitelisting: skip sender validation entirely.
+                    self.bypassed = true;
+                }
+                if first_rcpt && !self.bypassed && self.should_run_spf(SpfTrigger::AtRcpt) {
+                    self.owed_decision = Some(Decision::Accept);
+                    self.start_mail_spf(out);
+                    return;
+                }
+                let reply = self.session.on_decision(Decision::Accept);
+                out.push(MtaOutput::Smtp(reply.to_wire()));
+            }
+            PolicyQuery::Data => {
+                if !self.bypassed && self.should_run_spf(SpfTrigger::AtData) {
+                    self.owed_decision = Some(Decision::Accept);
+                    self.start_mail_spf(out);
+                    return;
+                }
+                let reply = self.session.on_decision(Decision::Accept);
+                out.push(MtaOutput::Smtp(reply.to_wire()));
+            }
+            PolicyQuery::Message { ref raw } => {
+                self.message = MailMessage::parse(raw).ok();
+                self.owed_decision = Some(Decision::Accept);
+                if !self.bypassed && self.profile.combo.dkim && self.message.is_some() {
+                    self.queue.push(QueuedWork::Dkim);
+                }
+                if !self.bypassed && self.profile.combo.dmarc && self.message.is_some() {
+                    self.queue.push(QueuedWork::Dmarc);
+                }
+                self.queue.push(QueuedWork::AcceptDelay);
+                self.advance_queue(out);
+            }
+        }
+    }
+
+    fn should_run_spf(&self, at: SpfTrigger) -> bool {
+        self.profile.combo.spf
+            && !self.spf_done
+            && self.profile.spf_trigger == at
+            && self.mail_from_domain.is_some()
+            && (!self.ctx.recipients_guessed || self.profile.validates_guessed_recipient)
+    }
+
+    /// Pop and start the next queued work item; when the queue is empty,
+    /// answer the owed SMTP decision.
+    fn advance_queue(&mut self, out: &mut Vec<MtaOutput>) {
+        if self.current.is_some() {
+            return;
+        }
+        match self.queue.first() {
+            None => {
+                if let Some(decision) = self.owed_decision.take() {
+                    let was_message = matches!(
+                        self.session.state(),
+                        mailval_smtp::server::SessionState::AwaitingDecision
+                    );
+                    let reply = self.session.on_decision(decision);
+                    let accepted_message =
+                        was_message && reply.code == 250 && self.message.is_some();
+                    out.push(MtaOutput::Smtp(reply.to_wire()));
+                    if accepted_message {
+                        out.push(MtaOutput::Event(MtaEvent::MessageAccepted));
+                        // Post-delivery SPF validation (§6.2's 17%).
+                        if self.should_run_spf(SpfTrigger::AfterDelivery) && !self.bypassed {
+                            out.push(MtaOutput::SetTimer {
+                                token: TIMER_POST_DELIVERY,
+                                delay_ms: self.profile.post_delivery_delay_ms,
+                            });
+                        }
+                        self.message = None;
+                    }
+                }
+            }
+            Some(QueuedWork::AcceptDelay) => {
+                self.queue.remove(0);
+                self.current = Some(Work::AcceptDelay);
+                out.push(MtaOutput::SetTimer {
+                    token: TIMER_ACCEPT,
+                    delay_ms: self.profile.accept_latency_ms,
+                });
+            }
+            Some(QueuedWork::Dkim) => {
+                self.queue.remove(0);
+                self.start_dkim(out);
+            }
+            Some(QueuedWork::Dmarc) => {
+                self.queue.remove(0);
+                self.start_dmarc(out);
+            }
+        }
+    }
+
+    // --- SPF ---------------------------------------------------------
+
+    fn start_helo_spf(&mut self, domain: Name, out: &mut Vec<MtaOutput>) {
+        let params = EvalParams {
+            ip: self.ctx.client_ip,
+            domain: domain.clone(),
+            sender_local: "postmaster".into(),
+            sender_domain: domain,
+            helo: self
+                .session
+                .helo_identity
+                .clone()
+                .unwrap_or_default(),
+        };
+        let mut evaluator = Box::new(SpfEvaluator::new(
+            params,
+            self.profile.spf_behavior.clone(),
+        ));
+        let step = evaluator.start();
+        self.install_spf(evaluator, step, true, out);
+    }
+
+    fn start_mail_spf(&mut self, out: &mut Vec<MtaOutput>) {
+        let domain = self
+            .mail_from_domain
+            .clone()
+            .expect("mail from domain set");
+        let params = EvalParams {
+            ip: self.ctx.client_ip,
+            domain: domain.clone(),
+            sender_local: self
+                .mail_from_local
+                .clone()
+                .unwrap_or_else(|| "postmaster".into()),
+            sender_domain: domain,
+            helo: self
+                .session
+                .helo_identity
+                .clone()
+                .unwrap_or_default(),
+        };
+        let mut evaluator = Box::new(SpfEvaluator::new(
+            params,
+            self.profile.spf_behavior.clone(),
+        ));
+        let step = evaluator.start();
+        self.spf_done = true; // one MAIL-identity evaluation per session
+        self.install_spf(evaluator, step, false, out);
+    }
+
+    fn install_spf(
+        &mut self,
+        evaluator: Box<SpfEvaluator>,
+        step: EvalStep,
+        helo_check: bool,
+        out: &mut Vec<MtaOutput>,
+    ) {
+        match step {
+            EvalStep::Done(done) => {
+                if !helo_check {
+                    self.spf_result = Some(done.result);
+                    out.push(MtaOutput::Event(MtaEvent::SpfConcluded(done.result)));
+                }
+                self.advance_queue(out);
+            }
+            EvalStep::NeedLookups(questions) => {
+                let mut outstanding = HashMap::new();
+                for q in questions {
+                    let qid = self.qid();
+                    out.push(MtaOutput::Resolve {
+                        qid,
+                        name: q.name.clone(),
+                        rtype: q.rtype,
+                    });
+                    outstanding.insert(qid, q);
+                }
+                self.current = Some(Work::Spf {
+                    evaluator,
+                    outstanding,
+                    completed: 0,
+                    helo_check,
+                });
+            }
+        }
+    }
+
+    fn start_dkim(&mut self, out: &mut Vec<MtaOutput>) {
+        let message = self.message.as_ref().expect("message present");
+        let mut verifier = Box::new(DkimVerifier::new(message, 0));
+        match verifier.start() {
+            VerifyStep::Done(result) => {
+                self.record_dkim(result, out);
+                self.advance_queue(out);
+            }
+            VerifyStep::NeedKey { name, rtype } => {
+                let qid = self.qid();
+                out.push(MtaOutput::Resolve { qid, name, rtype });
+                self.current = Some(Work::Dkim { verifier, qid });
+            }
+        }
+    }
+
+    fn record_dkim(&mut self, result: DkimResult, out: &mut Vec<MtaOutput>) {
+        let passed = result == DkimResult::Pass;
+        out.push(MtaOutput::Event(MtaEvent::DkimConcluded(passed)));
+        // Record the signing domain for DMARC alignment.
+        if let Some(message) = &self.message {
+            let mut v = DkimVerifier::new(message, 0);
+            if let VerifyStep::NeedKey { .. } = v.start() {
+                if let Some(sig) = v.signature() {
+                    self.dkim_results.push((sig.domain.clone(), passed));
+                }
+            }
+        }
+    }
+
+    fn start_dmarc(&mut self, out: &mut Vec<MtaOutput>) {
+        let Some(from_domain) = self.header_from_domain() else {
+            self.advance_queue(out);
+            return;
+        };
+        let auth = AuthResults {
+            from_domain,
+            spf_result: self.spf_result.unwrap_or(SpfResult::None),
+            spf_domain: self.mail_from_domain.clone(),
+            dkim: self.dkim_results.clone(),
+        };
+        let pct_roll = (self.profile.accept_latency_ms % 100) as u8;
+        let mut evaluator = Box::new(DmarcEvaluator::new(auth, pct_roll));
+        match evaluator.start() {
+            DmarcStep::Done(verdict) => {
+                out.push(MtaOutput::Event(MtaEvent::DmarcConcluded(verdict.pass)));
+                self.advance_queue(out);
+            }
+            DmarcStep::NeedLookup { name, rtype } => {
+                let qid = self.qid();
+                out.push(MtaOutput::Resolve { qid, name, rtype });
+                self.current = Some(Work::Dmarc { evaluator, qid });
+            }
+        }
+    }
+
+    fn header_from_domain(&self) -> Option<Name> {
+        let message = self.message.as_ref()?;
+        let from = message.header("From")?.value();
+        // Extract the addr-spec: inside <...> if present, else the token
+        // containing '@'.
+        let addr = match (from.find('<'), from.find('>')) {
+            (Some(lt), Some(gt)) if gt > lt => from[lt + 1..gt].to_string(),
+            _ => from
+                .split_whitespace()
+                .find(|tok| tok.contains('@'))?
+                .to_string(),
+        };
+        let (_, domain) = addr.rsplit_once('@')?;
+        Name::parse(domain.trim()).ok()
+    }
+
+    // --- DNS completions ----------------------------------------------
+
+    fn on_dns(&mut self, qid: u64, outcome: ResolveOutcome, out: &mut Vec<MtaOutput>) {
+        match self.current.take() {
+            Some(Work::Spf {
+                mut evaluator,
+                mut outstanding,
+                mut completed,
+                helo_check,
+            }) => {
+                let Some(question) = outstanding.remove(&qid) else {
+                    self.current = Some(Work::Spf {
+                        evaluator,
+                        outstanding,
+                        completed,
+                        helo_check,
+                    });
+                    return;
+                };
+                completed += 1;
+                // §6.1 partial validators: fetch the policy TXT, never
+                // follow up.
+                if self.profile.spf_unfinished && completed >= 1 && !helo_check {
+                    self.spf_result = Some(SpfResult::None);
+                    out.push(MtaOutput::Event(MtaEvent::SpfConcluded(SpfResult::None)));
+                    self.advance_queue(out);
+                    return;
+                }
+                match evaluator.resume(vec![(question, outcome)]) {
+                    EvalStep::Done(done) => {
+                        if !helo_check {
+                            self.spf_result = Some(done.result);
+                            out.push(MtaOutput::Event(MtaEvent::SpfConcluded(done.result)));
+                        }
+                        self.advance_queue(out);
+                    }
+                    EvalStep::NeedLookups(questions) => {
+                        for q in questions {
+                            let new_qid = self.qid();
+                            out.push(MtaOutput::Resolve {
+                                qid: new_qid,
+                                name: q.name.clone(),
+                                rtype: q.rtype,
+                            });
+                            outstanding.insert(new_qid, q);
+                        }
+                        if outstanding.is_empty() {
+                            // Evaluator stalled without questions: treat
+                            // as concluded (defensive; should not happen).
+                            self.advance_queue(out);
+                        } else {
+                            self.current = Some(Work::Spf {
+                                evaluator,
+                                outstanding,
+                                completed,
+                                helo_check,
+                            });
+                        }
+                    }
+                }
+            }
+            Some(Work::Dkim { mut verifier, qid: expect }) => {
+                if qid != expect {
+                    self.current = Some(Work::Dkim { verifier, qid: expect });
+                    return;
+                }
+                match verifier.on_key(outcome) {
+                    VerifyStep::Done(result) => {
+                        self.record_dkim(result, out);
+                        self.advance_queue(out);
+                    }
+                    VerifyStep::NeedKey { .. } => unreachable!("single key fetch"),
+                }
+            }
+            Some(Work::Dmarc { mut evaluator, qid: expect }) => {
+                if qid != expect {
+                    self.current = Some(Work::Dmarc { evaluator, qid: expect });
+                    return;
+                }
+                match evaluator.on_answer(outcome) {
+                    DmarcStep::Done(verdict) => {
+                        out.push(MtaOutput::Event(MtaEvent::DmarcConcluded(verdict.pass)));
+                        self.advance_queue(out);
+                    }
+                    DmarcStep::NeedLookup { name, rtype } => {
+                        let new_qid = self.qid();
+                        out.push(MtaOutput::Resolve {
+                            qid: new_qid,
+                            name,
+                            rtype,
+                        });
+                        self.current = Some(Work::Dmarc {
+                            evaluator,
+                            qid: new_qid,
+                        });
+                    }
+                }
+            }
+            Some(other) => {
+                self.current = Some(other);
+            }
+            None => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, out: &mut Vec<MtaOutput>) {
+        match token {
+            TIMER_ACCEPT => {
+                if matches!(self.current, Some(Work::AcceptDelay)) {
+                    self.current = None;
+                    self.advance_queue(out);
+                }
+            }
+            TIMER_POST_DELIVERY => {
+                if self.current.is_none() && self.mail_from_domain.is_some() {
+                    self.start_mail_spf(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mailval_spf::SpfResult as SR;
+
+    fn ctx() -> ConnContext {
+        ConnContext {
+            client_ip: "192.0.2.77".parse().unwrap(),
+            client_blacklisted: false,
+            recipients_guessed: false,
+        }
+    }
+
+    fn drive_line(actor: &mut MtaActor, line: &str) -> Vec<MtaOutput> {
+        actor.handle(MtaInput::Line(line.to_string()))
+    }
+
+    fn first_smtp(outputs: &[MtaOutput]) -> Option<&str> {
+        outputs.iter().find_map(|o| match o {
+            MtaOutput::Smtp(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Answer every Resolve output with NXDOMAIN until the actor stops
+    /// asking; return all outputs produced along the way.
+    fn drain_dns(actor: &mut MtaActor, mut outputs: Vec<MtaOutput>) -> Vec<MtaOutput> {
+        let mut all = Vec::new();
+        loop {
+            let resolves: Vec<u64> = outputs
+                .iter()
+                .filter_map(|o| match o {
+                    MtaOutput::Resolve { qid, .. } => Some(*qid),
+                    _ => None,
+                })
+                .collect();
+            all.extend(outputs);
+            if resolves.is_empty() {
+                return all;
+            }
+            outputs = Vec::new();
+            for qid in resolves {
+                outputs.extend(actor.handle(MtaInput::DnsFinished {
+                    qid,
+                    outcome: ResolveOutcome::NxDomain,
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn greeting_and_ehlo() {
+        let mut actor = MtaActor::new("mx.r.test", MtaProfile::strict(), ctx());
+        let out = actor.handle(MtaInput::Connected);
+        assert!(first_smtp(&out).unwrap().starts_with("220"));
+        let out = drive_line(&mut actor, "EHLO probe.test");
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+    }
+
+    #[test]
+    fn at_mail_spf_defers_reply_until_lookup_completes() {
+        let mut actor = MtaActor::new("mx.r.test", MtaProfile::strict(), ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<spf-test@t01.m3.spf.test>");
+        // No SMTP reply yet — a TXT resolve was requested instead.
+        assert!(first_smtp(&out).is_none());
+        let qid = out
+            .iter()
+            .find_map(|o| match o {
+                MtaOutput::Resolve { qid, name, rtype } => {
+                    assert_eq!(*rtype, RecordType::Txt);
+                    assert_eq!(name.to_string(), "t01.m3.spf.test");
+                    Some(*qid)
+                }
+                _ => None,
+            })
+            .expect("resolve requested");
+        let out = actor.handle(MtaInput::DnsFinished {
+            qid,
+            outcome: ResolveOutcome::NxDomain,
+        });
+        // SPF none → accept.
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MtaOutput::Event(MtaEvent::SpfConcluded(SR::None)))));
+    }
+
+    #[test]
+    fn blacklisted_client_rejected_with_spam_text() {
+        let mut profile = MtaProfile::strict();
+        profile.rejects_spam = true;
+        let mut actor = MtaActor::new(
+            "mx.r.test",
+            profile,
+            ConnContext {
+                client_ip: "192.0.2.77".parse().unwrap(),
+                client_blacklisted: true,
+                recipients_guessed: false,
+            },
+        );
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<x@y.test>");
+        let reply = first_smtp(&out).unwrap();
+        assert!(reply.starts_with("554"));
+        assert!(reply.to_lowercase().contains("spam"));
+    }
+
+    #[test]
+    fn non_blacklisted_client_not_rejected() {
+        let mut profile = MtaProfile::strict();
+        profile.rejects_spam = true;
+        profile.spf_trigger = SpfTrigger::AfterDelivery;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<x@y.test>");
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+    }
+
+    #[test]
+    fn username_fallback_and_postmaster_bypass() {
+        let mut profile = MtaProfile::strict();
+        profile.accepted_username = None;
+        profile.postmaster_bypass = true;
+        profile.spf_trigger = SpfTrigger::AtRcpt;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        drive_line(&mut actor, "MAIL FROM:<spf-test@t.m.spf.test>");
+        let out = drive_line(&mut actor, "RCPT TO:<michael@r.test>");
+        assert!(first_smtp(&out).unwrap().starts_with("550"));
+        let out = drive_line(&mut actor, "RCPT TO:<postmaster@r.test>");
+        // Accepted, and because of the bypass no SPF resolve happened.
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        assert!(!out.iter().any(|o| matches!(o, MtaOutput::Resolve { .. })));
+    }
+
+    #[test]
+    fn at_rcpt_trigger_validates_without_bypass() {
+        let mut profile = MtaProfile::strict();
+        profile.accepted_username = Some("michael");
+        profile.spf_trigger = SpfTrigger::AtRcpt;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        drive_line(&mut actor, "MAIL FROM:<spf-test@t.m.spf.test>");
+        let out = drive_line(&mut actor, "RCPT TO:<michael@r.test>");
+        assert!(out.iter().any(|o| matches!(o, MtaOutput::Resolve { .. })));
+    }
+
+    #[test]
+    fn helo_check_queries_helo_domain_then_proceeds() {
+        let mut profile = MtaProfile::strict();
+        profile.checks_helo = true;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        let out = drive_line(&mut actor, "EHLO h.t39.m3.spf.test");
+        let qid = out
+            .iter()
+            .find_map(|o| match o {
+                MtaOutput::Resolve { qid, name, .. } => {
+                    assert_eq!(name.to_string(), "h.t39.m3.spf.test");
+                    Some(*qid)
+                }
+                _ => None,
+            })
+            .expect("helo policy lookup");
+        // A -all policy for the HELO domain...
+        let record = mailval_dns::Record::new(
+            Name::parse("h.t39.m3.spf.test").unwrap(),
+            60,
+            mailval_dns::rr::RData::txt_from_str("v=spf1 -all"),
+        );
+        let out = actor.handle(MtaInput::DnsFinished {
+            qid,
+            outcome: ResolveOutcome::Records(vec![record]),
+        });
+        // ... is ignored: EHLO accepted (§7.3).
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        // And MAIL still triggers the MAIL-identity evaluation.
+        let out = drive_line(&mut actor, "MAIL FROM:<spf-test@t39.m3.spf.test>");
+        assert!(out.iter().any(|o| matches!(o, MtaOutput::Resolve { .. })));
+    }
+
+    #[test]
+    fn full_delivery_runs_dkim_dmarc_and_accept_timer() {
+        let mut profile = MtaProfile::strict();
+        profile.spf_trigger = SpfTrigger::AtMail;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO sender.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<a@sender.test>");
+        let all = drain_dns(&mut actor, out);
+        assert!(first_smtp(&all).is_some());
+        drive_line(&mut actor, "RCPT TO:<michael@r.test>");
+        drive_line(&mut actor, "DATA");
+        drive_line(&mut actor, "DKIM-Signature: v=1; a=rsa-sha256; d=sender.test; s=s1;");
+        drive_line(&mut actor, " c=relaxed/relaxed; h=from; bh=AAAA; b=BBBB");
+        drive_line(&mut actor, "From: Alice <a@sender.test>");
+        drive_line(&mut actor, "Subject: hello");
+        drive_line(&mut actor, "");
+        drive_line(&mut actor, "body");
+        let out = drive_line(&mut actor, ".");
+        // DKIM key lookup first.
+        let all = drain_dns(&mut actor, out);
+        // DKIM + DMARC lookups happened; accept timer armed.
+        let resolves: Vec<String> = all
+            .iter()
+            .filter_map(|o| match o {
+                MtaOutput::Resolve { name, .. } => Some(name.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            resolves.iter().any(|n| n.contains("_domainkey")),
+            "{resolves:?}"
+        );
+        assert!(resolves.iter().any(|n| n.starts_with("_dmarc.")), "{resolves:?}");
+        let timer = all.iter().find_map(|o| match o {
+            MtaOutput::SetTimer { token, .. } => Some(*token),
+            _ => None,
+        });
+        assert_eq!(timer, Some(TIMER_ACCEPT));
+        // Fire the accept timer → 250 + MessageAccepted event.
+        let out = actor.handle(MtaInput::Timer { token: TIMER_ACCEPT });
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MtaOutput::Event(MtaEvent::MessageAccepted))));
+    }
+
+    #[test]
+    fn after_delivery_trigger_validates_post_acceptance() {
+        let mut profile = MtaProfile::strict();
+        profile.spf_trigger = SpfTrigger::AfterDelivery;
+        profile.combo.dkim = false;
+        profile.combo.dmarc = false;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO sender.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<a@sender.test>");
+        // No SPF at MAIL.
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        drive_line(&mut actor, "RCPT TO:<michael@r.test>");
+        drive_line(&mut actor, "DATA");
+        drive_line(&mut actor, "From: Alice <a@sender.test>");
+        drive_line(&mut actor, "");
+        let out = drive_line(&mut actor, ".");
+        // Accept timer; fire it.
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MtaOutput::SetTimer { token: TIMER_ACCEPT, .. })));
+        let out = actor.handle(MtaInput::Timer { token: TIMER_ACCEPT });
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MtaOutput::Event(MtaEvent::MessageAccepted))));
+        // Post-delivery timer armed; firing it starts SPF.
+        assert!(out.iter().any(
+            |o| matches!(o, MtaOutput::SetTimer { token: TIMER_POST_DELIVERY, .. })
+        ));
+        let out = actor.handle(MtaInput::Timer {
+            token: TIMER_POST_DELIVERY,
+        });
+        assert!(out.iter().any(|o| matches!(o, MtaOutput::Resolve { .. })));
+    }
+
+    #[test]
+    fn unfinished_validator_stops_after_policy_fetch() {
+        let mut profile = MtaProfile::strict();
+        profile.spf_unfinished = true;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<spf-test@t.m.spf.test>");
+        let qid = out
+            .iter()
+            .find_map(|o| match o {
+                MtaOutput::Resolve { qid, .. } => Some(*qid),
+                _ => None,
+            })
+            .unwrap();
+        // Policy says to look up an A record, but the partial validator
+        // won't.
+        let record = mailval_dns::Record::new(
+            Name::parse("t.m.spf.test").unwrap(),
+            60,
+            mailval_dns::rr::RData::txt_from_str("v=spf1 a:foo.t.m.spf.test -all"),
+        );
+        let out = actor.handle(MtaInput::DnsFinished {
+            qid,
+            outcome: ResolveOutcome::Records(vec![record]),
+        });
+        assert!(
+            !out.iter().any(|o| matches!(o, MtaOutput::Resolve { .. })),
+            "partial validator must not follow up"
+        );
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+    }
+
+    #[test]
+    fn quit_closes() {
+        let mut actor = MtaActor::new("mx.r.test", MtaProfile::strict(), ctx());
+        actor.handle(MtaInput::Connected);
+        let out = drive_line(&mut actor, "QUIT");
+        assert!(first_smtp(&out).unwrap().starts_with("221"));
+        assert!(out.iter().any(|o| matches!(o, MtaOutput::Close)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-pair latency modeling between simulated endpoints.
+//!
+//! The paper's timing inferences (Fig. 3: serial vs parallel; Fig. 5:
+//! elapsed validation time) are functions of RTT(validator, resolver),
+//! RTT(resolver, authoritative) and server-imposed delays. This model
+//! assigns each endpoint pair a stable one-way delay: a deterministic
+//! hash of the pair plus a configurable base and spread, with optional
+//! loss.
+
+use crate::rng::SimRng;
+use std::net::IpAddr;
+
+/// Latency/loss model.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Minimum one-way delay, ms.
+    pub base_one_way_ms: u64,
+    /// Additional per-pair spread, ms (uniform, stable per pair).
+    pub spread_ms: u64,
+    /// Probability a datagram is lost (applied per transmission by the
+    /// caller via [`LatencyModel::lost`]).
+    pub loss_probability: f64,
+    /// Seed mixed into the per-pair hash.
+    pub seed: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_one_way_ms: 5,
+            spread_ms: 40,
+            loss_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+fn hash_ip(ip: &IpAddr, state: &mut u64) {
+    let mix = |state: &mut u64, v: u64| {
+        *state ^= v;
+        *state = state.wrapping_mul(0x100000001b3);
+    };
+    match ip {
+        IpAddr::V4(v4) => mix(state, u32::from(*v4) as u64),
+        IpAddr::V6(v6) => {
+            let o = u128::from(*v6);
+            mix(state, o as u64);
+            mix(state, (o >> 64) as u64);
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Stable one-way delay between two endpoints, in ms. Symmetric.
+    pub fn one_way_ms(&self, a: &IpAddr, b: &IpAddr) -> u64 {
+        if self.spread_ms == 0 {
+            return self.base_one_way_ms;
+        }
+        let mut h = 0xcbf29ce484222325u64 ^ self.seed;
+        // Order-independent mix for symmetry.
+        let mut ha = 0xcbf29ce484222325u64;
+        let mut hb = 0xcbf29ce484222325u64;
+        hash_ip(a, &mut ha);
+        hash_ip(b, &mut hb);
+        h ^= ha.wrapping_add(hb);
+        h = h.wrapping_mul(0x2545F4914F6CDD1D);
+        self.base_one_way_ms + (h >> 33) % self.spread_ms
+    }
+
+    /// Round-trip time between two endpoints, in ms.
+    pub fn rtt_ms(&self, a: &IpAddr, b: &IpAddr) -> u64 {
+        2 * self.one_way_ms(a, b)
+    }
+
+    /// Should this transmission be lost? (Caller rolls per datagram.)
+    pub fn lost(&self, rng: &mut SimRng) -> bool {
+        self.loss_probability > 0.0 && rng.chance(self.loss_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn stable_and_symmetric() {
+        let m = LatencyModel::default();
+        let a = ip("192.0.2.1");
+        let b = ip("198.51.100.7");
+        assert_eq!(m.one_way_ms(&a, &b), m.one_way_ms(&a, &b));
+        assert_eq!(m.one_way_ms(&a, &b), m.one_way_ms(&b, &a));
+        assert_eq!(m.rtt_ms(&a, &b), 2 * m.one_way_ms(&a, &b));
+    }
+
+    #[test]
+    fn within_bounds() {
+        let m = LatencyModel {
+            base_one_way_ms: 10,
+            spread_ms: 30,
+            ..Default::default()
+        };
+        for i in 0..100u8 {
+            let a = ip(&format!("10.0.0.{i}"));
+            let b = ip("192.0.2.1");
+            let d = m.one_way_ms(&a, &b);
+            assert!((10..40).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn pairs_differ() {
+        let m = LatencyModel::default();
+        let base = ip("192.0.2.1");
+        let delays: std::collections::HashSet<u64> = (0..50u8)
+            .map(|i| m.one_way_ms(&base, &ip(&format!("10.1.2.{i}"))))
+            .collect();
+        assert!(delays.len() > 5, "delays should vary across pairs");
+    }
+
+    #[test]
+    fn zero_spread_is_constant() {
+        let m = LatencyModel {
+            base_one_way_ms: 7,
+            spread_ms: 0,
+            ..Default::default()
+        };
+        assert_eq!(m.one_way_ms(&ip("10.0.0.1"), &ip("10.0.0.2")), 7);
+    }
+
+    #[test]
+    fn v6_endpoints_supported() {
+        let m = LatencyModel::default();
+        let d = m.one_way_ms(&ip("2001:db8::1"), &ip("2001:db8::2"));
+        assert!(d >= m.base_one_way_ms);
+    }
+
+    #[test]
+    fn loss_probability() {
+        let mut rng = SimRng::new(3);
+        let lossless = LatencyModel::default();
+        assert!(!(0..100).any(|_| lossless.lost(&mut rng)));
+        let lossy = LatencyModel {
+            loss_probability: 0.5,
+            ..Default::default()
+        };
+        let losses = (0..1000).filter(|_| lossy.lost(&mut rng)).count();
+        assert!((400..600).contains(&losses));
+    }
+}

@@ -1,0 +1,456 @@
+//! Sans-IO SMTP sending client.
+//!
+//! One state machine serves both experiment modes of the paper:
+//!
+//! * **Delivery mode** (NotifyEmail): carries a real message, sends
+//!   `DATA`, the payload and the terminating dot, and records acceptance.
+//! * **Probe mode** (NotifyMX / TwoWeekMX, §4.6): inserts a configurable
+//!   pause (15 s in the paper) before `MAIL`, `RCPT` and `DATA`, tries
+//!   recipient usernames in order until one is accepted
+//!   (michael → john.smith → support → postmaster, §4.4), and after the
+//!   server's `DATA` reply **disconnects without transmitting any message
+//!   data**, so no email can possibly be delivered.
+
+use crate::command::{Command, EmailAddress};
+use crate::mail::dot_stuff;
+use crate::reply::Reply;
+
+/// The dialogue phase a reply belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Server greeting.
+    Greeting,
+    /// EHLO/HELO exchange.
+    Helo,
+    /// MAIL FROM.
+    Mail,
+    /// RCPT TO.
+    Rcpt,
+    /// DATA command.
+    Data,
+    /// Message payload acceptance.
+    Message,
+    /// QUIT.
+    Quit,
+}
+
+/// Client configuration for one session.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Identity for EHLO/HELO.
+    pub helo_identity: String,
+    /// Reverse path for MAIL FROM (`None` = null sender).
+    pub mail_from: Option<EmailAddress>,
+    /// Forward-path candidates, tried in order while the server rejects
+    /// them (the paper's username fallback list).
+    pub rcpt_candidates: Vec<EmailAddress>,
+    /// Message to deliver; `None` selects probe mode (disconnect after the
+    /// DATA reply, transmitting nothing).
+    pub message: Option<Vec<u8>>,
+    /// Pause inserted immediately before MAIL, RCPT and DATA (15 000 ms in
+    /// the paper; 0 disables).
+    pub pause_before_commands_ms: u64,
+}
+
+/// What the embedder must do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Transmit these bytes (already CRLF-terminated).
+    Send(Vec<u8>),
+    /// Wait this long, then call [`ClientSession::on_pause_elapsed`].
+    Pause(u64),
+    /// Close the connection; the session is finished.
+    Close(Box<ClientOutcome>),
+}
+
+/// Result of a finished session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientOutcome {
+    /// The furthest phase for which a server reply was processed.
+    pub phase_reached: Phase,
+    /// The recipient the server accepted, if any.
+    pub accepted_rcpt: Option<EmailAddress>,
+    /// True only in delivery mode after the message got a 250.
+    pub delivered: bool,
+    /// The decisive rejection, if the session failed.
+    pub rejection: Option<(Phase, Reply)>,
+    /// Every reply received, in order, tagged by phase.
+    pub transcript: Vec<(Phase, Reply)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    AwaitGreeting,
+    AwaitHeloReply { fell_back: bool },
+    PauseBeforeMail,
+    AwaitMailReply,
+    PauseBeforeRcpt,
+    AwaitRcptReply,
+    PauseBeforeData,
+    AwaitDataReply,
+    AwaitMessageReply,
+    AwaitQuitReply,
+    Done,
+}
+
+/// Sans-IO SMTP client session.
+#[derive(Debug)]
+pub struct ClientSession {
+    config: ClientConfig,
+    state: State,
+    rcpt_index: usize,
+    outcome: ClientOutcome,
+}
+
+impl ClientSession {
+    /// Start a session. The first action is always to await the server
+    /// greeting (feed it via [`ClientSession::on_reply`]).
+    pub fn new(config: ClientConfig) -> Self {
+        assert!(
+            !config.rcpt_candidates.is_empty(),
+            "need at least one recipient candidate"
+        );
+        ClientSession {
+            config,
+            state: State::AwaitGreeting,
+            rcpt_index: 0,
+            outcome: ClientOutcome {
+                phase_reached: Phase::Greeting,
+                accepted_rcpt: None,
+                delivered: false,
+                rejection: None,
+                transcript: Vec::new(),
+            },
+        }
+    }
+
+    fn phase_of(&self) -> Phase {
+        match self.state {
+            State::AwaitGreeting => Phase::Greeting,
+            State::AwaitHeloReply { .. } => Phase::Helo,
+            State::PauseBeforeMail | State::AwaitMailReply => Phase::Mail,
+            State::PauseBeforeRcpt | State::AwaitRcptReply => Phase::Rcpt,
+            State::PauseBeforeData | State::AwaitDataReply => Phase::Data,
+            State::AwaitMessageReply => Phase::Message,
+            State::AwaitQuitReply | State::Done => Phase::Quit,
+        }
+    }
+
+    fn send_line(&self, cmd: &Command) -> ClientAction {
+        ClientAction::Send(format!("{}\r\n", cmd.to_line()).into_bytes())
+    }
+
+    fn pause_or(&mut self, paused_state: State, immediate: ClientAction) -> ClientAction {
+        if self.config.pause_before_commands_ms > 0 {
+            self.state = paused_state;
+            ClientAction::Pause(self.config.pause_before_commands_ms)
+        } else {
+            immediate
+        }
+    }
+
+    fn fail(&mut self, phase: Phase, reply: Reply) -> ClientAction {
+        if self.outcome.rejection.is_none() {
+            self.outcome.rejection = Some((phase, reply));
+        }
+        self.state = State::AwaitQuitReply;
+        self.send_line(&Command::Quit)
+    }
+
+    fn close(&mut self) -> ClientAction {
+        self.state = State::Done;
+        ClientAction::Close(Box::new(self.outcome.clone()))
+    }
+
+    /// Feed a complete server reply.
+    pub fn on_reply(&mut self, reply: Reply) -> ClientAction {
+        let phase = self.phase_of();
+        self.outcome.transcript.push((phase, reply.clone()));
+        self.outcome.phase_reached = self.outcome.phase_reached.max(phase);
+        match self.state {
+            State::AwaitGreeting => {
+                if !reply.is_positive() {
+                    return self.fail(Phase::Greeting, reply);
+                }
+                self.state = State::AwaitHeloReply { fell_back: false };
+                self.send_line(&Command::Ehlo(self.config.helo_identity.clone()))
+            }
+            State::AwaitHeloReply { fell_back } => {
+                if reply.is_positive() {
+                    let mail = Command::Mail(self.config.mail_from.clone());
+                    let action = self.send_line(&mail);
+                    self.state = State::AwaitMailReply;
+                    return self.pause_or(State::PauseBeforeMail, action);
+                }
+                if !fell_back && reply.is_permanent_failure() {
+                    // EHLO unsupported: fall back to HELO (§4.6).
+                    self.state = State::AwaitHeloReply { fell_back: true };
+                    return self.send_line(&Command::Helo(self.config.helo_identity.clone()));
+                }
+                self.fail(Phase::Helo, reply)
+            }
+            State::AwaitMailReply => {
+                if !reply.is_positive() {
+                    return self.fail(Phase::Mail, reply);
+                }
+                let rcpt = Command::Rcpt(self.config.rcpt_candidates[self.rcpt_index].clone());
+                let action = self.send_line(&rcpt);
+                self.state = State::AwaitRcptReply;
+                self.pause_or(State::PauseBeforeRcpt, action)
+            }
+            State::AwaitRcptReply => {
+                if reply.is_positive() {
+                    self.outcome.accepted_rcpt =
+                        Some(self.config.rcpt_candidates[self.rcpt_index].clone());
+                    let action = self.send_line(&Command::Data);
+                    self.state = State::AwaitDataReply;
+                    return self.pause_or(State::PauseBeforeData, action);
+                }
+                // Try the next username (the paper moves on to the next
+                // candidate whenever the server rejects the recipient).
+                if self.rcpt_index + 1 < self.config.rcpt_candidates.len() {
+                    self.rcpt_index += 1;
+                    let rcpt = Command::Rcpt(self.config.rcpt_candidates[self.rcpt_index].clone());
+                    let action = self.send_line(&rcpt);
+                    self.state = State::AwaitRcptReply;
+                    return self.pause_or(State::PauseBeforeRcpt, action);
+                }
+                self.fail(Phase::Rcpt, reply)
+            }
+            State::AwaitDataReply => {
+                match &self.config.message {
+                    None => {
+                        // Probe mode: regardless of the reply, disconnect
+                        // *without* sending message data (§4.6, §5.1).
+                        if !reply.is_intermediate() && self.outcome.rejection.is_none() {
+                            self.outcome.rejection = Some((Phase::Data, reply));
+                        }
+                        self.close()
+                    }
+                    Some(message) => {
+                        if !reply.is_intermediate() {
+                            return self.fail(Phase::Data, reply);
+                        }
+                        let mut payload = dot_stuff(message);
+                        if !payload.ends_with(b"\r\n") {
+                            payload.extend_from_slice(b"\r\n");
+                        }
+                        payload.extend_from_slice(b".\r\n");
+                        self.state = State::AwaitMessageReply;
+                        ClientAction::Send(payload)
+                    }
+                }
+            }
+            State::AwaitMessageReply => {
+                if reply.is_positive() {
+                    self.outcome.delivered = true;
+                    self.state = State::AwaitQuitReply;
+                    return self.send_line(&Command::Quit);
+                }
+                self.fail(Phase::Message, reply)
+            }
+            State::AwaitQuitReply => self.close(),
+            State::Done | State::PauseBeforeMail | State::PauseBeforeRcpt
+            | State::PauseBeforeData => {
+                // Unexpected extra reply; ignore but record (already in
+                // transcript).
+                ClientAction::Pause(0)
+            }
+        }
+    }
+
+    /// Resume after a [`ClientAction::Pause`].
+    pub fn on_pause_elapsed(&mut self) -> ClientAction {
+        match self.state {
+            State::PauseBeforeMail => {
+                self.state = State::AwaitMailReply;
+                self.send_line(&Command::Mail(self.config.mail_from.clone()))
+            }
+            State::PauseBeforeRcpt => {
+                self.state = State::AwaitRcptReply;
+                self.send_line(&Command::Rcpt(
+                    self.config.rcpt_candidates[self.rcpt_index].clone(),
+                ))
+            }
+            State::PauseBeforeData => {
+                self.state = State::AwaitDataReply;
+                self.send_line(&Command::Data)
+            }
+            _ => ClientAction::Pause(0),
+        }
+    }
+
+    /// The connection dropped (timeout, reset). Finish with what we have.
+    pub fn on_disconnect(&mut self) -> ClientOutcome {
+        self.state = State::Done;
+        self.outcome.clone()
+    }
+}
+
+/// The paper's recipient-username fallback list (§4.4).
+pub fn probe_usernames() -> [&'static str; 4] {
+    ["michael", "john.smith", "support", "postmaster"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mailval_dns::Name;
+
+    fn addr(s: &str) -> EmailAddress {
+        EmailAddress::parse(s).unwrap()
+    }
+
+    fn probe_config() -> ClientConfig {
+        ClientConfig {
+            helo_identity: "probe.dns-lab.org".into(),
+            mail_from: Some(addr("spf-test@t01.m9.spf-test.dns-lab.org")),
+            rcpt_candidates: probe_usernames()
+                .iter()
+                .map(|u| EmailAddress::new(u, Name::parse("target.test").unwrap()))
+                .collect(),
+            message: None,
+            pause_before_commands_ms: 15_000,
+        }
+    }
+
+    fn expect_send(action: ClientAction) -> String {
+        match action {
+            ClientAction::Send(bytes) => String::from_utf8(bytes).unwrap(),
+            other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_session_full_flow() {
+        let mut c = ClientSession::new(probe_config());
+        // Greeting → EHLO immediately (no pause before EHLO).
+        let line = expect_send(c.on_reply(Reply::greeting("mx.target.test")));
+        assert!(line.starts_with("EHLO"));
+        // EHLO ok → pause 15s → MAIL.
+        assert_eq!(c.on_reply(Reply::ok()), ClientAction::Pause(15_000));
+        let line = expect_send(c.on_pause_elapsed());
+        assert!(line.starts_with("MAIL FROM:<spf-test@t01.m9"));
+        // MAIL ok → pause → RCPT michael.
+        assert_eq!(c.on_reply(Reply::ok()), ClientAction::Pause(15_000));
+        let line = expect_send(c.on_pause_elapsed());
+        assert!(line.contains("<michael@target.test>"));
+        // michael rejected → pause → john.smith.
+        assert_eq!(
+            c.on_reply(Reply::no_such_user("michael")),
+            ClientAction::Pause(15_000)
+        );
+        let line = expect_send(c.on_pause_elapsed());
+        assert!(line.contains("<john.smith@target.test>"));
+        // accepted → pause → DATA.
+        assert_eq!(c.on_reply(Reply::ok()), ClientAction::Pause(15_000));
+        let line = expect_send(c.on_pause_elapsed());
+        assert_eq!(line, "DATA\r\n");
+        // 354 → probe disconnects without sending anything.
+        match c.on_reply(Reply::start_mail_input()) {
+            ClientAction::Close(outcome) => {
+                assert_eq!(outcome.accepted_rcpt.unwrap().local, "john.smith");
+                assert!(!outcome.delivered);
+                assert!(outcome.rejection.is_none());
+                assert_eq!(outcome.phase_reached, Phase::Data);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_all_usernames_rejected() {
+        let mut c = ClientSession::new(probe_config());
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        c.on_reply(Reply::ok()); // EHLO → pause
+        c.on_pause_elapsed(); // MAIL
+        c.on_reply(Reply::ok()); // → pause
+        c.on_pause_elapsed(); // RCPT 1
+        for _ in 0..3 {
+            c.on_reply(Reply::no_such_user("x"));
+            c.on_pause_elapsed();
+        }
+        // Fourth rejection exhausts the list → QUIT.
+        let line = expect_send(c.on_reply(Reply::no_such_user("postmaster")));
+        assert_eq!(line, "QUIT\r\n");
+        match c.on_reply(Reply::closing()) {
+            ClientAction::Close(outcome) => {
+                assert!(outcome.accepted_rcpt.is_none());
+                assert_eq!(outcome.rejection.as_ref().unwrap().0, Phase::Rcpt);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delivery_mode_sends_message() {
+        let mut config = probe_config();
+        config.message = Some(b"Subject: notification\r\n\r\n.hidden\r\nbody\r\n".to_vec());
+        config.pause_before_commands_ms = 0;
+        let mut c = ClientSession::new(config);
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        expect_send(c.on_reply(Reply::ok())); // EHLO → MAIL (no pause)
+        expect_send(c.on_reply(Reply::ok())); // MAIL → RCPT
+        let line = expect_send(c.on_reply(Reply::ok())); // RCPT → DATA
+        assert_eq!(line, "DATA\r\n");
+        let payload = expect_send(c.on_reply(Reply::start_mail_input()));
+        assert!(payload.contains("..hidden\r\n"), "dot-stuffed");
+        assert!(payload.ends_with("\r\n.\r\n"));
+        let line = expect_send(c.on_reply(Reply::new(250, "queued as 123")));
+        assert_eq!(line, "QUIT\r\n");
+        match c.on_reply(Reply::closing()) {
+            ClientAction::Close(outcome) => {
+                assert!(outcome.delivered);
+                assert_eq!(outcome.phase_reached, Phase::Quit);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ehlo_falls_back_to_helo() {
+        let mut config = probe_config();
+        config.pause_before_commands_ms = 0;
+        let mut c = ClientSession::new(config);
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        let line = expect_send(c.on_reply(Reply::new(502, "command not implemented")));
+        assert!(line.starts_with("HELO"));
+        let line = expect_send(c.on_reply(Reply::ok()));
+        assert!(line.starts_with("MAIL"));
+    }
+
+    #[test]
+    fn spam_rejection_at_mail_recorded() {
+        let mut config = probe_config();
+        config.pause_before_commands_ms = 0;
+        let mut c = ClientSession::new(config);
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        expect_send(c.on_reply(Reply::ok())); // EHLO → MAIL
+        let line = expect_send(c.on_reply(Reply::new(554, "sender on spam blacklist")));
+        assert_eq!(line, "QUIT\r\n");
+        match c.on_reply(Reply::closing()) {
+            ClientAction::Close(outcome) => {
+                let (phase, reply) = outcome.rejection.unwrap();
+                assert_eq!(phase, Phase::Mail);
+                assert!(reply.text().contains("spam"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn greeting_failure_quits() {
+        let mut c = ClientSession::new(probe_config());
+        let line = expect_send(c.on_reply(Reply::new(554, "no service")));
+        assert_eq!(line, "QUIT\r\n");
+    }
+
+    #[test]
+    fn disconnect_mid_session_yields_partial_outcome() {
+        let mut c = ClientSession::new(probe_config());
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        let outcome = c.on_disconnect();
+        assert_eq!(outcome.phase_reached, Phase::Greeting);
+        assert_eq!(outcome.transcript.len(), 1);
+    }
+}

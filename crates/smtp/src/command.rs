@@ -1,0 +1,317 @@
+//! SMTP command grammar (RFC 5321 §4.1) and mailbox parsing.
+
+use mailval_dns::Name;
+use std::fmt;
+
+/// An email address: local-part @ domain.
+///
+/// The domain is a DNS [`Name`] because everything the measurement does
+/// with addresses is DNS-shaped (the From-domain *is* the SPF identity).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EmailAddress {
+    /// The local part, case-preserved (RFC 5321 §2.4: local parts are
+    /// case-sensitive in principle).
+    pub local: String,
+    /// The domain.
+    pub domain: Name,
+}
+
+impl EmailAddress {
+    /// Construct from parts.
+    pub fn new(local: &str, domain: Name) -> Self {
+        EmailAddress {
+            local: local.to_string(),
+            domain,
+        }
+    }
+
+    /// Parse `local@domain`. Quoted local parts are not supported (the
+    /// measurement only generates dot-atom locals).
+    pub fn parse(s: &str) -> Option<EmailAddress> {
+        let (local, domain) = s.rsplit_once('@')?;
+        if local.is_empty() {
+            return None;
+        }
+        for b in local.bytes() {
+            // dot-atom characters (RFC 5322 §3.2.3), pragmatically chosen.
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(
+                    b,
+                    b'.' | b'-' | b'_' | b'+' | b'=' | b'!' | b'#' | b'$' | b'%' | b'&' | b'\''
+                        | b'*' | b'/' | b'?' | b'^' | b'`' | b'{' | b'|' | b'}' | b'~'
+                );
+            if !ok {
+                return None;
+            }
+        }
+        let domain = Name::parse(domain).ok()?;
+        if domain.is_root() {
+            return None;
+        }
+        Some(EmailAddress {
+            local: local.to_string(),
+            domain,
+        })
+    }
+}
+
+impl fmt::Display for EmailAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.local, self.domain)
+    }
+}
+
+/// A parsed SMTP command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// EHLO with the client's identity (domain or address literal).
+    Ehlo(String),
+    /// HELO (legacy) with the client's identity.
+    Helo(String),
+    /// MAIL FROM:<reverse-path>; `None` is the null reverse path `<>`.
+    Mail(Option<EmailAddress>),
+    /// RCPT TO:<forward-path>.
+    Rcpt(EmailAddress),
+    /// DATA.
+    Data,
+    /// RSET.
+    Rset,
+    /// NOOP.
+    Noop,
+    /// QUIT.
+    Quit,
+    /// VRFY (we parse it; servers mostly refuse it).
+    Vrfy(String),
+}
+
+/// Why a command line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandError {
+    /// Verb not recognized.
+    UnknownCommand(String),
+    /// Verb recognized, arguments malformed.
+    BadArguments(&'static str),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::UnknownCommand(verb) => write!(f, "unknown command {verb:?}"),
+            CommandError::BadArguments(what) => write!(f, "bad arguments: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+/// Parse an angle-bracketed path, e.g. `<user@example.com>` or `<>`.
+/// Source routes (`<@relay:user@dom>`) are accepted and the route ignored,
+/// per RFC 5321 §C.
+fn parse_path(s: &str) -> Result<Option<EmailAddress>, CommandError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('<')
+        .and_then(|rest| rest.strip_suffix('>'))
+        .ok_or(CommandError::BadArguments("path must be angle-bracketed"))?;
+    if inner.is_empty() {
+        return Ok(None);
+    }
+    // Strip an optional source route "@a,@b:".
+    let inner = match inner.rfind(':') {
+        Some(pos) if inner.starts_with('@') => &inner[pos + 1..],
+        _ => inner,
+    };
+    EmailAddress::parse(inner)
+        .map(Some)
+        .ok_or(CommandError::BadArguments("malformed mailbox"))
+}
+
+impl Command {
+    /// Parse one command line (without the trailing CRLF).
+    /// ESMTP MAIL/RCPT parameters (e.g. `SIZE=123`, `BODY=8BITMIME`) are
+    /// accepted and ignored.
+    pub fn parse(line: &str) -> Result<Command, CommandError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, args) = match line.find(' ') {
+            Some(pos) => (&line[..pos], line[pos + 1..].trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "EHLO" => {
+                if args.is_empty() {
+                    return Err(CommandError::BadArguments("EHLO requires a domain"));
+                }
+                Ok(Command::Ehlo(args.to_string()))
+            }
+            "HELO" => {
+                if args.is_empty() {
+                    return Err(CommandError::BadArguments("HELO requires a domain"));
+                }
+                Ok(Command::Helo(args.to_string()))
+            }
+            "MAIL" => {
+                let rest = strip_keyword(args, "FROM:")
+                    .ok_or(CommandError::BadArguments("expected FROM:"))?;
+                let (path, _params) = split_params(rest);
+                Ok(Command::Mail(parse_path(path)?))
+            }
+            "RCPT" => {
+                let rest = strip_keyword(args, "TO:")
+                    .ok_or(CommandError::BadArguments("expected TO:"))?;
+                let (path, _params) = split_params(rest);
+                match parse_path(path)? {
+                    Some(addr) => Ok(Command::Rcpt(addr)),
+                    None => Err(CommandError::BadArguments("RCPT path cannot be null")),
+                }
+            }
+            "DATA" => Ok(Command::Data),
+            "RSET" => Ok(Command::Rset),
+            "NOOP" => Ok(Command::Noop),
+            "QUIT" => Ok(Command::Quit),
+            "VRFY" => Ok(Command::Vrfy(args.to_string())),
+            other => Err(CommandError::UnknownCommand(other.to_string())),
+        }
+    }
+
+    /// Serialize to a wire line (without CRLF).
+    pub fn to_line(&self) -> String {
+        match self {
+            Command::Ehlo(d) => format!("EHLO {d}"),
+            Command::Helo(d) => format!("HELO {d}"),
+            Command::Mail(None) => "MAIL FROM:<>".to_string(),
+            Command::Mail(Some(a)) => format!("MAIL FROM:<{a}>"),
+            Command::Rcpt(a) => format!("RCPT TO:<{a}>"),
+            Command::Data => "DATA".to_string(),
+            Command::Rset => "RSET".to_string(),
+            Command::Noop => "NOOP".to_string(),
+            Command::Quit => "QUIT".to_string(),
+            Command::Vrfy(who) => format!("VRFY {who}"),
+        }
+    }
+}
+
+/// Case-insensitively strip a leading keyword (e.g. `FROM:`); tolerate
+/// optional whitespace after the colon (seen in the wild).
+fn strip_keyword<'a>(s: &'a str, keyword: &str) -> Option<&'a str> {
+    if s.len() < keyword.len() {
+        return None;
+    }
+    let (head, tail) = s.split_at(keyword.len());
+    if head.eq_ignore_ascii_case(keyword) {
+        Some(tail.trim_start())
+    } else {
+        None
+    }
+}
+
+/// Split `<path> param1 param2 ...` into the path and parameter tail.
+fn split_params(s: &str) -> (&str, &str) {
+    // The path ends at the first '>' (or at the first space for robustness).
+    if let Some(pos) = s.find('>') {
+        (&s[..=pos], s[pos + 1..].trim())
+    } else {
+        match s.find(' ') {
+            Some(pos) => (&s[..pos], s[pos + 1..].trim()),
+            None => (s, ""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> EmailAddress {
+        EmailAddress::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_addresses() {
+        let a = addr("spf-test@t01.m5.spf-test.dns-lab.org");
+        assert_eq!(a.local, "spf-test");
+        assert_eq!(a.domain, Name::parse("t01.m5.spf-test.dns-lab.org").unwrap());
+        assert!(EmailAddress::parse("no-at-sign").is_none());
+        assert!(EmailAddress::parse("@nodomain").is_none());
+        assert!(EmailAddress::parse("a@").is_none());
+        assert!(EmailAddress::parse("sp ace@x.test").is_none());
+        assert_eq!(addr("john.smith+tag@x.test").local, "john.smith+tag");
+    }
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(
+            Command::parse("EHLO probe.dns-lab.org").unwrap(),
+            Command::Ehlo("probe.dns-lab.org".into())
+        );
+        assert_eq!(
+            Command::parse("helo legacy.test").unwrap(),
+            Command::Helo("legacy.test".into())
+        );
+        assert_eq!(Command::parse("DATA").unwrap(), Command::Data);
+        assert_eq!(Command::parse("QUIT").unwrap(), Command::Quit);
+        assert_eq!(Command::parse("RSET").unwrap(), Command::Rset);
+        assert_eq!(Command::parse("NOOP").unwrap(), Command::Noop);
+    }
+
+    #[test]
+    fn parse_mail_variants() {
+        assert_eq!(
+            Command::parse("MAIL FROM:<a@b.test>").unwrap(),
+            Command::Mail(Some(addr("a@b.test")))
+        );
+        assert_eq!(Command::parse("MAIL FROM:<>").unwrap(), Command::Mail(None));
+        // Case-insensitive verb/keyword and space after colon.
+        assert_eq!(
+            Command::parse("mail from: <a@b.test>").unwrap(),
+            Command::Mail(Some(addr("a@b.test")))
+        );
+        // ESMTP parameters ignored.
+        assert_eq!(
+            Command::parse("MAIL FROM:<a@b.test> SIZE=1024 BODY=8BITMIME").unwrap(),
+            Command::Mail(Some(addr("a@b.test")))
+        );
+        // Source route stripped.
+        assert_eq!(
+            Command::parse("MAIL FROM:<@relay.test:a@b.test>").unwrap(),
+            Command::Mail(Some(addr("a@b.test")))
+        );
+    }
+
+    #[test]
+    fn parse_rcpt() {
+        assert_eq!(
+            Command::parse("RCPT TO:<postmaster@b.test>").unwrap(),
+            Command::Rcpt(addr("postmaster@b.test"))
+        );
+        assert!(Command::parse("RCPT TO:<>").is_err());
+        assert!(Command::parse("RCPT <a@b.test>").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            Command::parse("FROB x"),
+            Err(CommandError::UnknownCommand(_))
+        ));
+        assert!(Command::parse("EHLO").is_err());
+        assert!(Command::parse("MAIL FROM:a@b.test").is_err()); // no brackets
+    }
+
+    #[test]
+    fn roundtrip_lines() {
+        for line in [
+            "EHLO probe.test",
+            "HELO probe.test",
+            "MAIL FROM:<a@b.test>",
+            "MAIL FROM:<>",
+            "RCPT TO:<c@d.test>",
+            "DATA",
+            "RSET",
+            "NOOP",
+            "QUIT",
+        ] {
+            let cmd = Command::parse(line).unwrap();
+            assert_eq!(Command::parse(&cmd.to_line()).unwrap(), cmd);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! SMTP replies (RFC 5321 §4.2): three-digit codes with one or more text
+//! lines.
+
+use std::fmt;
+
+/// A complete (possibly multiline) SMTP reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Three-digit reply code.
+    pub code: u16,
+    /// Text lines (at least one, possibly empty).
+    pub lines: Vec<String>,
+}
+
+impl Reply {
+    /// Single-line reply.
+    pub fn new(code: u16, text: &str) -> Reply {
+        Reply {
+            code,
+            lines: vec![text.to_string()],
+        }
+    }
+
+    /// Multiline reply.
+    pub fn multiline(code: u16, lines: Vec<String>) -> Reply {
+        assert!(!lines.is_empty());
+        Reply { code, lines }
+    }
+
+    /// 2xx success.
+    pub fn is_positive(&self) -> bool {
+        (200..300).contains(&self.code)
+    }
+
+    /// 3xx intermediate (e.g. 354 after DATA).
+    pub fn is_intermediate(&self) -> bool {
+        (300..400).contains(&self.code)
+    }
+
+    /// 4xx transient failure.
+    pub fn is_transient_failure(&self) -> bool {
+        (400..500).contains(&self.code)
+    }
+
+    /// 5xx permanent failure.
+    pub fn is_permanent_failure(&self) -> bool {
+        (500..600).contains(&self.code)
+    }
+
+    /// All text joined with spaces (for substring matching, e.g. the
+    /// paper's grep for "spam"/"blacklist" in rejection messages, §6.2).
+    pub fn text(&self) -> String {
+        self.lines.join(" ")
+    }
+
+    /// Serialize to wire lines including CRLFs.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            let sep = if i + 1 == self.lines.len() { ' ' } else { '-' };
+            out.push_str(&format!("{}{}{}\r\n", self.code, sep, line));
+        }
+        out
+    }
+
+    // Common canned replies -------------------------------------------------
+
+    /// 220 service ready greeting.
+    pub fn greeting(host: &str) -> Reply {
+        Reply::new(220, &format!("{host} ESMTP ready"))
+    }
+
+    /// 250 OK.
+    pub fn ok() -> Reply {
+        Reply::new(250, "OK")
+    }
+
+    /// 354 start mail input.
+    pub fn start_mail_input() -> Reply {
+        Reply::new(354, "Start mail input; end with <CRLF>.<CRLF>")
+    }
+
+    /// 221 closing.
+    pub fn closing() -> Reply {
+        Reply::new(221, "Bye")
+    }
+
+    /// 500 syntax error.
+    pub fn syntax_error() -> Reply {
+        Reply::new(500, "Syntax error, command unrecognized")
+    }
+
+    /// 501 bad arguments.
+    pub fn bad_arguments() -> Reply {
+        Reply::new(501, "Syntax error in parameters or arguments")
+    }
+
+    /// 503 bad sequence.
+    pub fn bad_sequence() -> Reply {
+        Reply::new(503, "Bad sequence of commands")
+    }
+
+    /// 550 mailbox unavailable (the "invalid recipient" rejection the
+    /// paper encountered for 6.4% of TwoWeekMX MTAs).
+    pub fn no_such_user(who: &str) -> Reply {
+        Reply::new(550, &format!("No such user: {who}"))
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.text())
+    }
+}
+
+/// Incremental parser assembling (possibly multiline) replies from lines.
+#[derive(Debug, Default)]
+pub struct ReplyParser {
+    code: Option<u16>,
+    lines: Vec<String>,
+}
+
+/// Errors from [`ReplyParser::push_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyParseError {
+    /// Line shorter than 3 characters or non-digit code.
+    BadFormat,
+    /// Continuation line code differs from the first line's code.
+    CodeMismatch,
+}
+
+impl fmt::Display for ReplyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplyParseError::BadFormat => write!(f, "malformed reply line"),
+            ReplyParseError::CodeMismatch => write!(f, "continuation code mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ReplyParseError {}
+
+impl ReplyParser {
+    /// New empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one line (without CRLF). Returns `Some(reply)` when a complete
+    /// reply has been assembled.
+    pub fn push_line(&mut self, line: &str) -> Result<Option<Reply>, ReplyParseError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.len() < 3 {
+            return Err(ReplyParseError::BadFormat);
+        }
+        let code: u16 = line[..3]
+            .parse()
+            .map_err(|_| ReplyParseError::BadFormat)?;
+        if !(200..=599).contains(&code) && !(100..200).contains(&code) {
+            return Err(ReplyParseError::BadFormat);
+        }
+        if let Some(expected) = self.code {
+            if code != expected {
+                return Err(ReplyParseError::CodeMismatch);
+            }
+        } else {
+            self.code = Some(code);
+        }
+        let (is_final, text) = match line.as_bytes().get(3) {
+            None => (true, ""),
+            Some(b' ') => (true, &line[4..]),
+            Some(b'-') => (false, &line[4..]),
+            Some(_) => return Err(ReplyParseError::BadFormat),
+        };
+        self.lines.push(text.to_string());
+        if is_final {
+            let reply = Reply {
+                code,
+                lines: std::mem::take(&mut self.lines),
+            };
+            self.code = None;
+            Ok(Some(reply))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_roundtrip() {
+        let r = Reply::new(250, "OK");
+        assert_eq!(r.to_wire(), "250 OK\r\n");
+        let mut p = ReplyParser::new();
+        assert_eq!(p.push_line("250 OK").unwrap(), Some(r));
+    }
+
+    #[test]
+    fn multiline_roundtrip() {
+        let r = Reply::multiline(
+            250,
+            vec!["mx.test greets you".into(), "SIZE 1000000".into(), "8BITMIME".into()],
+        );
+        let wire = r.to_wire();
+        assert_eq!(
+            wire,
+            "250-mx.test greets you\r\n250-SIZE 1000000\r\n250 8BITMIME\r\n"
+        );
+        let mut p = ReplyParser::new();
+        let mut result = None;
+        for line in wire.lines() {
+            result = p.push_line(line).unwrap();
+        }
+        assert_eq!(result, Some(r));
+    }
+
+    #[test]
+    fn code_classes() {
+        assert!(Reply::new(250, "").is_positive());
+        assert!(Reply::new(354, "").is_intermediate());
+        assert!(Reply::new(451, "").is_transient_failure());
+        assert!(Reply::new(550, "").is_permanent_failure());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        let mut p = ReplyParser::new();
+        assert!(p.push_line("hi").is_err());
+        assert!(p.push_line("abc hello").is_err());
+        assert!(p.push_line("250#x").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_code_mismatch() {
+        let mut p = ReplyParser::new();
+        assert_eq!(p.push_line("250-first").unwrap(), None);
+        assert_eq!(
+            p.push_line("251 second"),
+            Err(ReplyParseError::CodeMismatch)
+        );
+    }
+
+    #[test]
+    fn bare_code_line() {
+        let mut p = ReplyParser::new();
+        let r = p.push_line("354").unwrap().unwrap();
+        assert_eq!(r.code, 354);
+        assert_eq!(r.lines, vec![String::new()]);
+    }
+
+    #[test]
+    fn text_join_for_matching() {
+        let r = Reply::multiline(554, vec!["rejected:".into(), "listed on spam RBL".into()]);
+        assert!(r.text().to_ascii_lowercase().contains("spam"));
+    }
+}

@@ -1,0 +1,81 @@
+//! `Received-SPF` header rendering (RFC 7208 §9.1).
+
+use crate::eval::SpfEvaluation;
+use crate::SpfResult;
+use std::net::IpAddr;
+
+/// Render the value of a `Received-SPF` header for an evaluation.
+pub fn received_spf(
+    eval: &SpfEvaluation,
+    client_ip: IpAddr,
+    helo: &str,
+    envelope_from: &str,
+    receiver: &str,
+) -> String {
+    let comment = match eval.result {
+        SpfResult::Pass => format!("{receiver}: domain designates {client_ip} as permitted sender"),
+        SpfResult::Fail => format!("{receiver}: domain does not designate {client_ip} as permitted sender"),
+        SpfResult::SoftFail => format!("{receiver}: transitioning domain does not designate {client_ip} as permitted sender"),
+        SpfResult::Neutral => format!("{receiver}: {client_ip} is neither permitted nor denied"),
+        SpfResult::None => format!("{receiver}: no SPF record"),
+        SpfResult::TempError => format!("{receiver}: error in processing during lookup (transient)"),
+        SpfResult::PermError => format!("{receiver}: permanent error in processing"),
+    };
+    format!(
+        "{} ({}) client-ip={}; envelope-from={}; helo={};",
+        eval.result, comment, client_ip, envelope_from, helo
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(result: SpfResult) -> SpfEvaluation {
+        SpfEvaluation {
+            result,
+            dns_mechanism_terms: 1,
+            void_lookups: 0,
+            queries_issued: 2,
+            matched_term: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn pass_header() {
+        let h = received_spf(
+            &eval(SpfResult::Pass),
+            "192.0.2.1".parse().unwrap(),
+            "probe.test",
+            "a@b.test",
+            "mx.recv.test",
+        );
+        assert!(h.starts_with("pass ("));
+        assert!(h.contains("client-ip=192.0.2.1;"));
+        assert!(h.contains("envelope-from=a@b.test;"));
+        assert!(h.contains("helo=probe.test;"));
+    }
+
+    #[test]
+    fn all_results_render() {
+        for r in [
+            SpfResult::None,
+            SpfResult::Neutral,
+            SpfResult::Pass,
+            SpfResult::Fail,
+            SpfResult::SoftFail,
+            SpfResult::TempError,
+            SpfResult::PermError,
+        ] {
+            let h = received_spf(
+                &eval(r),
+                "2001:db8::1".parse().unwrap(),
+                "h.test",
+                "x@y.test",
+                "mx.test",
+            );
+            assert!(h.starts_with(&r.to_string()), "{h}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # mailval-spf
+//!
+//! A complete RFC 7208 Sender Policy Framework implementation:
+//!
+//! * [`record`] — the policy grammar: qualifiers, all eight mechanisms
+//!   (`all`, `include`, `a`, `mx`, `ptr`, `ip4`, `ip6`, `exists`), the
+//!   `redirect`/`exp` modifiers, and CIDR suffixes. Parsing is strict by
+//!   default (unknown mechanisms are permanent errors, §4.6 / §12).
+//! * [`macros`] — macro-string expansion (§7): `%{s}`, `%{l}`, `%{o}`,
+//!   `%{d}`, `%{i}`, `%{v}`, `%{h}`, digit/`r`/delimiter transformers.
+//! * [`eval`] — `check_host()` as a **resumable sans-IO state machine**:
+//!   it yields DNS questions and is resumed with answers, which lets the
+//!   same evaluator run under the virtual-time simulator, over real
+//!   sockets, and — crucially for reproducing §7 of the paper — lets
+//!   every compliance knob (lookup limits, void-lookup limits, serial vs
+//!   parallel lookups, syntax-error tolerance, multi-record handling,
+//!   `mx` fallback) be configured per evaluation.
+//! * [`header`] — `Received-SPF` result header rendering (§9.1).
+//!
+//! The paper measures how *deployed validators* deviate from this spec;
+//! [`eval::SpfBehavior`] is therefore a first-class concept here rather
+//! than an afterthought: its default is strict RFC 7208 conformance and
+//! every deviation the paper observed in the wild is an explicit flag.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eval;
+pub mod header;
+pub mod macros;
+pub mod record;
+
+pub use eval::{DnsQuestion, EvalParams, EvalStep, SpfBehavior, SpfEvaluation, SpfEvaluator};
+pub use record::{Mechanism, Qualifier, RecordParseError, SpfRecord, Term};
+
+/// The seven SPF results of RFC 7208 §2.6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpfResult {
+    /// No SPF record was published for the domain.
+    None,
+    /// The domain explicitly takes no position (`?` qualifier matched).
+    Neutral,
+    /// The client is authorized.
+    Pass,
+    /// The client is *not* authorized.
+    Fail,
+    /// Somewhere between Fail and Neutral (`~` qualifier matched).
+    SoftFail,
+    /// A transient error (usually DNS) prevented evaluation.
+    TempError,
+    /// The published records could not be correctly interpreted.
+    PermError,
+}
+
+impl std::fmt::Display for SpfResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SpfResult::None => "none",
+            SpfResult::Neutral => "neutral",
+            SpfResult::Pass => "pass",
+            SpfResult::Fail => "fail",
+            SpfResult::SoftFail => "softfail",
+            SpfResult::TempError => "temperror",
+            SpfResult::PermError => "permerror",
+        };
+        write!(f, "{s}")
+    }
+}

@@ -1,0 +1,628 @@
+//! SPF record grammar and parser (RFC 7208 §4.5, §5, §6, §12).
+//!
+//! A record is `v=spf1` followed by whitespace-separated *terms*: each
+//! term is a mechanism (optionally prefixed by a qualifier) or a
+//! modifier. Domain specifications may contain macro strings, which are
+//! kept raw here and expanded at evaluation time.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Qualifier attached to a mechanism (RFC 7208 §4.6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Qualifier {
+    /// `+` (the default).
+    Pass,
+    /// `-`.
+    Fail,
+    /// `~`.
+    SoftFail,
+    /// `?`.
+    Neutral,
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Qualifier::Pass => "+",
+            Qualifier::Fail => "-",
+            Qualifier::SoftFail => "~",
+            Qualifier::Neutral => "?",
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// An IPv4 network (address + prefix length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Net {
+    /// Network address as given.
+    pub addr: Ipv4Addr,
+    /// Prefix length, 0–32.
+    pub prefix: u8,
+}
+
+impl Ipv4Net {
+    /// Does `ip` fall inside this network?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        if self.prefix == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.prefix as u32);
+        (u32::from(self.addr) & mask) == (u32::from(ip) & mask)
+    }
+}
+
+/// An IPv6 network (address + prefix length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv6Net {
+    /// Network address as given.
+    pub addr: Ipv6Addr,
+    /// Prefix length, 0–128.
+    pub prefix: u8,
+}
+
+impl Ipv6Net {
+    /// Does `ip` fall inside this network?
+    pub fn contains(&self, ip: Ipv6Addr) -> bool {
+        if self.prefix == 0 {
+            return true;
+        }
+        let mask = u128::MAX << (128 - self.prefix as u32);
+        (u128::from(self.addr) & mask) == (u128::from(ip) & mask)
+    }
+}
+
+/// Dual CIDR suffix for `a` and `mx` mechanisms (RFC 7208 §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DualCidr {
+    /// IPv4 prefix length (default 32).
+    pub v4: u8,
+    /// IPv6 prefix length (default 128).
+    pub v6: u8,
+}
+
+impl Default for DualCidr {
+    fn default() -> Self {
+        DualCidr { v4: 32, v6: 128 }
+    }
+}
+
+/// A mechanism (RFC 7208 §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mechanism {
+    /// `all` — always matches.
+    All,
+    /// `include:<domain-spec>` — recursive evaluation.
+    Include {
+        /// Raw domain-spec (may contain macros).
+        domain_spec: String,
+    },
+    /// `a[:<domain-spec>][/cidr]`.
+    A {
+        /// Raw domain-spec; `None` means the current domain.
+        domain_spec: Option<String>,
+        /// CIDR suffixes.
+        cidr: DualCidr,
+    },
+    /// `mx[:<domain-spec>][/cidr]`.
+    Mx {
+        /// Raw domain-spec; `None` means the current domain.
+        domain_spec: Option<String>,
+        /// CIDR suffixes.
+        cidr: DualCidr,
+    },
+    /// `ptr[:<domain-spec>]` (discouraged by §5.5 but grammar-legal).
+    Ptr {
+        /// Raw domain-spec; `None` means the current domain.
+        domain_spec: Option<String>,
+    },
+    /// `ip4:<network>`.
+    Ip4(Ipv4Net),
+    /// `ip6:<network>`.
+    Ip6(Ipv6Net),
+    /// `exists:<domain-spec>`.
+    Exists {
+        /// Raw domain-spec (macros are the whole point of `exists`).
+        domain_spec: String,
+    },
+}
+
+impl Mechanism {
+    /// Does evaluating this mechanism involve a DNS query? (These count
+    /// against the 10-lookup limit of §4.6.4.)
+    pub fn is_dns_mechanism(&self) -> bool {
+        matches!(
+            self,
+            Mechanism::Include { .. }
+                | Mechanism::A { .. }
+                | Mechanism::Mx { .. }
+                | Mechanism::Ptr { .. }
+                | Mechanism::Exists { .. }
+        )
+    }
+}
+
+/// A modifier (RFC 7208 §6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Modifier {
+    /// `redirect=<domain-spec>` — evaluated if no mechanism matched; counts
+    /// against the lookup limit.
+    Redirect {
+        /// Raw domain-spec.
+        domain_spec: String,
+    },
+    /// `exp=<domain-spec>` — explanation string source; does not count.
+    Exp {
+        /// Raw domain-spec.
+        domain_spec: String,
+    },
+    /// Any unrecognized `name=value` modifier (must be ignored, §6).
+    Unknown {
+        /// Modifier name.
+        name: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+/// One whitespace-separated term of a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A qualified mechanism.
+    Mechanism(Qualifier, Mechanism),
+    /// A modifier.
+    Modifier(Modifier),
+}
+
+/// A parsed SPF record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpfRecord {
+    /// Terms in order of appearance.
+    pub terms: Vec<Term>,
+}
+
+/// Why a record failed to parse. Every variant maps to `permerror` under
+/// strict evaluation (§4.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordParseError {
+    /// The string does not begin with the `v=spf1` version tag.
+    NotSpf,
+    /// An unknown mechanism name (the paper's deliberate `ipv4:` typo
+    /// test, §7.3).
+    UnknownMechanism {
+        /// Zero-based index of the offending term.
+        term_index: usize,
+        /// The raw term text.
+        term: String,
+    },
+    /// A mechanism had malformed arguments (bad IP, bad CIDR, missing
+    /// required domain-spec).
+    BadArguments {
+        /// Zero-based index of the offending term.
+        term_index: usize,
+        /// The raw term text.
+        term: String,
+    },
+}
+
+impl fmt::Display for RecordParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordParseError::NotSpf => write!(f, "not an SPF record"),
+            RecordParseError::UnknownMechanism { term, .. } => {
+                write!(f, "unknown mechanism {term:?}")
+            }
+            RecordParseError::BadArguments { term, .. } => {
+                write!(f, "bad arguments in {term:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordParseError {}
+
+/// Quick check: is this TXT string an SPF record at all? (RFC 7208 §4.5:
+/// records are selected by the exact `v=spf1` version token.)
+pub fn looks_like_spf(txt: &str) -> bool {
+    let lower = txt.trim_start();
+    let Some(rest) = lower.get(..6) else {
+        return false;
+    };
+    if !rest.eq_ignore_ascii_case("v=spf1") {
+        return false;
+    }
+    matches!(lower.as_bytes().get(6), None | Some(b' ') | Some(b'\t'))
+}
+
+fn parse_qualifier(term: &str) -> (Qualifier, &str) {
+    match term.as_bytes().first() {
+        Some(b'+') => (Qualifier::Pass, &term[1..]),
+        Some(b'-') => (Qualifier::Fail, &term[1..]),
+        Some(b'~') => (Qualifier::SoftFail, &term[1..]),
+        Some(b'?') => (Qualifier::Neutral, &term[1..]),
+        _ => (Qualifier::Pass, term),
+    }
+}
+
+/// Split `body` into (domain-spec, dual-cidr); e.g. `a:host.test/24//64`.
+fn parse_domain_and_cidr(body: &str) -> Option<(Option<String>, DualCidr)> {
+    let mut cidr = DualCidr::default();
+    // Find "//" first (v6 cidr), then "/" (v4 cidr).
+    let (rest, v6_part) = match body.find("//") {
+        Some(pos) => (&body[..pos], Some(&body[pos + 2..])),
+        None => (body, None),
+    };
+    if let Some(v6) = v6_part {
+        let prefix: u8 = v6.parse().ok()?;
+        if prefix > 128 {
+            return None;
+        }
+        cidr.v6 = prefix;
+    }
+    let (domain_part, v4_part) = match rest.find('/') {
+        Some(pos) => (&rest[..pos], Some(&rest[pos + 1..])),
+        None => (rest, None),
+    };
+    if let Some(v4) = v4_part {
+        let prefix: u8 = v4.parse().ok()?;
+        if prefix > 32 {
+            return None;
+        }
+        cidr.v4 = prefix;
+    }
+    let domain = match domain_part.strip_prefix(':') {
+        Some(d) if !d.is_empty() => Some(d.to_string()),
+        Some(_) => return None, // "a:" with empty spec
+        None if domain_part.is_empty() => None,
+        None => return None, // junk between name and '/'
+    };
+    Some((domain, cidr))
+}
+
+impl SpfRecord {
+    /// Parse the text of a TXT record. Returns `NotSpf` if the version tag
+    /// is absent (the caller then ignores this TXT string entirely).
+    pub fn parse(txt: &str) -> Result<SpfRecord, RecordParseError> {
+        if !looks_like_spf(txt) {
+            return Err(RecordParseError::NotSpf);
+        }
+        let body = txt.trim_start()[6..].trim();
+        let mut terms = Vec::new();
+        for (term_index, raw) in body.split_ascii_whitespace().enumerate() {
+            terms.push(Self::parse_term(raw, term_index)?);
+        }
+        Ok(SpfRecord { terms })
+    }
+
+    /// Parse a single term. Exposed so lenient evaluators (the §7.3
+    /// "continue despite syntax errors" behavior) can skip bad terms.
+    pub fn parse_term(raw: &str, term_index: usize) -> Result<Term, RecordParseError> {
+        let bad = || RecordParseError::BadArguments {
+            term_index,
+            term: raw.to_string(),
+        };
+        // Modifiers: name "=" value, name starts with alpha.
+        if let Some(eq) = raw.find('=') {
+            let name = &raw[..eq];
+            let value = &raw[eq + 1..];
+            let is_modifier_name = !name.is_empty()
+                && name.chars().next().unwrap().is_ascii_alphabetic()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.');
+            if is_modifier_name {
+                let modifier = match name.to_ascii_lowercase().as_str() {
+                    "redirect" => {
+                        if value.is_empty() {
+                            return Err(bad());
+                        }
+                        Modifier::Redirect {
+                            domain_spec: value.to_string(),
+                        }
+                    }
+                    "exp" => {
+                        if value.is_empty() {
+                            return Err(bad());
+                        }
+                        Modifier::Exp {
+                            domain_spec: value.to_string(),
+                        }
+                    }
+                    _ => Modifier::Unknown {
+                        name: name.to_string(),
+                        value: value.to_string(),
+                    },
+                };
+                return Ok(Term::Modifier(modifier));
+            }
+        }
+
+        let (qualifier, rest) = parse_qualifier(raw);
+        // Mechanism name ends at ':' or '/' or end.
+        let name_end = rest
+            .find([':', '/'])
+            .unwrap_or(rest.len());
+        let name = &rest[..name_end];
+        let body = &rest[name_end..];
+        let mech = match name.to_ascii_lowercase().as_str() {
+            "all" => {
+                if !body.is_empty() {
+                    return Err(bad());
+                }
+                Mechanism::All
+            }
+            "include" => {
+                let spec = body.strip_prefix(':').filter(|s| !s.is_empty()).ok_or_else(bad)?;
+                Mechanism::Include {
+                    domain_spec: spec.to_string(),
+                }
+            }
+            "a" => {
+                let (domain_spec, cidr) = parse_domain_and_cidr(body).ok_or_else(bad)?;
+                Mechanism::A { domain_spec, cidr }
+            }
+            "mx" => {
+                let (domain_spec, cidr) = parse_domain_and_cidr(body).ok_or_else(bad)?;
+                Mechanism::Mx { domain_spec, cidr }
+            }
+            "ptr" => {
+                let domain_spec = match body.strip_prefix(':') {
+                    Some(d) if !d.is_empty() => Some(d.to_string()),
+                    Some(_) => return Err(bad()),
+                    None if body.is_empty() => None,
+                    None => return Err(bad()),
+                };
+                Mechanism::Ptr { domain_spec }
+            }
+            "ip4" => {
+                let spec = body.strip_prefix(':').ok_or_else(bad)?;
+                let (addr_part, prefix) = match spec.find('/') {
+                    Some(pos) => {
+                        let p: u8 = spec[pos + 1..].parse().map_err(|_| bad())?;
+                        if p > 32 {
+                            return Err(bad());
+                        }
+                        (&spec[..pos], p)
+                    }
+                    None => (spec, 32),
+                };
+                let addr: Ipv4Addr = addr_part.parse().map_err(|_| bad())?;
+                Mechanism::Ip4(Ipv4Net { addr, prefix })
+            }
+            "ip6" => {
+                let spec = body.strip_prefix(':').ok_or_else(bad)?;
+                let (addr_part, prefix) = match spec.find('/') {
+                    Some(pos) => {
+                        let p: u8 = spec[pos + 1..].parse().map_err(|_| bad())?;
+                        if p > 128 {
+                            return Err(bad());
+                        }
+                        (&spec[..pos], p)
+                    }
+                    None => (spec, 128),
+                };
+                let addr: Ipv6Addr = addr_part.parse().map_err(|_| bad())?;
+                Mechanism::Ip6(Ipv6Net { addr, prefix })
+            }
+            "exists" => {
+                let spec = body.strip_prefix(':').filter(|s| !s.is_empty()).ok_or_else(bad)?;
+                Mechanism::Exists {
+                    domain_spec: spec.to_string(),
+                }
+            }
+            _ => {
+                return Err(RecordParseError::UnknownMechanism {
+                    term_index,
+                    term: raw.to_string(),
+                })
+            }
+        };
+        Ok(Term::Mechanism(qualifier, mech))
+    }
+
+    /// Number of terms that trigger DNS lookups (include/a/mx/ptr/exists
+    /// mechanisms plus redirect), i.e. this record's contribution to the
+    /// §4.6.4 limit.
+    pub fn dns_term_count(&self) -> usize {
+        self.terms
+            .iter()
+            .filter(|t| match t {
+                Term::Mechanism(_, m) => m.is_dns_mechanism(),
+                Term::Modifier(Modifier::Redirect { .. }) => true,
+                Term::Modifier(_) => false,
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_tag_detection() {
+        assert!(looks_like_spf("v=spf1 -all"));
+        assert!(looks_like_spf("v=spf1"));
+        assert!(looks_like_spf("V=SPF1 -all"));
+        assert!(!looks_like_spf("v=spf10 -all"));
+        assert!(!looks_like_spf("spf1 -all"));
+        assert!(!looks_like_spf("v=DMARC1; p=reject"));
+    }
+
+    #[test]
+    fn parse_paper_example() {
+        // The contrived policy from §2 of the paper.
+        let r =
+            SpfRecord::parse("v=spf1 ip4:192.0.2.1 a:bar.foo.com include:foo.net -all").unwrap();
+        assert_eq!(r.terms.len(), 4);
+        assert!(matches!(
+            &r.terms[0],
+            Term::Mechanism(Qualifier::Pass, Mechanism::Ip4(net)) if net.addr == Ipv4Addr::new(192,0,2,1) && net.prefix == 32
+        ));
+        assert!(matches!(
+            &r.terms[1],
+            Term::Mechanism(Qualifier::Pass, Mechanism::A { domain_spec: Some(d), .. }) if d == "bar.foo.com"
+        ));
+        assert!(matches!(
+            &r.terms[2],
+            Term::Mechanism(Qualifier::Pass, Mechanism::Include { domain_spec }) if domain_spec == "foo.net"
+        ));
+        assert!(matches!(
+            &r.terms[3],
+            Term::Mechanism(Qualifier::Fail, Mechanism::All)
+        ));
+        assert_eq!(r.dns_term_count(), 2);
+    }
+
+    #[test]
+    fn qualifiers() {
+        let r = SpfRecord::parse("v=spf1 +a ~mx ?ptr -all").unwrap();
+        let quals: Vec<Qualifier> = r
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Mechanism(q, _) => *q,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(
+            quals,
+            vec![
+                Qualifier::Pass,
+                Qualifier::SoftFail,
+                Qualifier::Neutral,
+                Qualifier::Fail
+            ]
+        );
+    }
+
+    #[test]
+    fn dual_cidr() {
+        let r = SpfRecord::parse("v=spf1 a:host.test/24//64 mx/16 -all").unwrap();
+        match &r.terms[0] {
+            Term::Mechanism(_, Mechanism::A { domain_spec, cidr }) => {
+                assert_eq!(domain_spec.as_deref(), Some("host.test"));
+                assert_eq!(cidr.v4, 24);
+                assert_eq!(cidr.v6, 64);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &r.terms[1] {
+            Term::Mechanism(_, Mechanism::Mx { domain_spec, cidr }) => {
+                assert!(domain_spec.is_none());
+                assert_eq!(cidr.v4, 16);
+                assert_eq!(cidr.v6, 128);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ip_networks() {
+        let r = SpfRecord::parse("v=spf1 ip4:192.0.2.0/24 ip6:2001:db8::/32 -all").unwrap();
+        match &r.terms[0] {
+            Term::Mechanism(_, Mechanism::Ip4(net)) => {
+                assert!(net.contains(Ipv4Addr::new(192, 0, 2, 200)));
+                assert!(!net.contains(Ipv4Addr::new(192, 0, 3, 1)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &r.terms[1] {
+            Term::Mechanism(_, Mechanism::Ip6(net)) => {
+                assert!(net.contains("2001:db8:1::1".parse().unwrap()));
+                assert!(!net.contains("2001:db9::1".parse().unwrap()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_prefix_matches_everything() {
+        let net4 = Ipv4Net {
+            addr: Ipv4Addr::new(0, 0, 0, 0),
+            prefix: 0,
+        };
+        assert!(net4.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        let net6 = Ipv6Net {
+            addr: "::".parse().unwrap(),
+            prefix: 0,
+        };
+        assert!(net6.contains("ffff::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn modifiers() {
+        let r = SpfRecord::parse("v=spf1 redirect=_spf.example.com exp=exp.%{d} unknown=x")
+            .unwrap();
+        assert!(matches!(
+            &r.terms[0],
+            Term::Modifier(Modifier::Redirect { domain_spec }) if domain_spec == "_spf.example.com"
+        ));
+        assert!(matches!(
+            &r.terms[1],
+            Term::Modifier(Modifier::Exp { .. })
+        ));
+        assert!(matches!(
+            &r.terms[2],
+            Term::Modifier(Modifier::Unknown { name, .. }) if name == "unknown"
+        ));
+        assert_eq!(r.dns_term_count(), 1); // only redirect counts
+    }
+
+    #[test]
+    fn the_papers_ipv4_typo_is_unknown_mechanism() {
+        // §7.3: the test policy used "ipv4" instead of "ip4".
+        let err = SpfRecord::parse("v=spf1 ipv4:192.0.2.1 a:after.test -all").unwrap_err();
+        assert!(matches!(
+            err,
+            RecordParseError::UnknownMechanism { term_index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        for bad in [
+            "v=spf1 ip4:999.1.1.1 -all",
+            "v=spf1 ip4:192.0.2.1/33 -all",
+            "v=spf1 ip6:zz:: -all",
+            "v=spf1 ip6:2001:db8::/129 -all",
+            "v=spf1 include: -all",
+            "v=spf1 a: -all",
+            "v=spf1 all:junk",
+            "v=spf1 exists:",
+            "v=spf1 redirect=",
+        ] {
+            assert!(
+                matches!(
+                    SpfRecord::parse(bad),
+                    Err(RecordParseError::BadArguments { .. })
+                ),
+                "{bad} should be BadArguments"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_record_is_valid() {
+        let r = SpfRecord::parse("v=spf1").unwrap();
+        assert!(r.terms.is_empty());
+    }
+
+    #[test]
+    fn case_insensitive_mechanisms() {
+        let r = SpfRecord::parse("v=spf1 IP4:192.0.2.1 A MX -ALL").unwrap();
+        assert_eq!(r.terms.len(), 4);
+    }
+
+    #[test]
+    fn exists_with_macros_kept_raw() {
+        let r = SpfRecord::parse("v=spf1 exists:%{ir}.%{v}._spf.%{d} -all").unwrap();
+        match &r.terms[0] {
+            Term::Mechanism(_, Mechanism::Exists { domain_spec }) => {
+                assert_eq!(domain_spec, "%{ir}.%{v}._spf.%{d}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

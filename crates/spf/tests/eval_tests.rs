@@ -1,0 +1,715 @@
+//! Evaluator tests: a mock-DNS harness drives the resumable state machine
+//! to completion, recording the order in which questions were asked —
+//! which is exactly the observable the paper's authoritative server logs.
+
+use mailval_dns::resolver::ResolveOutcome;
+use mailval_dns::rr::{RData, RecordType};
+use mailval_dns::{Name, Record};
+use mailval_spf::eval::MultiRecordPolicy;
+use mailval_spf::{DnsQuestion, EvalParams, EvalStep, SpfBehavior, SpfEvaluator, SpfResult};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+/// Mock DNS: a map from (name, rtype) to an outcome; anything absent is
+/// NXDOMAIN.
+#[derive(Default)]
+struct MockDns {
+    map: HashMap<(Name, RecordType), ResolveOutcome>,
+}
+
+impl MockDns {
+    fn txt(&mut self, name: &str, value: &str) -> &mut Self {
+        let rec = Record::new(n(name), 300, RData::txt_from_str(value));
+        match self
+            .map
+            .entry((n(name), RecordType::Txt))
+            .or_insert_with(|| ResolveOutcome::Records(Vec::new()))
+        {
+            ResolveOutcome::Records(v) => v.push(rec),
+            _ => panic!(),
+        }
+        self
+    }
+
+    fn a(&mut self, name: &str, ip: &str) -> &mut Self {
+        let rec = Record::new(n(name), 300, RData::A(ip.parse().unwrap()));
+        match self
+            .map
+            .entry((n(name), RecordType::A))
+            .or_insert_with(|| ResolveOutcome::Records(Vec::new()))
+        {
+            ResolveOutcome::Records(v) => v.push(rec),
+            _ => panic!(),
+        }
+        self
+    }
+
+    fn aaaa(&mut self, name: &str, ip: &str) -> &mut Self {
+        let rec = Record::new(n(name), 300, RData::Aaaa(ip.parse().unwrap()));
+        match self
+            .map
+            .entry((n(name), RecordType::Aaaa))
+            .or_insert_with(|| ResolveOutcome::Records(Vec::new()))
+        {
+            ResolveOutcome::Records(v) => v.push(rec),
+            _ => panic!(),
+        }
+        self
+    }
+
+    fn mx(&mut self, name: &str, pref: u16, exchange: &str) -> &mut Self {
+        let rec = Record::new(
+            n(name),
+            300,
+            RData::Mx {
+                preference: pref,
+                exchange: n(exchange),
+            },
+        );
+        match self
+            .map
+            .entry((n(name), RecordType::Mx))
+            .or_insert_with(|| ResolveOutcome::Records(Vec::new()))
+        {
+            ResolveOutcome::Records(v) => v.push(rec),
+            _ => panic!(),
+        }
+        self
+    }
+
+    fn ptr(&mut self, name: &str, target: &str) -> &mut Self {
+        let rec = Record::new(n(name), 300, RData::Ptr(n(target)));
+        match self
+            .map
+            .entry((n(name), RecordType::Ptr))
+            .or_insert_with(|| ResolveOutcome::Records(Vec::new()))
+        {
+            ResolveOutcome::Records(v) => v.push(rec),
+            _ => panic!(),
+        }
+        self
+    }
+
+    fn fail(&mut self, name: &str, rtype: RecordType, outcome: ResolveOutcome) -> &mut Self {
+        self.map.insert((n(name), rtype), outcome);
+        self
+    }
+
+    fn lookup(&self, q: &DnsQuestion) -> ResolveOutcome {
+        self.map
+            .get(&(q.name.clone(), q.rtype))
+            .cloned()
+            .unwrap_or(ResolveOutcome::NxDomain)
+    }
+}
+
+fn params(ip: &str, domain: &str) -> EvalParams {
+    EvalParams {
+        ip: ip.parse::<IpAddr>().unwrap(),
+        domain: n(domain),
+        sender_local: "spf-test".into(),
+        sender_domain: n(domain),
+        helo: "probe.dns-lab.org".into(),
+    }
+}
+
+/// Drive an evaluator to completion against the mock, returning the final
+/// evaluation and the ordered list of questions asked.
+fn run(
+    dns: &MockDns,
+    params: EvalParams,
+    behavior: SpfBehavior,
+) -> (mailval_spf::eval::SpfEvaluation, Vec<DnsQuestion>) {
+    let mut ev = SpfEvaluator::new(params, behavior);
+    let mut asked = Vec::new();
+    let mut step = ev.start();
+    for _ in 0..500 {
+        match step {
+            EvalStep::Done(done) => return (done, asked),
+            EvalStep::NeedLookups(questions) => {
+                assert!(!questions.is_empty(), "evaluator stalled with no questions");
+                let answers: Vec<(DnsQuestion, ResolveOutcome)> = questions
+                    .iter()
+                    .map(|q| {
+                        asked.push(q.clone());
+                        (q.clone(), dns.lookup(q))
+                    })
+                    .collect();
+                step = ev.resume(answers);
+            }
+        }
+    }
+    panic!("evaluation did not converge");
+}
+
+fn strict() -> SpfBehavior {
+    SpfBehavior::default()
+}
+
+// ---------------------------------------------------------------------------
+// Basic results
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_record_gives_none() {
+    let dns = MockDns::default();
+    let (eval, asked) = run(&dns, params("192.0.2.1", "nospf.test"), strict());
+    assert_eq!(eval.result, SpfResult::None);
+    assert_eq!(asked.len(), 1);
+    assert_eq!(asked[0].rtype, RecordType::Txt);
+}
+
+#[test]
+fn ip4_match_passes() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ip4:192.0.2.0/24 -all");
+    let (eval, _) = run(&dns, params("192.0.2.55", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+}
+
+#[test]
+fn ip4_nonmatch_hits_minus_all() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ip4:192.0.2.0/24 -all");
+    let (eval, _) = run(&dns, params("198.51.100.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Fail);
+    assert_eq!(eval.matched_term.as_deref(), Some("all"));
+}
+
+#[test]
+fn qualifier_variants() {
+    for (policy, expect) in [
+        ("v=spf1 ~all", SpfResult::SoftFail),
+        ("v=spf1 ?all", SpfResult::Neutral),
+        ("v=spf1 +all", SpfResult::Pass),
+        ("v=spf1 -all", SpfResult::Fail),
+        ("v=spf1", SpfResult::Neutral), // no mechanism matched → default
+    ] {
+        let mut dns = MockDns::default();
+        dns.txt("d.test", policy);
+        let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+        assert_eq!(eval.result, expect, "{policy}");
+    }
+}
+
+#[test]
+fn ip6_mechanism() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ip6:2001:db8::/32 -all");
+    let (eval, _) = run(&dns, params("2001:db8::99", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    let (eval, _) = run(&dns, params("2001:db9::99", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Fail);
+    // ip6 never matches a v4 client.
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Fail);
+}
+
+// ---------------------------------------------------------------------------
+// a / mx / exists / ptr mechanisms
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_mechanism_matches_v4() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a:mail.d.test -all")
+        .a("mail.d.test", "192.0.2.9");
+    let (eval, asked) = run(&dns, params("192.0.2.9", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked[1].rtype, RecordType::A);
+    assert_eq!(eval.dns_mechanism_terms, 1);
+}
+
+#[test]
+fn a_mechanism_uses_aaaa_for_v6_client() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a:mail.d.test -all")
+        .aaaa("mail.d.test", "2001:db8::9");
+    let (eval, asked) = run(&dns, params("2001:db8::9", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked[1].rtype, RecordType::Aaaa);
+}
+
+#[test]
+fn a_mechanism_bare_uses_current_domain() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a -all").a("d.test", "192.0.2.7");
+    let (eval, asked) = run(&dns, params("192.0.2.7", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked[1].name, n("d.test"));
+}
+
+#[test]
+fn a_mechanism_cidr() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a:mail.d.test/24 -all")
+        .a("mail.d.test", "192.0.2.1");
+    let (eval, _) = run(&dns, params("192.0.2.200", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+}
+
+#[test]
+fn mx_mechanism_walks_exchanges_in_preference_order() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 mx -all")
+        .mx("d.test", 20, "mx2.d.test")
+        .mx("d.test", 10, "mx1.d.test")
+        .a("mx1.d.test", "198.51.100.1")
+        .a("mx2.d.test", "192.0.2.2");
+    let (eval, asked) = run(&dns, params("192.0.2.2", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    // TXT, MX, then addresses in preference order.
+    assert_eq!(asked[1].rtype, RecordType::Mx);
+    assert_eq!(asked[2].name, n("mx1.d.test"));
+    assert_eq!(asked[3].name, n("mx2.d.test"));
+}
+
+#[test]
+fn mx_limit_enforced_at_10() {
+    // The paper's 20-MX test policy (§7.3): compliant validators permerror
+    // after 10 address lookups.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 mx -all");
+    for i in 0..20 {
+        dns.mx("d.test", i as u16, &format!("mx{i}.d.test"));
+        dns.a(&format!("mx{i}.d.test"), "198.51.100.9");
+    }
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    // TXT + MX + 10 address lookups.
+    assert_eq!(asked.len(), 12);
+}
+
+#[test]
+fn mx_limit_violator_queries_all_20() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 mx -all");
+    for i in 0..20 {
+        dns.mx("d.test", i as u16, &format!("mx{i}.d.test"));
+        dns.a(&format!("mx{i}.d.test"), "198.51.100.9");
+    }
+    let behavior = SpfBehavior {
+        enforce_mx_limit: false,
+        enforce_void_limit: false,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Fail); // no match → -all
+    assert_eq!(asked.len(), 22); // TXT + MX + 20 addresses
+}
+
+#[test]
+fn mx_nonexistent_no_fallback_by_default() {
+    // RFC 7208 §5.4 explicitly forbids the A fallback after failed MX.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 mx:gone.test ?all");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Neutral);
+    assert_eq!(asked.len(), 2); // TXT + MX only — no A lookup
+    assert_eq!(eval.void_lookups, 1);
+}
+
+#[test]
+fn mx_fallback_violator_issues_a_lookup() {
+    // 14% of measured MTAs do this (§7.3).
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 mx:gone.test ?all");
+    let behavior = SpfBehavior {
+        mx_fallback_a_lookup: true,
+        ..strict()
+    };
+    let (_, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(asked.len(), 3);
+    assert_eq!(asked[2].rtype, RecordType::A);
+    assert_eq!(asked[2].name, n("gone.test"));
+}
+
+#[test]
+fn exists_mechanism() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 exists:%{ir}.sp.d.test -all")
+        .a("1.2.0.192.sp.d.test", "127.0.0.2");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked[1].name, n("1.2.0.192.sp.d.test"));
+    assert_eq!(asked[1].rtype, RecordType::A);
+}
+
+#[test]
+fn ptr_mechanism_forward_confirmed() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ptr -all")
+        .ptr("1.2.0.192.in-addr.arpa", "host.d.test")
+        .a("host.d.test", "192.0.2.1");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked[1].rtype, RecordType::Ptr);
+    assert_eq!(asked[2].name, n("host.d.test"));
+}
+
+#[test]
+fn ptr_mechanism_rejects_unconfirmed() {
+    let mut dns = MockDns::default();
+    // PTR names to a host whose A record is a different address.
+    dns.txt("d.test", "v=spf1 ptr ?all")
+        .ptr("1.2.0.192.in-addr.arpa", "host.d.test")
+        .a("host.d.test", "198.51.100.1");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Neutral);
+}
+
+#[test]
+fn ptr_mechanism_requires_target_subdomain() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ptr:other.test ?all")
+        .ptr("1.2.0.192.in-addr.arpa", "host.d.test")
+        .a("host.d.test", "192.0.2.1");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Neutral);
+}
+
+// ---------------------------------------------------------------------------
+// include / redirect
+// ---------------------------------------------------------------------------
+
+#[test]
+fn include_pass_propagates() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:child.test -all")
+        .txt("child.test", "v=spf1 ip4:192.0.2.1 -all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(eval.dns_mechanism_terms, 1);
+}
+
+#[test]
+fn include_fail_means_no_match() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:child.test ~all")
+        .txt("child.test", "v=spf1 -all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    // Child fails → include doesn't match → parent falls to ~all.
+    assert_eq!(eval.result, SpfResult::SoftFail);
+}
+
+#[test]
+fn include_with_qualifier() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 -include:child.test +all")
+        .txt("child.test", "v=spf1 ip4:192.0.2.1 -all");
+    // Child passes → include matches with '-' qualifier → Fail.
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Fail);
+}
+
+#[test]
+fn include_missing_record_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:ghost.test ?all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+}
+
+#[test]
+fn nested_includes_count_against_limit() {
+    // Chain of 12 includes: strict evaluators permerror at >10.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:c1.test -all");
+    for i in 1..=12 {
+        dns.txt(
+            &format!("c{i}.test"),
+            &format!("v=spf1 include:c{}.test ?all", i + 1),
+        );
+    }
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.error.unwrap().contains("too many DNS-querying"));
+    // Base TXT + 10 includes processed before the 11th trips the limit.
+    assert_eq!(asked.len(), 11);
+}
+
+#[test]
+fn limit_violator_follows_whole_chain() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:c1.test -all");
+    for i in 1..=12 {
+        dns.txt(
+            &format!("c{i}.test"),
+            &format!("v=spf1 include:c{}.test ?all", i + 1),
+        );
+    }
+    dns.txt("c13.test", "v=spf1 ?all");
+    let behavior = SpfBehavior {
+        enforce_lookup_limit: false,
+        max_include_depth: 50,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Fail); // innermost ?all → no match up the chain → -all
+    assert_eq!(asked.len(), 14); // base + 13 chain fetches
+}
+
+#[test]
+fn redirect_replaces_policy() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 redirect=real.test")
+        .txt("real.test", "v=spf1 ip4:192.0.2.1 -all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    let (eval, _) = run(&dns, params("198.51.100.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Fail);
+}
+
+#[test]
+fn redirect_ignored_when_all_present_matches_first() {
+    let mut dns = MockDns::default();
+    // Mechanisms win before redirect is consulted.
+    dns.txt("d.test", "v=spf1 ip4:192.0.2.1 redirect=other.test");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked.len(), 1);
+}
+
+#[test]
+fn redirect_to_missing_record_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 redirect=ghost.test");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+}
+
+// ---------------------------------------------------------------------------
+// Error handling behaviors (§7.3 of the paper)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn syntax_error_in_main_policy_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ipv4:192.0.2.1 a:after.d.test -all")
+        .a("after.d.test", "192.0.2.1");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert_eq!(asked.len(), 1, "no lookups past the syntax error");
+}
+
+#[test]
+fn lenient_validator_continues_past_syntax_error() {
+    // 5.5% of measured MTAs (§7.3).
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 ipv4:192.0.2.1 a:after.d.test -all")
+        .a("after.d.test", "192.0.2.1");
+    let behavior = SpfBehavior {
+        skip_invalid_terms: true,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked.len(), 2, "lookup to the right of the error happened");
+}
+
+#[test]
+fn child_syntax_error_propagates_by_default() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:child.test a:after.d.test -all")
+        .txt("child.test", "v=spf1 ipv4:bogus -all")
+        .a("after.d.test", "192.0.2.1");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert_eq!(asked.len(), 2); // base + child TXT; nothing after
+}
+
+#[test]
+fn lenient_parent_continues_past_child_error() {
+    // 12.3% of measured MTAs (§7.3).
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:child.test a:after.d.test -all")
+        .txt("child.test", "v=spf1 ipv4:bogus -all")
+        .a("after.d.test", "192.0.2.1");
+    let behavior = SpfBehavior {
+        ignore_include_permerror: true,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked.len(), 3);
+}
+
+#[test]
+fn void_lookup_limit() {
+    // The paper's five-dead-"a" policy (§7.3): compliant validators stop
+    // after two void lookups.
+    let mut dns = MockDns::default();
+    dns.txt(
+        "d.test",
+        "v=spf1 a:v1.test a:v2.test a:v3.test a:v4.test a:v5.test ?all",
+    );
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert_eq!(asked.len(), 4); // TXT + 3 A lookups (third void trips it)
+    assert_eq!(eval.void_lookups, 3);
+}
+
+#[test]
+fn void_limit_violator_looks_up_all_five() {
+    // 97% exceeded the limit; 64% looked up all five names (§7.3).
+    let mut dns = MockDns::default();
+    dns.txt(
+        "d.test",
+        "v=spf1 a:v1.test a:v2.test a:v3.test a:v4.test a:v5.test ?all",
+    );
+    let behavior = SpfBehavior {
+        enforce_void_limit: false,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Neutral);
+    assert_eq!(asked.len(), 6);
+    assert_eq!(eval.void_lookups, 5);
+}
+
+#[test]
+fn multiple_spf_records_permerror() {
+    // 77% of measured MTAs follow neither policy (§7.3).
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a:first.d.test -all")
+        .txt("d.test", "v=spf1 a:second.d.test -all");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert_eq!(asked.len(), 1, "no queries for either policy-specific name");
+}
+
+#[test]
+fn multiple_spf_records_follow_first() {
+    // The 23% non-compliant behavior: follow one of the policies.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a:first.d.test -all")
+        .txt("d.test", "v=spf1 a:second.d.test -all")
+        .a("first.d.test", "192.0.2.1");
+    let behavior = SpfBehavior {
+        on_multiple_records: MultiRecordPolicy::FollowFirst,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(asked.len(), 2);
+    assert_eq!(asked[1].name, n("first.d.test"));
+    // Never both policies (the paper observed no MTA following both).
+    assert!(!asked.iter().any(|q| q.name == n("second.d.test")));
+}
+
+#[test]
+fn temperror_on_dns_failure() {
+    let mut dns = MockDns::default();
+    dns.fail("d.test", RecordType::Txt, ResolveOutcome::Timeout);
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::TempError);
+
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 a:slow.test -all");
+    dns.fail("slow.test", RecordType::A, ResolveOutcome::ServFail);
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::TempError);
+}
+
+#[test]
+fn non_spf_txt_records_ignored() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "google-site-verification=abc123")
+        .txt("d.test", "v=spf1 ip4:192.0.2.1 -all")
+        .txt("d.test", "some other text");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel lookup scheduling (§7.1 of the paper)
+// ---------------------------------------------------------------------------
+
+/// Install the paper's Figure 3 test policy: L0 = include:L1 a:FOO -all,
+/// L1 includes L2, L2 includes L3, L3 = ?all.
+fn serial_test_policy(dns: &mut MockDns) {
+    dns.txt("t01.m1.spf.test", "v=spf1 include:l1.t01.m1.spf.test a:foo.t01.m1.spf.test -all")
+        .txt("l1.t01.m1.spf.test", "v=spf1 include:l2.t01.m1.spf.test ?all")
+        .txt("l2.t01.m1.spf.test", "v=spf1 include:l3.t01.m1.spf.test ?all")
+        .txt("l3.t01.m1.spf.test", "v=spf1 ?all")
+        .a("foo.t01.m1.spf.test", "192.0.2.1");
+}
+
+#[test]
+fn serial_validator_defers_a_lookup_past_l3() {
+    let mut dns = MockDns::default();
+    serial_test_policy(&mut dns);
+    let (eval, asked) = run(&dns, params("198.51.100.7", "t01.m1.spf.test"), strict());
+    assert_eq!(eval.result, SpfResult::Fail);
+    let order: Vec<String> = asked.iter().map(|q| q.name.to_string()).collect();
+    let a_pos = order
+        .iter()
+        .position(|s| s.starts_with("foo."))
+        .expect("a lookup happened");
+    let l3_pos = order.iter().position(|s| s.starts_with("l3.")).unwrap();
+    assert!(
+        a_pos > l3_pos,
+        "serial validator must fetch FOO after L3: {order:?}"
+    );
+}
+
+#[test]
+fn parallel_validator_prefetches_a_lookup() {
+    let mut dns = MockDns::default();
+    serial_test_policy(&mut dns);
+    let behavior = SpfBehavior {
+        parallel_prefetch: true,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("198.51.100.7", "t01.m1.spf.test"), behavior);
+    assert_eq!(eval.result, SpfResult::Fail);
+    let order: Vec<String> = asked.iter().map(|q| q.name.to_string()).collect();
+    let a_pos = order.iter().position(|s| s.starts_with("foo.")).unwrap();
+    let l3_pos = order.iter().position(|s| s.starts_with("l3.")).unwrap();
+    assert!(
+        a_pos < l3_pos,
+        "parallel validator fetches FOO before L3: {order:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Macro-bearing policies end to end
+// ---------------------------------------------------------------------------
+
+#[test]
+fn macro_exists_policy() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 exists:%{l}.%{d2}.acl.d.test -all")
+        .a("spf-test.d.test.acl.d.test", "127.0.0.2");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+}
+
+#[test]
+fn bad_macro_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 exists:%{q}.d.test -all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+#[test]
+fn counters_track_queries() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:c.test a:m.d.test -all")
+        .txt("c.test", "v=spf1 ?all")
+        .a("m.d.test", "192.0.2.1");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert_eq!(eval.dns_mechanism_terms, 2);
+    assert_eq!(eval.queries_issued, asked.len() as u32);
+    assert_eq!(asked.len(), 3);
+}

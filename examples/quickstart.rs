@@ -1,0 +1,164 @@
+//! Quickstart: the three validation mechanisms in isolation.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! 1. Parse and evaluate an SPF policy (the resumable `check_host()`),
+//! 2. DKIM-sign a message and verify it,
+//! 3. Combine both into a DMARC verdict.
+
+use mailval::crypto::bigint::SplitMix64;
+use mailval::crypto::rsa::RsaKeyPair;
+use mailval::dkim::key::DkimKeyRecord;
+use mailval::dkim::sign::{sign_message, SignConfig};
+use mailval::dkim::{DkimResult, DkimVerifier, VerifyStep};
+use mailval::dmarc::eval::{AuthResults, DmarcEvaluator, DmarcStep};
+use mailval::dns::resolver::ResolveOutcome;
+use mailval::dns::rr::{RData, RecordType};
+use mailval::dns::{Name, Record};
+use mailval::smtp::mail::MailMessage;
+use mailval::spf::{DnsQuestion, EvalParams, EvalStep, SpfBehavior, SpfEvaluator};
+use std::collections::HashMap;
+
+fn n(s: &str) -> Name {
+    Name::parse(s).unwrap()
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. SPF: publish a policy, evaluate a sender against it.
+    // ------------------------------------------------------------------
+    println!("== 1. SPF ==");
+    let mut dns: HashMap<(Name, RecordType), ResolveOutcome> = HashMap::new();
+    dns.insert(
+        (n("example.com"), RecordType::Txt),
+        ResolveOutcome::Records(vec![Record::new(
+            n("example.com"),
+            300,
+            RData::txt_from_str("v=spf1 ip4:192.0.2.0/24 a:mail.example.com -all"),
+        )]),
+    );
+    dns.insert(
+        (n("mail.example.com"), RecordType::A),
+        ResolveOutcome::Records(vec![Record::new(
+            n("mail.example.com"),
+            300,
+            RData::A("198.51.100.25".parse().unwrap()),
+        )]),
+    );
+
+    for client_ip in ["192.0.2.55", "198.51.100.25", "203.0.113.9"] {
+        let params = EvalParams {
+            ip: client_ip.parse().unwrap(),
+            domain: n("example.com"),
+            sender_local: "alice".into(),
+            sender_domain: n("example.com"),
+            helo: "mail.example.com".into(),
+        };
+        let mut evaluator = SpfEvaluator::new(params, SpfBehavior::default());
+        let mut step = evaluator.start();
+        let evaluation = loop {
+            match step {
+                EvalStep::Done(done) => break done,
+                EvalStep::NeedLookups(questions) => {
+                    // The evaluator is sans-IO: we answer its questions
+                    // from our map (a real embedder uses a resolver).
+                    let answers: Vec<(DnsQuestion, ResolveOutcome)> = questions
+                        .into_iter()
+                        .map(|q| {
+                            let a = dns
+                                .get(&(q.name.clone(), q.rtype))
+                                .cloned()
+                                .unwrap_or(ResolveOutcome::NxDomain);
+                            (q, a)
+                        })
+                        .collect();
+                    step = evaluator.resume(answers);
+                }
+            }
+        };
+        println!(
+            "  {client_ip:<15} -> {} ({} DNS-mechanism terms, {} queries)",
+            evaluation.result, evaluation.dns_mechanism_terms, evaluation.queries_issued
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. DKIM: sign, publish the key, verify.
+    // ------------------------------------------------------------------
+    println!("\n== 2. DKIM ==");
+    let mut rng = SplitMix64::new(0x5eed);
+    let keypair = RsaKeyPair::generate(1024, &mut rng);
+
+    let mut message = MailMessage::new();
+    message.add_header("From", "Alice <alice@example.com>");
+    message.add_header("To", "bob@target.test");
+    message.add_header("Subject", "Quarterly report");
+    message.set_body_text("Hi Bob,\nthe report is attached.\n");
+
+    let config = SignConfig::new(n("example.com"), n("sel1"));
+    let signature = sign_message(&message, &config, &keypair.private).unwrap();
+    message.prepend_header("DKIM-Signature", &signature);
+    println!("  signed: DKIM-Signature: {}...", &signature[..60]);
+
+    let key_record = DkimKeyRecord::for_key(&keypair.public).to_record_text();
+    let mut verifier = DkimVerifier::new(&message, 0);
+    let VerifyStep::NeedKey { name, .. } = verifier.start() else {
+        panic!("expected key lookup");
+    };
+    println!("  verifier asks for {name} TXT");
+    let answer = ResolveOutcome::Records(vec![Record::new(
+        name,
+        300,
+        RData::txt_from_str(&key_record),
+    )]);
+    let VerifyStep::Done(result) = verifier.on_key(answer) else {
+        panic!()
+    };
+    println!("  verification: {result:?}");
+    assert_eq!(result, DkimResult::Pass);
+
+    // A tampered copy fails.
+    let mut tampered = message.clone();
+    tampered.set_body_text("Hi Bob,\nsend the money to this account instead.\n");
+    let mut verifier = DkimVerifier::new(&tampered, 0);
+    let VerifyStep::NeedKey { name, .. } = verifier.start() else {
+        panic!()
+    };
+    let answer = ResolveOutcome::Records(vec![Record::new(
+        name,
+        300,
+        RData::txt_from_str(&key_record),
+    )]);
+    let VerifyStep::Done(result) = verifier.on_key(answer) else {
+        panic!()
+    };
+    println!("  tampered copy: {result:?}");
+
+    // ------------------------------------------------------------------
+    // 3. DMARC: combine SPF + DKIM under identifier alignment.
+    // ------------------------------------------------------------------
+    println!("\n== 3. DMARC ==");
+    let auth = AuthResults {
+        from_domain: n("example.com"),
+        spf_result: mailval::spf::SpfResult::Pass,
+        spf_domain: Some(n("example.com")),
+        dkim: vec![(n("example.com"), true)],
+    };
+    let mut evaluator = DmarcEvaluator::new(auth, 0);
+    let DmarcStep::NeedLookup { name, .. } = evaluator.start() else {
+        panic!()
+    };
+    println!("  evaluator asks for {name} TXT");
+    let answer = ResolveOutcome::Records(vec![Record::new(
+        name,
+        300,
+        RData::txt_from_str("v=DMARC1; p=reject; rua=mailto:agg@example.com"),
+    )]);
+    let DmarcStep::Done(verdict) = evaluator.on_answer(answer) else {
+        panic!()
+    };
+    println!(
+        "  verdict: pass={} via={:?} disposition={:?}",
+        verdict.pass, verdict.passed_via, verdict.disposition
+    );
+}

@@ -1,0 +1,41 @@
+//! # mailval
+//!
+//! A full reproduction of *Measuring Email Sender Validation in the
+//! Wild* (Deccio et al., CoNEXT 2021): from-scratch SPF (RFC 7208),
+//! DKIM (RFC 6376) and DMARC (RFC 7489) stacks over a from-scratch DNS
+//! and SMTP implementation, the paper's measurement apparatus
+//! (synthesizing authoritative DNS server, probe SMTP client, 39 test
+//! policies, query-log attribution), and a deterministic simulated
+//! Internet mail population to measure.
+//!
+//! This crate is an umbrella re-exporting the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`crypto`] | Base64, SHA-1/256, HMAC, bignum, RSA |
+//! | [`dns`] | names, wire codec, zones, server & resolver cores |
+//! | [`smtp`] | commands, replies, messages, server & client sessions |
+//! | [`spf`] | RFC 7208 records, macros, resumable `check_host()` |
+//! | [`dkim`] | RFC 6376 canonicalization, signing, verification |
+//! | [`dmarc`] | RFC 7489 records, alignment, policy discovery |
+//! | [`simnet`] | virtual-time event queue, PRNG, latency model |
+//! | [`mta`] | simulated MTA population: profiles, actors |
+//! | [`datasets`] | synthetic NotifyEmail / TwoWeekMX datasets |
+//! | [`measure`] | the paper's apparatus, campaigns and analyses |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mailval_crypto as crypto;
+pub use mailval_datasets as datasets;
+pub use mailval_dkim as dkim;
+pub use mailval_dmarc as dmarc;
+pub use mailval_dns as dns;
+pub use mailval_measure as measure;
+pub use mailval_mta as mta;
+pub use mailval_simnet as simnet;
+pub use mailval_smtp as smtp;
+pub use mailval_spf as spf;

@@ -1,0 +1,151 @@
+//! Integration test driving the sans-IO cores over real loopback
+//! sockets: the synthesizing DNS server behind UDP (with TCP fallback),
+//! queried by the real resolver core.
+
+use mailval::crypto::bigint::SplitMix64;
+use mailval::crypto::rsa::RsaKeyPair;
+use mailval::dkim::key::DkimKeyRecord;
+use mailval::dmarc::record::DmarcRecord;
+use mailval::dns::resolver::{Begin, ResolveOutcome, ResolverConfig, ResolverCore, Step};
+use mailval::dns::server::{ServerCore, Transport};
+use mailval::dns::rr::RecordType;
+use mailval::dns::Name;
+use mailval::measure::apparatus::SynthesizingAuthority;
+use mailval::measure::names::NameScheme;
+use mailval::measure::policies::SynthAddrs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_live_server() -> SocketAddr {
+    let mut rng = SplitMix64::new(0x715e);
+    let keypair = RsaKeyPair::generate(512, &mut rng);
+    let authority = SynthesizingAuthority::new(
+        NameScheme::default(),
+        SynthAddrs::default(),
+        DkimKeyRecord::for_key(&keypair.public).to_record_text(),
+        DmarcRecord::strict_reject("agg@dns-lab.org").to_record_text(),
+    );
+    let server = Arc::new(ServerCore::new(authority));
+    let udp = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let addr = udp.local_addr().unwrap();
+    let tcp = TcpListener::bind(addr).expect("bind tcp");
+
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || loop {
+            let mut buf = [0u8; 1500];
+            let Ok((len, peer)) = udp.recv_from(&mut buf) else {
+                break;
+            };
+            if let Some(reply) = server.handle(&buf[..len], Transport::Udp, false) {
+                let _ = udp.send_to(&reply.bytes, peer);
+            }
+        });
+    }
+    {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for mut stream in tcp.incoming().flatten() {
+                let mut len_buf = [0u8; 2];
+                if stream.read_exact(&mut len_buf).is_err() {
+                    continue;
+                }
+                let mut msg = vec![0u8; u16::from_be_bytes(len_buf) as usize];
+                if stream.read_exact(&mut msg).is_err() {
+                    continue;
+                }
+                if let Some(reply) = server.handle(&msg, Transport::Tcp, false) {
+                    let _ = stream.write_all(&(reply.bytes.len() as u16).to_be_bytes());
+                    let _ = stream.write_all(&reply.bytes);
+                }
+            }
+        });
+    }
+    addr
+}
+
+/// Drive the resolver core against the live server, handling UDP and the
+/// TCP fallback path.
+fn resolve_live(addr: SocketAddr, name: &str, rtype: RecordType) -> ResolveOutcome {
+    let mut core = ResolverCore::new(ResolverConfig::default());
+    let begin = core.begin(Name::parse(name).unwrap(), rtype, 0);
+    let Begin::Send(mut out) = begin else {
+        panic!("expected upstream send")
+    };
+    for _ in 0..4 {
+        let response = match out.transport {
+            Transport::Udp => {
+                let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+                socket
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
+                socket.send_to(&out.bytes, addr).unwrap();
+                let mut buf = [0u8; 1500];
+                let len = socket.recv(&mut buf).expect("udp reply");
+                buf[..len].to_vec()
+            }
+            Transport::Tcp => {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
+                stream
+                    .write_all(&(out.bytes.len() as u16).to_be_bytes())
+                    .unwrap();
+                stream.write_all(&out.bytes).unwrap();
+                let mut len_buf = [0u8; 2];
+                stream.read_exact(&mut len_buf).unwrap();
+                let mut msg = vec![0u8; u16::from_be_bytes(len_buf) as usize];
+                stream.read_exact(&mut msg).unwrap();
+                msg
+            }
+        };
+        match core.on_response(out.id, &response, 0) {
+            Step::Done(outcome) => return outcome,
+            Step::Continue(next) => out = next,
+            Step::Ignored => panic!("response ignored"),
+        }
+    }
+    panic!("resolution did not converge");
+}
+
+#[test]
+fn live_udp_resolution_of_synthesized_policy() {
+    let addr = start_live_server();
+    let outcome = resolve_live(addr, "t01.m00042.spf-test.dns-lab.org", RecordType::Txt);
+    let ResolveOutcome::Records(records) = outcome else {
+        panic!("{outcome:?}")
+    };
+    let policy = records[0].rdata.txt_joined().unwrap();
+    assert!(policy.contains("include:l1.t01.m00042.spf-test.dns-lab.org"));
+}
+
+#[test]
+fn live_tcp_fallback_on_truncation() {
+    let addr = start_live_server();
+    // t09 forces truncation over UDP; the resolver core must retry TCP.
+    let outcome = resolve_live(addr, "t09.m00001.spf-test.dns-lab.org", RecordType::Txt);
+    let ResolveOutcome::Records(records) = outcome else {
+        panic!("{outcome:?}")
+    };
+    assert_eq!(records[0].rdata.txt_joined().unwrap(), "v=spf1 ?all");
+}
+
+#[test]
+fn live_nxdomain_and_notify_names() {
+    let addr = start_live_server();
+    let outcome = resolve_live(addr, "nope.t06.m00001.spf-test.dns-lab.org", RecordType::A);
+    assert_eq!(outcome, ResolveOutcome::NxDomain);
+
+    let outcome = resolve_live(addr, "_dmarc.d00009.dsav-mail.dns-lab.org", RecordType::Txt);
+    let ResolveOutcome::Records(records) = outcome else {
+        panic!("{outcome:?}")
+    };
+    assert!(records[0]
+        .rdata
+        .txt_joined()
+        .unwrap()
+        .starts_with("v=DMARC1; p=reject"));
+}

@@ -1,0 +1,263 @@
+//! Property-based tests over the protocol cores' invariants.
+
+use mailval::crypto::base64;
+use mailval::crypto::bigint::BigUint;
+use mailval::dns::rr::{RData, RecordType};
+use mailval::dns::wire::Rcode;
+use mailval::dns::{Message, Name, Record};
+use mailval::smtp::mail::{dot_stuff, dot_unstuff, MailMessage};
+use mailval::spf::record::SpfRecord;
+use mailval::spf::{EvalParams, EvalStep, SpfBehavior, SpfEvaluator};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_][a-z0-9-]{0,14}").expect("valid regex")
+}
+
+fn name_strategy() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label_strategy(), 1..6)
+        .prop_map(|labels| Name::from_labels(labels).expect("labels are valid"))
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        name_strategy().prop_map(RData::Cname),
+        name_strategy().prop_map(RData::Ns),
+        name_strategy().prop_map(RData::Ptr),
+        (any::<u16>(), name_strategy()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..255),
+            1..4
+        )
+        .prop_map(RData::Txt),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    (name_strategy(), any::<u32>(), rdata_strategy())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+// ---------------------------------------------------------------------------
+// DNS wire format
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dns_message_roundtrips(
+        id in any::<u16>(),
+        qname in name_strategy(),
+        answers in proptest::collection::vec(record_strategy(), 0..8),
+        rcode in 0u8..16,
+    ) {
+        let mut msg = Message::query(id, qname, RecordType::Txt);
+        msg.is_response = true;
+        msg.rcode = Rcode::from_code(rcode);
+        msg.answers = answers;
+        let bytes = msg.to_bytes();
+        let decoded = Message::from_bytes(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn dns_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn name_display_parse_roundtrip(name in name_strategy()) {
+        let reparsed = Name::parse(&name.to_string()).expect("display form parses");
+        prop_assert_eq!(reparsed, name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encodings
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn base64_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let encoded = base64::encode(&data);
+        prop_assert_eq!(base64::decode(&encoded).expect("own encoding"), data);
+    }
+
+    #[test]
+    fn base64_decode_never_panics(s in "[ -~]{0,80}") {
+        let _ = base64::decode(&s);
+    }
+
+    #[test]
+    fn dot_stuffing_roundtrips(lines in proptest::collection::vec("[ -~]{0,30}", 0..10)) {
+        let mut body = Vec::new();
+        for line in &lines {
+            body.extend_from_slice(line.as_bytes());
+            body.extend_from_slice(b"\r\n");
+        }
+        let stuffed = dot_stuff(&body);
+        prop_assert_eq!(dot_unstuff(&stuffed), body.clone());
+        // No stuffed line starts with a bare dot that could terminate DATA.
+        for line in stuffed.split(|&b| b == b'\n') {
+            prop_assert!(line != b".\r");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Big integers
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bigint_div_rem_reconstructs(a in any::<u128>(), b in 1u128..) {
+        let big_a = BigUint::from_bytes_be(&a.to_be_bytes());
+        let big_b = BigUint::from_bytes_be(&b.to_be_bytes());
+        let (q, r) = big_a.div_rem(&big_b);
+        prop_assert_eq!(q.mul(&big_b).add(&r), big_a);
+        prop_assert!(r.cmp_big(&big_b) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn bigint_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (a as u128, b as u128);
+        let big = |v: u128| BigUint::from_bytes_be(&v.to_be_bytes());
+        prop_assert_eq!(big(a).add(&big(b)), big(a + b));
+        prop_assert_eq!(big(a).mul(&big(b)), big(a * b));
+        if a >= b {
+            prop_assert_eq!(big(a).sub(&big(b)), big(a - b));
+        }
+    }
+
+    #[test]
+    fn bigint_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let out = n.to_bytes_be();
+        // Canonical form strips leading zeros.
+        let mut expected = bytes.clone();
+        while expected.first() == Some(&0) {
+            expected.remove(0);
+        }
+        prop_assert_eq!(out, expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SPF
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn spf_parser_never_panics(s in "[ -~]{0,120}") {
+        let _ = SpfRecord::parse(&s);
+        let _ = SpfRecord::parse(&format!("v=spf1 {s}"));
+    }
+
+    #[test]
+    fn spf_evaluator_terminates_on_arbitrary_policies(
+        mechs in proptest::collection::vec(
+            prop_oneof![
+                Just("all".to_string()),
+                Just("-all".to_string()),
+                Just("?all".to_string()),
+                Just("ip4:192.0.2.0/24".to_string()),
+                Just("a".to_string()),
+                Just("mx".to_string()),
+                Just("include:child.test".to_string()),
+                Just("exists:%{ir}.x.test".to_string()),
+                Just("redirect=r.test".to_string()),
+                Just("ptr".to_string()),
+            ],
+            0..12
+        )
+    ) {
+        let policy = format!("v=spf1 {}", mechs.join(" "));
+        let params = EvalParams {
+            ip: "192.0.2.1".parse().unwrap(),
+            domain: Name::parse("d.test").unwrap(),
+            sender_local: "u".into(),
+            sender_domain: Name::parse("d.test").unwrap(),
+            helo: "h.test".into(),
+        };
+        let mut ev = SpfEvaluator::new(params, SpfBehavior::default());
+        let mut step = ev.start();
+        // Answer every lookup with the same policy (TXT) or NXDOMAIN;
+        // the evaluator must reach Done within the RFC lookup bounds.
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            prop_assert!(rounds < 200, "evaluator did not terminate");
+            match step {
+                EvalStep::Done(done) => {
+                    // Strict behavior can never exceed the limits.
+                    prop_assert!(done.dns_mechanism_terms <= 11);
+                    break;
+                }
+                EvalStep::NeedLookups(questions) => {
+                    prop_assert!(!questions.is_empty());
+                    let answers = questions
+                        .into_iter()
+                        .map(|q| {
+                            let outcome = if q.rtype == RecordType::Txt {
+                                mailval::dns::resolver::ResolveOutcome::Records(vec![
+                                    Record::new(q.name.clone(), 60, RData::txt_from_str(&policy)),
+                                ])
+                            } else {
+                                mailval::dns::resolver::ResolveOutcome::NxDomain
+                            };
+                            (q, outcome)
+                        })
+                        .collect();
+                    step = ev.resume(answers);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mail parsing
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mail_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = MailMessage::parse(&bytes);
+    }
+
+    #[test]
+    fn composed_mail_roundtrips(
+        headers in proptest::collection::vec(
+            ("[A-Za-z][A-Za-z0-9-]{0,12}", "[ -~&&[^\r\n]]{0,40}"),
+            0..6
+        ),
+        body_lines in proptest::collection::vec("[ -~]{0,40}", 0..6),
+    ) {
+        let mut msg = MailMessage::new();
+        for (name, value) in &headers {
+            msg.add_header(name, value.trim());
+        }
+        msg.set_body_text(&body_lines.join("\n"));
+        let reparsed = MailMessage::parse(&msg.to_bytes()).expect("own bytes parse");
+        prop_assert_eq!(reparsed.headers.len(), msg.headers.len());
+        prop_assert_eq!(reparsed.body, msg.body);
+    }
+}
