@@ -4,17 +4,18 @@
 //!   latency and wall-clock evaluator cost);
 //! * resolver caching on vs off (upstream query volume under repeated
 //!   evaluation);
-//! * campaign throughput at small scale (events/second of the full
-//!   pipeline).
+//! * campaign throughput at small scale, single-shard vs sharded
+//!   (events/second of the full pipeline).
+//!
+//! Built on the in-tree [`mailval_bench::timing`] harness (no external
+//! dependencies; `harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mailval_bench::timing::bench_fn;
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
 use mailval_dns::resolver::{Begin, ResolveOutcome, ResolverConfig, ResolverCore, Step};
 use mailval_dns::rr::{RData, RecordType};
 use mailval_dns::{Name, Record};
-use mailval_measure::experiment::{
-    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
-};
+use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
 use mailval_simnet::LatencyModel;
 use mailval_spf::{DnsQuestion, EvalParams, EvalStep, SpfBehavior, SpfEvaluator};
 use std::hint::black_box;
@@ -83,7 +84,7 @@ fn eval_rounds(parallel: bool) -> usize {
     }
 }
 
-fn ablation_serial_parallel(c: &mut Criterion) {
+fn ablation_serial_parallel() {
     // Report round counts once (the latency story), then bench cost.
     let serial_rounds = eval_rounds(false);
     let parallel_rounds = eval_rounds(true);
@@ -91,12 +92,8 @@ fn ablation_serial_parallel(c: &mut Criterion) {
         "[ablation] t01 evaluation resume-rounds: serial={serial_rounds}, parallel={parallel_rounds}"
     );
     assert!(parallel_rounds < serial_rounds);
-    c.bench_function("ablation_eval_serial", |b| {
-        b.iter(|| black_box(eval_rounds(false)))
-    });
-    c.bench_function("ablation_eval_parallel", |b| {
-        b.iter(|| black_box(eval_rounds(true)))
-    });
+    bench_fn("ablation_eval_serial", || black_box(eval_rounds(false)));
+    bench_fn("ablation_eval_parallel", || black_box(eval_rounds(true)));
 }
 
 /// Resolver cache ablation: resolve the same 32 names twice.
@@ -130,47 +127,47 @@ fn cache_queries(cache_enabled: bool) -> u64 {
     core.upstream_queries
 }
 
-fn ablation_cache(c: &mut Criterion) {
+fn ablation_cache() {
     let with = cache_queries(true);
     let without = cache_queries(false);
     eprintln!("[ablation] resolver upstream queries (2 rounds × 32 names): cache={with}, no-cache={without}");
     assert!(with < without);
-    c.bench_function("ablation_resolver_cached", |b| {
-        b.iter(|| black_box(cache_queries(true)))
+    bench_fn("ablation_resolver_cached", || {
+        black_box(cache_queries(true))
     });
-    c.bench_function("ablation_resolver_uncached", |b| {
-        b.iter(|| black_box(cache_queries(false)))
+    bench_fn("ablation_resolver_uncached", || {
+        black_box(cache_queries(false))
     });
 }
 
-fn ablation_campaign_throughput(c: &mut Criterion) {
+fn ablation_campaign_throughput() {
     let pop = Population::generate(&PopulationConfig {
         kind: DatasetKind::TwoWeekMx,
         scale: 0.002,
         seed: 5,
     });
     let profiles = sample_host_profiles(&pop, 5);
-    c.bench_function("campaign_tiny_twoweek", |b| {
-        b.iter(|| {
-            let result = run_campaign(
-                &CampaignConfig {
-                    kind: CampaignKind::TwoWeekMx,
-                    tests: vec!["t01", "t12"],
-                    seed: 5,
-                    probe_pause_ms: 15_000,
-                    latency: LatencyModel::default(),
-                },
-                &pop,
-                &profiles,
-            );
-            black_box(result.events)
-        })
-    });
+    let run = |shards: usize| {
+        let result = run_campaign(
+            &CampaignConfig {
+                kind: CampaignKind::TwoWeekMx,
+                tests: vec!["t01", "t12"],
+                seed: 5,
+                probe_pause_ms: 15_000,
+                latency: LatencyModel::default(),
+                shards,
+            },
+            &pop,
+            &profiles,
+        );
+        black_box(result.events)
+    };
+    bench_fn("campaign_tiny_twoweek_1shard", || run(1));
+    bench_fn("campaign_tiny_twoweek_4shard", || run(4));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablation_serial_parallel, ablation_cache, ablation_campaign_throughput
+fn main() {
+    ablation_serial_parallel();
+    ablation_cache();
+    ablation_campaign_throughput();
 }
-criterion_main!(benches);

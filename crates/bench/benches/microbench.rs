@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks over the protocol cores: DNS wire codec,
-//! SPF parse + evaluation, DKIM sign/verify, DMARC verdict, policy
-//! synthesis and the simulator event loop.
+//! Micro-benchmarks over the protocol cores: DNS wire codec, SPF
+//! parsing and evaluation, DKIM sign/verify, policy synthesis, the
+//! simulator event loop and RSA. Built on the in-tree
+//! [`mailval_bench::timing`] harness (no external dependencies;
+//! `harness = false`).
+//!
+//! Run with `cargo bench -p mailval-bench --bench microbench`; set
+//! `MAILVAL_BENCH_MS` to shrink or grow the per-benchmark budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mailval_bench::timing::bench_fn;
 use mailval_crypto::bigint::SplitMix64;
 use mailval_crypto::rsa::RsaKeyPair;
 use mailval_crypto::HashAlg;
@@ -20,7 +25,7 @@ fn n(s: &str) -> Name {
     Name::parse(s).unwrap()
 }
 
-fn bench_dns_wire(c: &mut Criterion) {
+fn bench_dns_wire() {
     let mut msg = Message::query(1, n("l2.t01.m00042.spf-test.dns-lab.org"), RecordType::Txt);
     msg.answers = vec![
         Record::new(
@@ -35,58 +40,54 @@ fn bench_dns_wire(c: &mut Criterion) {
         ),
     ];
     let bytes = msg.to_bytes();
-    c.bench_function("dns_encode", |b| b.iter(|| black_box(&msg).to_bytes()));
-    c.bench_function("dns_decode", |b| {
-        b.iter(|| Message::from_bytes(black_box(&bytes)).unwrap())
+    bench_fn("dns_encode", || black_box(&msg).to_bytes());
+    bench_fn("dns_decode", || {
+        Message::from_bytes(black_box(&bytes)).unwrap()
     });
 }
 
-fn bench_spf(c: &mut Criterion) {
+fn bench_spf() {
     let policy = "v=spf1 ip4:192.0.2.0/24 a:mail.example.com include:other.example.net ~all";
-    c.bench_function("spf_parse", |b| {
-        b.iter(|| SpfRecord::parse(black_box(policy)).unwrap())
-    });
+    bench_fn("spf_parse", || SpfRecord::parse(black_box(policy)).unwrap());
 
     // Full evaluation against an in-memory answer set.
-    c.bench_function("spf_evaluate", |b| {
-        b.iter(|| {
-            let params = EvalParams {
-                ip: "192.0.2.9".parse().unwrap(),
-                domain: n("example.com"),
-                sender_local: "user".into(),
-                sender_domain: n("example.com"),
-                helo: "probe.test".into(),
-            };
-            let mut ev = SpfEvaluator::new(params, SpfBehavior::default());
-            let mut step = ev.start();
-            loop {
-                match step {
-                    EvalStep::Done(done) => break black_box(done.result),
-                    EvalStep::NeedLookups(questions) => {
-                        let answers: Vec<(DnsQuestion, ResolveOutcome)> = questions
-                            .into_iter()
-                            .map(|q| {
-                                let outcome = if q.rtype == RecordType::Txt {
-                                    ResolveOutcome::Records(vec![Record::new(
-                                        q.name.clone(),
-                                        60,
-                                        RData::txt_from_str(policy),
-                                    )])
-                                } else {
-                                    ResolveOutcome::NxDomain
-                                };
-                                (q, outcome)
-                            })
-                            .collect();
-                        step = ev.resume(answers);
-                    }
+    bench_fn("spf_evaluate", || {
+        let params = EvalParams {
+            ip: "192.0.2.9".parse().unwrap(),
+            domain: n("example.com"),
+            sender_local: "user".into(),
+            sender_domain: n("example.com"),
+            helo: "probe.test".into(),
+        };
+        let mut ev = SpfEvaluator::new(params, SpfBehavior::default());
+        let mut step = ev.start();
+        loop {
+            match step {
+                EvalStep::Done(done) => break black_box(done.result),
+                EvalStep::NeedLookups(questions) => {
+                    let answers: Vec<(DnsQuestion, ResolveOutcome)> = questions
+                        .into_iter()
+                        .map(|q| {
+                            let outcome = if q.rtype == RecordType::Txt {
+                                ResolveOutcome::Records(vec![Record::new(
+                                    q.name.clone(),
+                                    60,
+                                    RData::txt_from_str(policy),
+                                )])
+                            } else {
+                                ResolveOutcome::NxDomain
+                            };
+                            (q, outcome)
+                        })
+                        .collect();
+                    step = ev.resume(answers);
                 }
             }
-        })
+        }
     });
 }
 
-fn bench_dkim(c: &mut Criterion) {
+fn bench_dkim() {
     use mailval_dkim::sign::{sign_message, SignConfig};
     use mailval_smtp::mail::MailMessage;
     let mut rng = SplitMix64::new(42);
@@ -97,88 +98,85 @@ fn bench_dkim(c: &mut Criterion) {
     msg.add_header("Subject", "benchmark");
     msg.set_body_text(&"benchmark body line\n".repeat(40));
     let config = SignConfig::new(n("example.com"), n("sel1"));
-    c.bench_function("dkim_sign", |b| {
-        b.iter(|| sign_message(black_box(&msg), &config, &kp.private).unwrap())
+    bench_fn("dkim_sign", || {
+        sign_message(black_box(&msg), &config, &kp.private).unwrap()
     });
 
     let value = sign_message(&msg, &config, &kp.private).unwrap();
     let mut signed = msg.clone();
     signed.prepend_header("DKIM-Signature", &value);
     let key_record = mailval_dkim::key::DkimKeyRecord::for_key(&kp.public).to_record_text();
-    c.bench_function("dkim_verify", |b| {
-        b.iter(|| {
-            let mut v = mailval_dkim::DkimVerifier::new(black_box(&signed), 0);
-            let mailval_dkim::VerifyStep::NeedKey { name, .. } = v.start() else {
-                panic!()
-            };
-            let answer = ResolveOutcome::Records(vec![Record::new(
-                name,
-                60,
-                RData::txt_from_str(&key_record),
-            )]);
-            match v.on_key(answer) {
-                mailval_dkim::VerifyStep::Done(r) => black_box(r),
-                _ => panic!(),
-            }
-        })
+    bench_fn("dkim_verify", || {
+        let mut v = mailval_dkim::DkimVerifier::new(black_box(&signed), 0);
+        let mailval_dkim::VerifyStep::NeedKey { name, .. } = v.start() else {
+            panic!()
+        };
+        let answer = ResolveOutcome::Records(vec![Record::new(
+            name,
+            60,
+            RData::txt_from_str(&key_record),
+        )]);
+        match v.on_key(answer) {
+            mailval_dkim::VerifyStep::Done(r) => black_box(r),
+            _ => panic!(),
+        }
     });
 }
 
-fn bench_synthesis(c: &mut Criterion) {
+fn bench_synthesis() {
     let scheme = NameScheme::default();
     let addrs = SynthAddrs::default();
     let base = scheme.probe_domain("t02", 42);
     let qname = n("c.a.s3.t02.m00042.spf-test.dns-lab.org");
     let path: Vec<String> = vec!["c".into(), "a".into(), "s3".into()];
-    c.bench_function("policy_synthesis", |b| {
-        b.iter(|| {
-            synthesize_probe(
-                black_box("t02"),
-                black_box(&path),
-                &qname,
-                &base,
-                RecordType::Txt,
-                &addrs,
-            )
-        })
+    bench_fn("policy_synthesis", || {
+        synthesize_probe(
+            black_box("t02"),
+            black_box(&path),
+            &qname,
+            &base,
+            RecordType::Txt,
+            &addrs,
+        )
     });
-    c.bench_function("name_attribution", |b| {
-        b.iter(|| scheme.parse(black_box(&qname)).unwrap())
+    bench_fn("name_attribution", || {
+        scheme.parse(black_box(&qname)).unwrap()
     });
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    c.bench_function("simulator_100k_events", |b| {
-        b.iter(|| {
-            let mut sim: Simulator<u32> = Simulator::new();
-            for i in 0..100_000u32 {
-                sim.schedule((i % 977) as u64, i);
-            }
-            let mut acc = 0u64;
-            while let Some((t, _)) = sim.next() {
-                acc = acc.wrapping_add(t);
-            }
-            black_box(acc)
-        })
+fn bench_simulator() {
+    bench_fn("simulator_100k_events", || {
+        let mut sim: Simulator<u32> = Simulator::new();
+        for i in 0..100_000u32 {
+            sim.schedule((i % 977) as u64, i);
+        }
+        let mut acc = 0u64;
+        while let Some((t, _)) = sim.next() {
+            acc = acc.wrapping_add(t);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_rsa(c: &mut Criterion) {
+fn bench_rsa() {
     let mut rng = SplitMix64::new(7);
     let kp = RsaKeyPair::generate(1024, &mut rng);
     let digest = HashAlg::Sha256.digest(b"benchmark payload");
     let sig = kp.private.sign_digest(HashAlg::Sha256, &digest).unwrap();
-    c.bench_function("rsa1024_sign", |b| {
-        b.iter(|| kp.private.sign_digest(HashAlg::Sha256, black_box(&digest)))
+    bench_fn("rsa1024_sign", || {
+        kp.private.sign_digest(HashAlg::Sha256, black_box(&digest))
     });
-    c.bench_function("rsa1024_verify", |b| {
-        b.iter(|| kp.public.verify_digest(HashAlg::Sha256, &digest, black_box(&sig)))
+    bench_fn("rsa1024_verify", || {
+        kp.public
+            .verify_digest(HashAlg::Sha256, &digest, black_box(&sig))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_dns_wire, bench_spf, bench_dkim, bench_synthesis, bench_simulator, bench_rsa
+fn main() {
+    bench_dns_wire();
+    bench_spf();
+    bench_dkim();
+    bench_synthesis();
+    bench_simulator();
+    bench_rsa();
 }
-criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Campaign throughput baseline: run the NotifyEmail campaign over a
+//! ~2,000-domain population at shards = 1, 2, 4, 8 and record
+//! sessions/second plus the per-shard counters, as JSON (hand-rolled —
+//! offline builds have no serde) to `results/BENCH_campaign.json` or
+//! the path given as the first argument.
+//!
+//! The merged output is identical for every shard count — this binary
+//! asserts that — so the only thing that varies is wall-clock time.
+
+use mailval_datasets::{DatasetKind, Population, PopulationConfig};
+use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_simnet::LatencyModel;
+use std::time::Instant;
+
+/// ~2,000 of the paper's 26,695 NotifyEmail domains.
+const SCALE: f64 = 2_000.0 / 26_695.0;
+
+struct Run {
+    shards: usize,
+    sessions: usize,
+    queries: usize,
+    events: u64,
+    wall_s: f64,
+    sessions_per_s: f64,
+    shard_wall_ms: Vec<f64>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_campaign.json".to_string());
+    let seed = mailval_bench::seed();
+    let pop = Population::generate(&PopulationConfig {
+        kind: DatasetKind::NotifyEmail,
+        scale: SCALE,
+        seed,
+    });
+    let profiles = sample_host_profiles(&pop, seed);
+    eprintln!(
+        "[bench_campaign] NotifyEmail, {} domains / {} hosts, seed {seed}",
+        pop.domains.len(),
+        pop.hosts.len()
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut reference: Option<(usize, u64, usize)> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let config = CampaignConfig {
+            kind: CampaignKind::NotifyEmail,
+            tests: vec![],
+            seed,
+            probe_pause_ms: 15_000,
+            latency: LatencyModel::default(),
+            shards,
+        };
+        let start = Instant::now();
+        let result = run_campaign(&config, &pop, &profiles);
+        let wall_s = start.elapsed().as_secs_f64();
+
+        let signature = (
+            result.sessions.len(),
+            result.events,
+            result.log.records.len(),
+        );
+        match reference {
+            None => reference = Some(signature),
+            Some(r) => assert_eq!(r, signature, "shards={shards} diverged from shards=1"),
+        }
+
+        let run = Run {
+            shards,
+            sessions: result.sessions.len(),
+            queries: result.log.records.len(),
+            events: result.events,
+            wall_s,
+            sessions_per_s: result.sessions.len() as f64 / wall_s,
+            shard_wall_ms: result.shard_stats.iter().map(|s| s.wall_ms).collect(),
+        };
+        eprintln!(
+            "[bench_campaign] shards={:<2} {:>8.3}s wall  {:>10.0} sessions/s",
+            run.shards, run.wall_s, run.sessions_per_s
+        );
+        runs.push(run);
+    }
+
+    let json = render_json(&pop, seed, &runs);
+    std::fs::write(&out_path, &json).expect("write result file");
+    eprintln!("[bench_campaign] wrote {out_path}");
+}
+
+fn render_json(pop: &Population, seed: u64, runs: &[Run]) -> String {
+    let mut s = String::new();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"campaign_notify_email\",\n");
+    s.push_str(&format!("  \"cpus\": {cpus},\n"));
+    s.push_str(&format!("  \"domains\": {},\n", pop.domains.len()));
+    s.push_str(&format!("  \"hosts\": {},\n", pop.hosts.len()));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let walls: Vec<String> = r.shard_wall_ms.iter().map(|w| format!("{w:.1}")).collect();
+        s.push_str(&format!(
+            "    {{\"shards\": {}, \"sessions\": {}, \"queries_logged\": {}, \
+             \"events\": {}, \"wall_s\": {:.3}, \"sessions_per_s\": {:.1}, \
+             \"shard_wall_ms\": [{}]}}{}\n",
+            r.shards,
+            r.sessions,
+            r.queries,
+            r.events,
+            r.wall_s,
+            r.sessions_per_s,
+            walls.join(", "),
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -5,7 +5,7 @@
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::spf_timing;
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{pct, render_table};
 
 fn main() {
@@ -13,7 +13,14 @@ fn main() {
     let result = campaign(&prepared, CampaignKind::NotifyEmail, vec![]);
     let timing = spf_timing(&result);
 
-    let labels = ["<= -30", "(-30,-15]", "(-15,0)", "(0,15)", "[15,30)", ">= 30"];
+    let labels = [
+        "<= -30",
+        "(-30,-15]",
+        "(-15,0)",
+        "(0,15)",
+        "[15,30)",
+        ">= 30",
+    ];
     let total: usize = timing.bins.iter().sum();
     let rows: Vec<Vec<String>> = labels
         .iter()

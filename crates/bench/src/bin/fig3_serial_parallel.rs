@@ -5,7 +5,7 @@
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::serial_vs_parallel;
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, render_table};
 
 fn main() {

@@ -4,7 +4,7 @@
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::lookup_limits;
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, pct, render_table};
 
 fn main() {
@@ -30,7 +30,11 @@ fn main() {
         "{}",
         render_table(
             &format!("Figure 5 — CDF over {n} MTAs that evaluated the stress policy"),
-            &["queries ≤", "elapsed lower bound (s)", "cumulative fraction"],
+            &[
+                "queries ≤",
+                "elapsed lower bound (s)",
+                "cumulative fraction"
+            ],
             &rows
         )
     );

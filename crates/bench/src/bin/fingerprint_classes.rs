@@ -3,7 +3,7 @@
 
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::fingerprint::{behavior_vectors, classify, summarize};
 use mailval_measure::report::render_table;
 

@@ -6,12 +6,14 @@
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::behavior_battery;
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{pct, render_table};
 
 fn main() {
     let prepared = prepare(DatasetKind::TwoWeekMx);
-    let tests = vec!["t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10", "t11"];
+    let tests = vec![
+        "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10", "t11",
+    ];
     let result = campaign(&prepared, CampaignKind::TwoWeekMx, tests);
     let stats = behavior_battery(&result.log);
 

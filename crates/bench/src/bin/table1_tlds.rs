@@ -25,10 +25,7 @@ fn main() {
                     .get(i)
                     .map(|t| (t.tld.to_string(), t.share))
                     .unwrap_or_default();
-                let (m_tld, m_share) = measured
-                    .get(i)
-                    .cloned()
-                    .unwrap_or(("-".into(), 0.0));
+                let (m_tld, m_share) = measured.get(i).cloned().unwrap_or(("-".into(), 0.0));
                 vec![
                     format!("{}", i + 1),
                     paper_tld,
@@ -41,8 +38,11 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &format!("Table 1 — {name} top TLDs ({} domains, {} TLDs measured)",
-                    pop.domains.len(), distinct.len()),
+                &format!(
+                    "Table 1 — {name} top TLDs ({} domains, {} TLDs measured)",
+                    pop.domains.len(),
+                    distinct.len()
+                ),
                 &["#", "paper TLD", "paper %", "measured TLD", "measured %"],
                 &rows
             )

@@ -56,7 +56,13 @@ fn main() {
         "{}",
         render_table(
             "Table 2 — datasets (each cell: paper / measured)",
-            &["data set", "run / valid email", "domains", "IPv4 MTAs", "IPv6 MTAs"],
+            &[
+                "data set",
+                "run / valid email",
+                "domains",
+                "IPv4 MTAs",
+                "IPv6 MTAs"
+            ],
             &rows
         )
     );

@@ -9,7 +9,11 @@ use std::collections::{HashMap, HashSet};
 
 fn main() {
     for (kind, name, paper) in [
-        (DatasetKind::NotifyEmail, "NotifyEmail", NOTIFY_EMAIL_TOP_ASES),
+        (
+            DatasetKind::NotifyEmail,
+            "NotifyEmail",
+            NOTIFY_EMAIL_TOP_ASES,
+        ),
         (DatasetKind::TwoWeekMx, "TwoWeekMX", TWO_WEEK_MX_TOP_ASES),
     ] {
         let pop = population(kind);
@@ -58,7 +62,11 @@ fn main() {
             render_table(
                 &format!(
                     "Table 3 — {name} top ASes (paper total ASes: {}, measured: {})",
-                    if kind == DatasetKind::NotifyEmail { "10,937" } else { "1,795" },
+                    if kind == DatasetKind::NotifyEmail {
+                        "10,937"
+                    } else {
+                        "1,795"
+                    },
                     counts.len()
                 ),
                 &["#", "paper AS", "paper %", "measured AS", "measured %"],

@@ -5,7 +5,7 @@
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::{notify_email_flags, partial_spf_stats, table4};
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, render_table};
 
 fn main() {
@@ -48,18 +48,42 @@ fn main() {
         )
     );
 
-    let spf: usize = rows_measured.iter().filter(|r| r.combo.0).map(|r| r.count).sum();
-    let dkim: usize = rows_measured.iter().filter(|r| r.combo.1).map(|r| r.count).sum();
-    let dmarc: usize = rows_measured.iter().filter(|r| r.combo.2).map(|r| r.count).sum();
+    let spf: usize = rows_measured
+        .iter()
+        .filter(|r| r.combo.0)
+        .map(|r| r.count)
+        .sum();
+    let dkim: usize = rows_measured
+        .iter()
+        .filter(|r| r.combo.1)
+        .map(|r| r.count)
+        .sum();
+    let dmarc: usize = rows_measured
+        .iter()
+        .filter(|r| r.combo.2)
+        .map(|r| r.count)
+        .sum();
     println!(
         "{}",
         render_table(
             "§6.1 marginals",
             &["mechanism", "paper", "measured"],
             &[
-                vec!["SPF-validating domains".into(), "22,703 (85%)".into(), count_pct(spf, total)],
-                vec!["DKIM-validating domains".into(), "21,814 (82%)".into(), count_pct(dkim, total)],
-                vec!["DMARC-validating domains".into(), "14,436 (54%)".into(), count_pct(dmarc, total)],
+                vec![
+                    "SPF-validating domains".into(),
+                    "22,703 (85%)".into(),
+                    count_pct(spf, total)
+                ],
+                vec![
+                    "DKIM-validating domains".into(),
+                    "21,814 (82%)".into(),
+                    count_pct(dkim, total)
+                ],
+                vec![
+                    "DMARC-validating domains".into(),
+                    "14,436 (54%)".into(),
+                    count_pct(dmarc, total)
+                ],
             ]
         )
     );

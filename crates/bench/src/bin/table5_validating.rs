@@ -7,7 +7,7 @@ use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::{
     consistency, decile_counts, notify_validating_counts, probe_validating_counts,
 };
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, pct, render_table};
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
     let probe_tests = vec!["t01", "t06", "t12"];
     // Nine months pass between the campaigns (§4.2): a small fraction of
     // operators change configuration in the meantime.
-    notify.profiles = mailval_measure::experiment::drift_profiles(
+    notify.profiles = mailval_measure::campaign::drift_profiles(
         &notify.pop,
         &notify.profiles,
         0.05,

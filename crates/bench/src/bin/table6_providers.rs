@@ -5,7 +5,7 @@
 use mailval_bench::provider_population;
 use mailval_datasets::providers::PROVIDERS;
 use mailval_measure::analysis::notify_email_flags;
-use mailval_measure::experiment::{run_campaign, CampaignConfig, CampaignKind};
+use mailval_measure::campaign::{run_campaign, CampaignConfig, CampaignKind};
 use mailval_measure::report::render_table;
 use mailval_simnet::LatencyModel;
 
@@ -18,6 +18,7 @@ fn main() {
             seed: mailval_bench::seed(),
             probe_pause_ms: 0,
             latency: LatencyModel::default(),
+            shards: mailval_bench::shards(),
         },
         &pop,
         &profiles,

@@ -4,7 +4,7 @@
 use mailval_bench::{campaign, prepare};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::{alexa_breakdown, notify_email_flags};
-use mailval_measure::experiment::CampaignKind;
+use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, render_table};
 
 fn main() {

@@ -2,7 +2,8 @@
 //!
 //! The reproduction harness: one binary per table and figure of the
 //! paper (`src/bin/`), printing paper-reported values next to measured
-//! ones, plus Criterion micro-benchmarks (`benches/`).
+//! ones, plus dependency-free micro-benchmarks (`benches/`, built on
+//! [`timing`]).
 //!
 //! Every binary accepts the environment variables:
 //!
@@ -10,14 +11,18 @@
 //!   (default 1.0 = 26,695 / 22,548 domains). Use e.g. `0.05` for a
 //!   quick run.
 //! * `MAILVAL_SEED` — RNG seed (default 2021).
+//! * `MAILVAL_SHARDS` — campaign worker threads (default: available
+//!   parallelism, capped at 8). Output is identical for any value.
 //!
 //! Run them all via `cargo run --release -p mailval-bench --bin <name>`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod timing;
+
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
-use mailval_measure::experiment::{
+use mailval_measure::campaign::{
     run_campaign, sample_host_profiles, CampaignConfig, CampaignKind, CampaignResult,
 };
 use mailval_mta::profile::MtaProfile;
@@ -37,6 +42,20 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2021)
+}
+
+/// Read the shard count from `MAILVAL_SHARDS` (default: available
+/// parallelism, capped at 8 — the result is identical either way, only
+/// the wall-clock time changes).
+pub fn shards() -> usize {
+    std::env::var("MAILVAL_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        })
 }
 
 /// Generate a population at the configured scale.
@@ -64,18 +83,24 @@ pub fn prepare(kind: DatasetKind) -> Prepared {
 }
 
 /// Run a campaign with given tests over a prepared population.
-pub fn campaign(prepared: &Prepared, kind: CampaignKind, tests: Vec<&'static str>) -> CampaignResult {
+pub fn campaign(
+    prepared: &Prepared,
+    kind: CampaignKind,
+    tests: Vec<&'static str>,
+) -> CampaignResult {
     let config = CampaignConfig {
         kind,
         tests,
         seed: seed(),
         probe_pause_ms: 15_000,
         latency: LatencyModel::default(),
+        shards: shards(),
     };
     eprintln!(
-        "[mailval] running {kind:?} over {} domains / {} hosts ...",
+        "[mailval] running {kind:?} over {} domains / {} hosts on {} shard(s) ...",
         prepared.pop.domains.len(),
-        prepared.pop.hosts.len()
+        prepared.pop.hosts.len(),
+        config.shards
     );
     let start = std::time::Instant::now();
     let result = run_campaign(&config, &prepared.pop, &prepared.profiles);

@@ -1,0 +1,109 @@
+//! A tiny dependency-free timing harness for the `benches/` targets.
+//!
+//! The container builds offline, so the benches cannot pull Criterion
+//! from the registry. This module provides the minimum that the
+//! micro-benchmarks need: warm up, run a fixed wall-clock budget of
+//! iterations, report min/mean/median. Results are printed
+//! human-readable; nothing is persisted.
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmarked closure.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Iterations measured (after warm-up).
+    pub iters: u64,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Mean over all measured iterations.
+    pub mean: Duration,
+    /// Median over all measured iterations.
+    pub median: Duration,
+}
+
+impl Timing {
+    /// Render one aligned result line, e.g. for `bench_fn` callers.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "{name:<44} {:>12} min {:>12} mean {:>12} median ({} iters)",
+            fmt_duration(self.min),
+            fmt_duration(self.mean),
+            fmt_duration(self.median),
+            self.iters
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark `f`, printing a result line to stdout and returning the
+/// stats. Warm-up runs for ~1/10 of the measurement budget; measurement
+/// runs for ~1 s or at least 10 iterations, whichever is longer. The
+/// closure's return value is passed through `std::hint::black_box` so
+/// the optimizer cannot delete the work.
+pub fn bench_fn<T>(name: &str, mut f: impl FnMut() -> T) -> Timing {
+    let budget = Duration::from_millis(
+        std::env::var("MAILVAL_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1000),
+    );
+
+    let warm_until = Instant::now() + budget / 10;
+    while Instant::now() < warm_until {
+        std::hint::black_box(f());
+    }
+
+    let mut samples: Vec<Duration> = Vec::new();
+    let measure_until = Instant::now() + budget;
+    while samples.len() < 10 || Instant::now() < measure_until {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+        if samples.len() >= 1_000_000 {
+            break;
+        }
+    }
+
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    let timing = Timing {
+        iters: samples.len() as u64,
+        min: samples[0],
+        mean: total / samples.len() as u32,
+        median: samples[samples.len() / 2],
+    };
+    println!("{}", timing.report(name));
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_fn_measures_something() {
+        std::env::set_var("MAILVAL_BENCH_MS", "20");
+        let t = bench_fn("noop", || 1 + 1);
+        assert!(t.iters >= 10);
+        assert!(t.min <= t.median && t.median <= t.mean * 10);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -96,7 +96,7 @@ pub fn decode(input: &str) -> Result<Vec<u8>, Base64Error> {
     }
     if padding > 0 {
         // If padding is present it must complete the final quantum.
-        if (vals.len() + padding) % 4 != 0 {
+        if !(vals.len() + padding).is_multiple_of(4) {
             return Err(Base64Error::InvalidLength);
         }
     }

@@ -183,8 +183,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let a = long[i] as u128;
+        for (i, &limb) in long.iter().enumerate() {
+            let a = limb as u128;
             let b = *short.get(i).unwrap_or(&0) as u128;
             let sum = a + b + carry as u128;
             out.push(sum as u64);
@@ -356,9 +356,7 @@ impl BigUint {
             let mut qhat = num / v[n - 1] as u128;
             let mut rhat = num % v[n - 1] as u128;
             // Refine the 2-limb estimate against the next limb (D3).
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {
@@ -601,7 +599,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_big(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -613,15 +611,15 @@ impl Ord for BigUint {
 
 /// Primes below 1000 for trial division.
 const SMALL_PRIMES: &[u64] = &[
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
-    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419,
-    421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541,
-    547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653,
-    659, 661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787,
-    797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919,
-    929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421,
+    431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541, 547,
+    557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659,
+    661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797,
+    809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919, 929,
+    937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
 ];
 
 /// A sign-magnitude integer used only by the extended Euclidean algorithm.
@@ -827,7 +825,7 @@ mod tests {
         let inv = big(3).mod_inverse(&big(11)).unwrap();
         assert_eq!(inv, big(4)); // 3*4 = 12 = 1 mod 11
         assert!(big(6).mod_inverse(&big(9)).is_none()); // gcd 3
-        // Large: e=65537 mod a big odd modulus
+                                                        // Large: e=65537 mod a big odd modulus
         let mut rng = SplitMix64::new(7);
         let m = BigUint::gen_prime(128, &mut rng);
         let e = big(65537);
@@ -839,7 +837,15 @@ mod tests {
     fn primality_small() {
         let mut rng = SplitMix64::new(1);
         let primes = [2u64, 3, 5, 17, 97, 257, 65537, 1_000_000_007];
-        let composites = [1u64, 4, 15, 91, 561 /* Carmichael */, 65536, 1_000_000_008];
+        let composites = [
+            1u64,
+            4,
+            15,
+            91,
+            561, /* Carmichael */
+            65536,
+            1_000_000_008,
+        ];
         for p in primes {
             assert!(
                 BigUint::from_u64(p).is_probable_prime(16, &mut rng),

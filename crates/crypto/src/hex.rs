@@ -14,7 +14,7 @@ pub fn encode(data: &[u8]) -> String {
 /// non-hex characters.
 pub fn decode(s: &str) -> Option<Vec<u8>> {
     let s = s.as_bytes();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -60,11 +60,7 @@ mod tests {
 
     #[test]
     fn rfc4231_case2() {
-        let out = hmac(
-            HashAlg::Sha256,
-            b"Jefe",
-            b"what do ya want for nothing?",
-        );
+        let out = hmac(HashAlg::Sha256, b"Jefe", b"what do ya want for nothing?");
         assert_eq!(
             hex::encode(&out),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
@@ -87,6 +83,9 @@ mod tests {
     fn rfc2202_sha1_case1() {
         let key = [0x0b; 20];
         let out = hmac(HashAlg::Sha1, &key, b"Hi There");
-        assert_eq!(hex::encode(&out), "b617318655057264e28bc0b6fb378c8ef146be00");
+        assert_eq!(
+            hex::encode(&out),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
     }
 }

@@ -23,16 +23,66 @@ pub struct AsShare {
 
 /// Table 3, NotifyEmail column (10,937 total ASes).
 pub const NOTIFY_EMAIL_TOP_ASES: &[AsShare] = &[
-    AsShare { asn: 16509, name: "Amazon", share: 0.023, shared_provider: true },
-    AsShare { asn: 26211, name: "Proofpoint", share: 0.017, shared_provider: true },
-    AsShare { asn: 22843, name: "Proofpoint", share: 0.016, shared_provider: true },
-    AsShare { asn: 46606, name: "Unified Layer", share: 0.013, shared_provider: true },
-    AsShare { asn: 16276, name: "OVH", share: 0.0095, shared_provider: false },
-    AsShare { asn: 24940, name: "Hetzner", share: 0.0092, shared_provider: false },
-    AsShare { asn: 16417, name: "IronPort", share: 0.0091, shared_provider: true },
-    AsShare { asn: 14618, name: "Amazon", share: 0.0088, shared_provider: true },
-    AsShare { asn: 12824, name: "home.pl", share: 0.0054, shared_provider: true },
-    AsShare { asn: 52129, name: "Proofpoint", share: 0.0043, shared_provider: true },
+    AsShare {
+        asn: 16509,
+        name: "Amazon",
+        share: 0.023,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 26211,
+        name: "Proofpoint",
+        share: 0.017,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 22843,
+        name: "Proofpoint",
+        share: 0.016,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 46606,
+        name: "Unified Layer",
+        share: 0.013,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 16276,
+        name: "OVH",
+        share: 0.0095,
+        shared_provider: false,
+    },
+    AsShare {
+        asn: 24940,
+        name: "Hetzner",
+        share: 0.0092,
+        shared_provider: false,
+    },
+    AsShare {
+        asn: 16417,
+        name: "IronPort",
+        share: 0.0091,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 14618,
+        name: "Amazon",
+        share: 0.0088,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 12824,
+        name: "home.pl",
+        share: 0.0054,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 52129,
+        name: "Proofpoint",
+        share: 0.0043,
+        shared_provider: true,
+    },
 ];
 
 /// Total ASes in the NotifyEmail dataset.
@@ -40,16 +90,66 @@ pub const NOTIFY_EMAIL_AS_COUNT: usize = 10_937;
 
 /// Table 3, TwoWeekMX column (1,795 total ASes).
 pub const TWO_WEEK_MX_TOP_ASES: &[AsShare] = &[
-    AsShare { asn: 15169, name: "Google", share: 0.32, shared_provider: true },
-    AsShare { asn: 8075, name: "Microsoft", share: 0.20, shared_provider: true },
-    AsShare { asn: 16509, name: "Amazon", share: 0.043, shared_provider: true },
-    AsShare { asn: 22843, name: "Proofpoint", share: 0.041, shared_provider: true },
-    AsShare { asn: 26211, name: "Proofpoint", share: 0.032, shared_provider: true },
-    AsShare { asn: 30031, name: "Mimecast", share: 0.023, shared_provider: true },
-    AsShare { asn: 14618, name: "Amazon", share: 0.017, shared_provider: true },
-    AsShare { asn: 26496, name: "GoDaddy", share: 0.016, shared_provider: true },
-    AsShare { asn: 46606, name: "Unified Layer", share: 0.013, shared_provider: true },
-    AsShare { asn: 16417, name: "IronPort", share: 0.012, shared_provider: true },
+    AsShare {
+        asn: 15169,
+        name: "Google",
+        share: 0.32,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 8075,
+        name: "Microsoft",
+        share: 0.20,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 16509,
+        name: "Amazon",
+        share: 0.043,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 22843,
+        name: "Proofpoint",
+        share: 0.041,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 26211,
+        name: "Proofpoint",
+        share: 0.032,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 30031,
+        name: "Mimecast",
+        share: 0.023,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 14618,
+        name: "Amazon",
+        share: 0.017,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 26496,
+        name: "GoDaddy",
+        share: 0.016,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 46606,
+        name: "Unified Layer",
+        share: 0.013,
+        shared_provider: true,
+    },
+    AsShare {
+        asn: 16417,
+        name: "IronPort",
+        share: 0.012,
+        shared_provider: true,
+    },
 ];
 
 /// Total ASes in the TwoWeekMX dataset.
@@ -77,16 +177,14 @@ impl AsSampler {
         let tail_mass = (1.0 - top_mass).max(0.0);
         // Tail ASes are mostly self-hosting orgs: geometric decay.
         let ratio: f64 = 1.0 - 3.0 / tail_count as f64;
-        let mut tail_weights: Vec<f64> = (0..tail_count)
-            .map(|i| ratio.powi(i as i32))
-            .collect();
+        let mut tail_weights: Vec<f64> = (0..tail_count).map(|i| ratio.powi(i as i32)).collect();
         let tail_total: f64 = tail_weights.iter().sum();
         for w in &mut tail_weights {
             *w *= tail_mass / tail_total;
         }
-        for i in 0..tail_count {
+        for (i, &w) in tail_weights.iter().enumerate() {
             entries.push((64512 + i as u32, format!("AS-tail-{i}"), false));
-            weights.push(tail_weights[i]);
+            weights.push(w);
         }
         AsSampler { entries, weights }
     }

@@ -2,8 +2,14 @@
 //! demand, matching the dataset shapes of Tables 1–3 of the paper.
 
 use crate::alexa::{assign_tiers, AlexaTier};
-use crate::asn::{AsSampler, NOTIFY_EMAIL_AS_COUNT, NOTIFY_EMAIL_TOP_ASES, TWO_WEEK_MX_AS_COUNT, TWO_WEEK_MX_TOP_ASES};
-use crate::tld::{TldSampler, NOTIFY_EMAIL_TLD_COUNT, NOTIFY_EMAIL_TOP_TLDS, TWO_WEEK_MX_TLD_COUNT, TWO_WEEK_MX_TOP_TLDS};
+use crate::asn::{
+    AsSampler, NOTIFY_EMAIL_AS_COUNT, NOTIFY_EMAIL_TOP_ASES, TWO_WEEK_MX_AS_COUNT,
+    TWO_WEEK_MX_TOP_ASES,
+};
+use crate::tld::{
+    TldSampler, NOTIFY_EMAIL_TLD_COUNT, NOTIFY_EMAIL_TOP_TLDS, TWO_WEEK_MX_TLD_COUNT,
+    TWO_WEEK_MX_TOP_TLDS,
+};
 use mailval_dns::Name;
 use mailval_simnet::SimRng;
 use std::collections::HashMap;
@@ -172,10 +178,10 @@ impl Population {
         let mut pools: HashMap<u32, PoolState> = HashMap::new();
         let mut hosts: Vec<MtaHost> = Vec::new();
         let make_pool = |asn: u32,
-                             shared: bool,
-                             domain_count: usize,
-                             hosts: &mut Vec<MtaHost>,
-                             rng: &mut SimRng| {
+                         shared: bool,
+                         domain_count: usize,
+                         hosts: &mut Vec<MtaHost>,
+                         rng: &mut SimRng| {
             let size = if shared {
                 ((4.0 * (domain_count as f64).sqrt()).ceil() as usize).max(2)
             } else {

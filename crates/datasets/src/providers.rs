@@ -17,25 +17,120 @@ pub struct ProviderRow {
 
 /// Table 6 of the paper, verbatim.
 pub const PROVIDERS: &[ProviderRow] = &[
-    ProviderRow { domain: "hotmail.com", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "gmail.com", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "yahoo.com", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "aol.com", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "gmx.de", spf: true, dkim: true, dmarc: false },
-    ProviderRow { domain: "mail.ru", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "yahoo.co.in", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "comcast.net", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "web.de", spf: true, dkim: true, dmarc: false },
-    ProviderRow { domain: "qq.com", spf: false, dkim: false, dmarc: false },
-    ProviderRow { domain: "yahoo.co.jp", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "naver.com", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "163.com", spf: false, dkim: false, dmarc: false },
-    ProviderRow { domain: "libero.it", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "yandex.ru", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "daum.net", spf: true, dkim: true, dmarc: false },
-    ProviderRow { domain: "cox.net", spf: true, dkim: true, dmarc: true },
-    ProviderRow { domain: "att.net", spf: false, dkim: false, dmarc: false },
-    ProviderRow { domain: "wp.pl", spf: true, dkim: true, dmarc: true },
+    ProviderRow {
+        domain: "hotmail.com",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "gmail.com",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "yahoo.com",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "aol.com",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "gmx.de",
+        spf: true,
+        dkim: true,
+        dmarc: false,
+    },
+    ProviderRow {
+        domain: "mail.ru",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "yahoo.co.in",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "comcast.net",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "web.de",
+        spf: true,
+        dkim: true,
+        dmarc: false,
+    },
+    ProviderRow {
+        domain: "qq.com",
+        spf: false,
+        dkim: false,
+        dmarc: false,
+    },
+    ProviderRow {
+        domain: "yahoo.co.jp",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "naver.com",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "163.com",
+        spf: false,
+        dkim: false,
+        dmarc: false,
+    },
+    ProviderRow {
+        domain: "libero.it",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "yandex.ru",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "daum.net",
+        spf: true,
+        dkim: true,
+        dmarc: false,
+    },
+    ProviderRow {
+        domain: "cox.net",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
+    ProviderRow {
+        domain: "att.net",
+        spf: false,
+        dkim: false,
+        dmarc: false,
+    },
+    ProviderRow {
+        domain: "wp.pl",
+        spf: true,
+        dkim: true,
+        dmarc: true,
+    },
 ];
 
 /// Aggregate checks the paper reports about Table 6.
@@ -45,7 +140,10 @@ pub fn spf_validating_count() -> usize {
 
 /// Providers validating all three mechanisms.
 pub fn full_validation_count() -> usize {
-    PROVIDERS.iter().filter(|p| p.spf && p.dkim && p.dmarc).count()
+    PROVIDERS
+        .iter()
+        .filter(|p| p.spf && p.dkim && p.dmarc)
+        .count()
 }
 
 #[cfg(test)]

@@ -13,16 +13,46 @@ pub struct TldShare {
 
 /// Table 1, NotifyEmail column: top-10 TLDs and total TLD count 259.
 pub const NOTIFY_EMAIL_TOP_TLDS: &[TldShare] = &[
-    TldShare { tld: "com", share: 0.26 },
-    TldShare { tld: "net", share: 0.13 },
-    TldShare { tld: "ru", share: 0.083 },
-    TldShare { tld: "pl", share: 0.050 },
-    TldShare { tld: "br", share: 0.045 },
-    TldShare { tld: "de", share: 0.040 },
-    TldShare { tld: "ua", share: 0.025 },
-    TldShare { tld: "it", share: 0.019 },
-    TldShare { tld: "cz", share: 0.016 },
-    TldShare { tld: "ro", share: 0.016 },
+    TldShare {
+        tld: "com",
+        share: 0.26,
+    },
+    TldShare {
+        tld: "net",
+        share: 0.13,
+    },
+    TldShare {
+        tld: "ru",
+        share: 0.083,
+    },
+    TldShare {
+        tld: "pl",
+        share: 0.050,
+    },
+    TldShare {
+        tld: "br",
+        share: 0.045,
+    },
+    TldShare {
+        tld: "de",
+        share: 0.040,
+    },
+    TldShare {
+        tld: "ua",
+        share: 0.025,
+    },
+    TldShare {
+        tld: "it",
+        share: 0.019,
+    },
+    TldShare {
+        tld: "cz",
+        share: 0.016,
+    },
+    TldShare {
+        tld: "ro",
+        share: 0.016,
+    },
 ];
 
 /// Total TLDs in the NotifyEmail dataset.
@@ -30,16 +60,46 @@ pub const NOTIFY_EMAIL_TLD_COUNT: usize = 259;
 
 /// Table 1, TwoWeekMX column: top-10 TLDs and total TLD count 218.
 pub const TWO_WEEK_MX_TOP_TLDS: &[TldShare] = &[
-    TldShare { tld: "com", share: 0.49 },
-    TldShare { tld: "org", share: 0.17 },
-    TldShare { tld: "edu", share: 0.090 },
-    TldShare { tld: "net", share: 0.063 },
-    TldShare { tld: "us", share: 0.036 },
-    TldShare { tld: "gov", share: 0.011 },
-    TldShare { tld: "uk", share: 0.011 },
-    TldShare { tld: "cam", share: 0.010 },
-    TldShare { tld: "ca", share: 0.0076 },
-    TldShare { tld: "de", share: 0.0066 },
+    TldShare {
+        tld: "com",
+        share: 0.49,
+    },
+    TldShare {
+        tld: "org",
+        share: 0.17,
+    },
+    TldShare {
+        tld: "edu",
+        share: 0.090,
+    },
+    TldShare {
+        tld: "net",
+        share: 0.063,
+    },
+    TldShare {
+        tld: "us",
+        share: 0.036,
+    },
+    TldShare {
+        tld: "gov",
+        share: 0.011,
+    },
+    TldShare {
+        tld: "uk",
+        share: 0.011,
+    },
+    TldShare {
+        tld: "cam",
+        share: 0.010,
+    },
+    TldShare {
+        tld: "ca",
+        share: 0.0076,
+    },
+    TldShare {
+        tld: "de",
+        share: 0.0066,
+    },
 ];
 
 /// Total TLDs in the TwoWeekMX dataset.
@@ -48,14 +108,14 @@ pub const TWO_WEEK_MX_TLD_COUNT: usize = 218;
 /// Long-tail TLD labels used to fill out the remaining mass (drawn from
 /// real ccTLD/newTLD space so synthetic names look plausible).
 const TAIL_TLDS: &[&str] = &[
-    "fr", "nl", "es", "jp", "cn", "in", "au", "se", "no", "fi", "dk", "ch", "at", "be", "pt",
-    "gr", "hu", "sk", "si", "hr", "rs", "bg", "lt", "lv", "ee", "tr", "il", "za", "mx", "ar",
-    "cl", "co", "pe", "ve", "kr", "tw", "hk", "sg", "my", "th", "vn", "id", "ph", "nz", "ie",
-    "is", "lu", "mt", "cy", "md", "by", "kz", "ge", "am", "az", "uz", "mn", "np", "lk", "bd",
-    "pk", "ir", "iq", "sa", "ae", "qa", "kw", "om", "jo", "lb", "eg", "ma", "tn", "dz", "ly",
-    "ng", "ke", "gh", "tz", "ug", "zm", "zw", "mz", "ao", "cm", "ci", "sn", "et", "info",
-    "biz", "org", "edu", "gov", "us", "uk", "ca", "eu", "io", "co", "me", "tv", "cc", "ws",
-    "xyz", "online", "site", "club", "top", "shop", "app", "dev", "cloud", "email", "network",
+    "fr", "nl", "es", "jp", "cn", "in", "au", "se", "no", "fi", "dk", "ch", "at", "be", "pt", "gr",
+    "hu", "sk", "si", "hr", "rs", "bg", "lt", "lv", "ee", "tr", "il", "za", "mx", "ar", "cl", "co",
+    "pe", "ve", "kr", "tw", "hk", "sg", "my", "th", "vn", "id", "ph", "nz", "ie", "is", "lu", "mt",
+    "cy", "md", "by", "kz", "ge", "am", "az", "uz", "mn", "np", "lk", "bd", "pk", "ir", "iq", "sa",
+    "ae", "qa", "kw", "om", "jo", "lb", "eg", "ma", "tn", "dz", "ly", "ng", "ke", "gh", "tz", "ug",
+    "zm", "zw", "mz", "ao", "cm", "ci", "sn", "et", "info", "biz", "org", "edu", "gov", "us", "uk",
+    "ca", "eu", "io", "co", "me", "tv", "cc", "ws", "xyz", "online", "site", "club", "top", "shop",
+    "app", "dev", "cloud", "email", "network",
 ];
 
 /// A TLD sampler matching a Table 1 column: the top-10 get their exact
@@ -83,7 +143,7 @@ impl TldSampler {
         for w in &mut tail_weights {
             *w *= tail_mass / tail_total;
         }
-        for i in 0..tail_count {
+        for (i, &w) in tail_weights.iter().enumerate() {
             // Cycle through real tail labels; extend with numbered
             // variants when the list runs out.
             let label = if let Some(&t) = TAIL_TLDS.get(i) {
@@ -97,7 +157,7 @@ impl TldSampler {
                 format!("tld{i}")
             };
             tlds.push(label);
-            weights.push(tail_weights[i]);
+            weights.push(w);
         }
         TldSampler { tlds, weights }
     }
@@ -138,7 +198,9 @@ mod tests {
     fn shares_reproduced() {
         let sampler = TldSampler::new(NOTIFY_EMAIL_TOP_TLDS, NOTIFY_EMAIL_TLD_COUNT);
         let mut rng = SimRng::new(1);
-        let samples: Vec<String> = (0..50_000).map(|_| sampler.sample(&mut rng).to_string()).collect();
+        let samples: Vec<String> = (0..50_000)
+            .map(|_| sampler.sample(&mut rng).to_string())
+            .collect();
         let top = empirical_top_tlds(&samples, 3);
         assert_eq!(top[0].0, "com");
         assert!((top[0].1 - 0.26).abs() < 0.02, "com share {}", top[0].1);

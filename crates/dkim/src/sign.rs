@@ -108,7 +108,10 @@ fn data_hash_input(
     signed: &[String],
 ) -> Vec<u8> {
     let mut input = Vec::new();
-    for header in select_headers(message_headers, signed).into_iter().flatten() {
+    for header in select_headers(message_headers, signed)
+        .into_iter()
+        .flatten()
+    {
         input.extend_from_slice(canonicalize_header(header_canon, header).as_bytes());
     }
     let sig_field = HeaderField {
@@ -180,7 +183,11 @@ pub fn sign_message(
 
 /// Recompute the data-hash digest for verification of a *parsed*
 /// signature against a message. Exposed for the verifier.
-pub fn verification_digest(message: &MailMessage, sig: &DkimSignature, raw_sig_value: &str) -> Vec<u8> {
+pub fn verification_digest(
+    message: &MailMessage,
+    sig: &DkimSignature,
+    raw_sig_value: &str,
+) -> Vec<u8> {
     // Reconstruct the signed header value with b= emptied but everything
     // else byte-identical to what arrived (§3.7: remove the b= value from
     // the header as received).
@@ -213,7 +220,9 @@ pub fn strip_b_value(raw: &str) -> String {
             || before.trim().is_empty();
         let after_tag = &after[1..];
         let is_b_tag = at_boundary
-            && after_tag.trim_start_matches([' ', '\t', '\r', '\n']).starts_with('=');
+            && after_tag
+                .trim_start_matches([' ', '\t', '\r', '\n'])
+                .starts_with('=');
         if !is_b_tag {
             out.push_str(before);
             out.push('b');
@@ -256,21 +265,12 @@ mod tests {
 
     #[test]
     fn strip_b_value_basic() {
-        assert_eq!(
-            strip_b_value("v=1; bh=XYZ; b=ABCDEF"),
-            "v=1; bh=XYZ; b="
-        );
-        assert_eq!(
-            strip_b_value("v=1; b=ABC; d=x.test"),
-            "v=1; b=; d=x.test"
-        );
+        assert_eq!(strip_b_value("v=1; bh=XYZ; b=ABCDEF"), "v=1; bh=XYZ; b=");
+        assert_eq!(strip_b_value("v=1; b=ABC; d=x.test"), "v=1; b=; d=x.test");
         // bh= must not be stripped.
         assert_eq!(strip_b_value("bh=KEEP; b=GO"), "bh=KEEP; b=");
         // Folded b= value.
-        assert_eq!(
-            strip_b_value("v=1; b=abc\r\n\tdef; d=x"),
-            "v=1; b=; d=x"
-        );
+        assert_eq!(strip_b_value("v=1; b=abc\r\n\tdef; d=x"), "v=1; b=; d=x");
     }
 
     #[test]

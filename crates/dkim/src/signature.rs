@@ -116,9 +116,8 @@ impl DkimSignature {
         };
         let domain = Name::parse(tags.get("d").ok_or(SignatureError::MissingTag("d"))?.trim())
             .map_err(|_| SignatureError::BadTag("d"))?;
-        let selector =
-            Name::parse(tags.get("s").ok_or(SignatureError::MissingTag("s"))?.trim())
-                .map_err(|_| SignatureError::BadTag("s"))?;
+        let selector = Name::parse(tags.get("s").ok_or(SignatureError::MissingTag("s"))?.trim())
+            .map_err(|_| SignatureError::BadTag("s"))?;
         let signed_headers: Vec<String> = tags
             .get("h")
             .ok_or(SignatureError::MissingTag("h"))?
@@ -274,8 +273,9 @@ mod tests {
 
     #[test]
     fn single_sided_c_tag() {
-        let sig = DkimSignature::parse("v=1; a=rsa-sha256; c=relaxed; d=x.test; s=s; h=from; b=; bh=")
-            .unwrap();
+        let sig =
+            DkimSignature::parse("v=1; a=rsa-sha256; c=relaxed; d=x.test; s=s; h=from; b=; bh=")
+                .unwrap();
         assert_eq!(sig.header_canon, Canonicalization::Relaxed);
         assert_eq!(sig.body_canon, Canonicalization::Simple);
     }

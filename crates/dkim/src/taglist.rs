@@ -112,10 +112,7 @@ mod tests {
             TagList::parse("novalue"),
             Err(TagListError::MissingEquals)
         ));
-        assert!(matches!(
-            TagList::parse("=x"),
-            Err(TagListError::EmptyName)
-        ));
+        assert!(matches!(TagList::parse("=x"), Err(TagListError::EmptyName)));
         assert!(matches!(
             TagList::parse("a=1; a=2"),
             Err(TagListError::Duplicate(_))

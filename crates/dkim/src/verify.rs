@@ -153,8 +153,8 @@ impl DkimVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sign::{sign_message, SignConfig};
     use crate::canon::Canonicalization;
+    use crate::sign::{sign_message, SignConfig};
     use mailval_crypto::bigint::SplitMix64;
     use mailval_crypto::rsa::RsaKeyPair;
     use mailval_dns::rr::RData;

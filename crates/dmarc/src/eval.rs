@@ -244,7 +244,12 @@ mod tests {
         ResolveOutcome::Records(vec![Record::new(n(name), 300, RData::txt_from_str(value))])
     }
 
-    fn auth(from: &str, spf: SpfResult, spf_dom: Option<&str>, dkim: &[(&str, bool)]) -> AuthResults {
+    fn auth(
+        from: &str,
+        spf: SpfResult,
+        spf_dom: Option<&str>,
+        dkim: &[(&str, bool)],
+    ) -> AuthResults {
         AuthResults {
             from_domain: n(from),
             spf_result: spf,
@@ -303,7 +308,12 @@ mod tests {
     #[test]
     fn both_fail_reject() {
         let (v, _) = run(
-            auth("example.com", SpfResult::Fail, Some("example.com"), &[("example.com", false)]),
+            auth(
+                "example.com",
+                SpfResult::Fail,
+                Some("example.com"),
+                &[("example.com", false)],
+            ),
             &[("_dmarc.example.com", Some("v=DMARC1; p=reject"))],
         );
         assert!(!v.pass);
@@ -326,13 +336,23 @@ mod tests {
     fn strict_vs_relaxed_alignment() {
         // Relaxed: subdomain aligns.
         let (v, _) = run(
-            auth("example.com", SpfResult::Pass, Some("mail.example.com"), &[]),
+            auth(
+                "example.com",
+                SpfResult::Pass,
+                Some("mail.example.com"),
+                &[],
+            ),
             &[("_dmarc.example.com", Some("v=DMARC1; p=reject"))],
         );
         assert!(v.pass);
         // Strict: subdomain does not align.
         let (v, _) = run(
-            auth("example.com", SpfResult::Pass, Some("mail.example.com"), &[]),
+            auth(
+                "example.com",
+                SpfResult::Pass,
+                Some("mail.example.com"),
+                &[],
+            ),
             &[("_dmarc.example.com", Some("v=DMARC1; p=reject; aspf=s"))],
         );
         assert!(!v.pass);
@@ -342,7 +362,10 @@ mod tests {
     fn org_domain_fallback() {
         let (v, asked) = run(
             auth("sub.mail.example.com", SpfResult::Fail, None, &[]),
-            &[("_dmarc.example.com", Some("v=DMARC1; p=reject; sp=quarantine"))],
+            &[(
+                "_dmarc.example.com",
+                Some("v=DMARC1; p=reject; sp=quarantine"),
+            )],
         );
         assert_eq!(
             asked,

@@ -15,28 +15,83 @@ use mailval_dns::Name;
 /// TLDs need no listing (the default rule covers them).
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
     // United Kingdom
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk", "sch.uk",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "net.uk",
+    "sch.uk",
     // Brazil
-    "com.br", "net.br", "org.br", "gov.br", "edu.br",
+    "com.br",
+    "net.br",
+    "org.br",
+    "gov.br",
+    "edu.br",
     // Japan
-    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "go.jp",
     // Australia
-    "com.au", "net.au", "org.au", "edu.au", "gov.au",
+    "com.au",
+    "net.au",
+    "org.au",
+    "edu.au",
+    "gov.au",
     // Russia / Ukraine
-    "com.ru", "net.ru", "org.ru", "com.ua", "net.ua", "org.ua", "in.ua",
+    "com.ru",
+    "net.ru",
+    "org.ru",
+    "com.ua",
+    "net.ua",
+    "org.ua",
+    "in.ua",
     // Poland / Czechia / Romania
-    "com.pl", "net.pl", "org.pl", "edu.pl", "waw.pl", "co.ro", "org.ro",
+    "com.pl",
+    "net.pl",
+    "org.pl",
+    "edu.pl",
+    "waw.pl",
+    "co.ro",
+    "org.ro",
     // Americas
-    "com.mx", "com.ar", "com.co", "com.pe", "com.ve",
+    "com.mx",
+    "com.ar",
+    "com.co",
+    "com.pe",
+    "com.ve",
     // Asia
-    "co.in", "net.in", "org.in", "com.cn", "net.cn", "org.cn", "com.tw",
-    "co.kr", "or.kr", "com.sg", "com.hk", "com.my",
+    "co.in",
+    "net.in",
+    "org.in",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "com.tw",
+    "co.kr",
+    "or.kr",
+    "com.sg",
+    "com.hk",
+    "com.my",
     // Europe misc
-    "co.at", "or.at", "com.tr", "com.gr", "co.hu", "com.pt", "com.es",
+    "co.at",
+    "or.at",
+    "com.tr",
+    "com.gr",
+    "co.hu",
+    "com.pt",
+    "com.es",
     // Africa / misc
-    "co.za", "org.za", "com.ng", "co.il", "org.il", "com.eg",
+    "co.za",
+    "org.za",
+    "com.ng",
+    "co.il",
+    "org.il",
+    "com.eg",
     // US locality style
-    "k12.ut.us", "state.ut.us",
+    "k12.ut.us",
+    "state.ut.us",
 ];
 
 /// Is `name` a public suffix?
@@ -59,7 +114,7 @@ pub fn organizational_domain(name: &Name) -> Name {
     // Walk from the TLD downward: the org domain is suffix(k+1) where
     // suffix(k) is the longest public suffix.
     let mut longest_suffix = 1; // every TLD is a suffix
-    // Check 2- and 3-label suffixes against the table.
+                                // Check 2- and 3-label suffixes against the table.
     for k in 2..labels {
         if is_public_suffix(&name.suffix(k)) {
             longest_suffix = k;
@@ -87,7 +142,10 @@ mod tests {
 
     #[test]
     fn simple_tld() {
-        assert_eq!(organizational_domain(&n("mail.example.com")), n("example.com"));
+        assert_eq!(
+            organizational_domain(&n("mail.example.com")),
+            n("example.com")
+        );
         assert_eq!(organizational_domain(&n("example.com")), n("example.com"));
         assert_eq!(
             organizational_domain(&n("a.b.c.d.example.org")),
@@ -101,7 +159,10 @@ mod tests {
             organizational_domain(&n("mail.example.co.uk")),
             n("example.co.uk")
         );
-        assert_eq!(organizational_domain(&n("example.co.uk")), n("example.co.uk"));
+        assert_eq!(
+            organizational_domain(&n("example.co.uk")),
+            n("example.co.uk")
+        );
         assert_eq!(
             organizational_domain(&n("mx1.corp.com.br")),
             n("corp.com.br")

@@ -116,7 +116,11 @@ impl DmarcRecord {
             Some((name, value)) if name == "v" && value.eq_ignore_ascii_case("DMARC1") => {}
             _ => return Err(DmarcParseError::NotDmarc),
         }
-        let get = |name: &str| tags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+        let get = |name: &str| {
+            tags.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        };
         let policy = parse_policy(get("p").ok_or(DmarcParseError::MissingPolicy)?)?;
         let subdomain_policy = match get("sp") {
             Some(v) => Some(parse_policy(v)?),

@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn rejects_too_long_name() {
         let label = "a".repeat(63);
-        let long = vec![label.as_str(); 5].join(".");
+        let long = [label.as_str(); 5].join(".");
         assert_eq!(Name::parse(&long), Err(NameError::NameTooLong));
     }
 

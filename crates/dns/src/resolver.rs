@@ -266,12 +266,7 @@ impl ResolverCore {
             });
         }
         let pending = self.pending.remove(&id).expect("checked above");
-        Step::Done(self.finish(
-            pending.name,
-            pending.rtype,
-            ResolveOutcome::Timeout,
-            now_ms,
-        ))
+        Step::Done(self.finish(pending.name, pending.rtype, ResolveOutcome::Timeout, now_ms))
     }
 
     /// Record the outcome in cache and return it.

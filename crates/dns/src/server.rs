@@ -217,8 +217,7 @@ impl<A: Authority> ServerCore<A> {
         resp.authorities = answer.authorities;
         let mut bytes = resp.to_bytes();
 
-        if transport == Transport::Udp && (answer.force_tcp || bytes.len() > self.udp_payload_max)
-        {
+        if transport == Transport::Udp && (answer.force_tcp || bytes.len() > self.udp_payload_max) {
             // Truncate: empty sections, TC=1 (RFC 2181 §9 style minimal
             // truncation).
             let mut trunc = Message::response_to(&query, answer.rcode);
@@ -256,10 +255,7 @@ mod tests {
         };
         let mut zone = Zone::new(n("example.com"), soa);
         zone.add_rdata(n("a.example.com"), RData::A(Ipv4Addr::new(192, 0, 2, 1)));
-        zone.add_rdata(
-            n("big.example.com"),
-            RData::txt_from_str(&"x".repeat(700)),
-        );
+        zone.add_rdata(n("big.example.com"), RData::txt_from_str(&"x".repeat(700)));
         ServerCore::new(ZoneAuthority::new(zone))
     }
 
@@ -323,7 +319,9 @@ mod tests {
     #[test]
     fn malformed_gets_formerr() {
         let s = server();
-        let reply = s.handle(&[0xab, 0xcd, 0xff], Transport::Udp, false).unwrap();
+        let reply = s
+            .handle(&[0xab, 0xcd, 0xff], Transport::Udp, false)
+            .unwrap();
         let resp = Message::from_bytes(&reply.bytes).unwrap();
         assert_eq!(resp.rcode, Rcode::FormErr);
         assert_eq!(resp.id, 0xabcd);

@@ -380,10 +380,7 @@ impl<'a> Decoder<'a> {
         let class = RecordClass::from_code(self.get_u16()?);
         let ttl = self.get_u32()?;
         let rdlen = self.get_u16()? as usize;
-        let rdata_end = self
-            .pos
-            .checked_add(rdlen)
-            .ok_or(WireError::Truncated)?;
+        let rdata_end = self.pos.checked_add(rdlen).ok_or(WireError::Truncated)?;
         if rdata_end > self.data.len() {
             return Err(WireError::Truncated);
         }
@@ -540,11 +537,7 @@ mod tests {
             ),
             Record::new(n("alias.example"), 60, RData::Cname(n("a.example"))),
             Record::new(n("a.example"), 60, RData::Ns(n("ns1.a.example"))),
-            Record::new(
-                n("1.2.0.192.in-addr.arpa"),
-                60,
-                RData::Ptr(n("a.example")),
-            ),
+            Record::new(n("1.2.0.192.in-addr.arpa"), 60, RData::Ptr(n("a.example"))),
         ];
         msg.authorities = vec![Record::new(
             n("example"),

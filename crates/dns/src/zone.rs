@@ -64,7 +64,10 @@ impl Zone {
             record.name,
             self.origin
         );
-        self.records.entry(record.name.clone()).or_default().push(record);
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .push(record);
     }
 
     /// Convenience: add a record with the zone default TTL.

@@ -7,7 +7,7 @@
 //! attribution) is on the hook for every number.
 
 use crate::apparatus::{QueryLog, QueryRecord};
-use crate::experiment::{CampaignResult, SessionRecord};
+use crate::campaign::{CampaignResult, SessionRecord};
 use mailval_datasets::Population;
 use mailval_dns::rr::RecordType;
 use mailval_dns::server::Transport;
@@ -40,7 +40,9 @@ pub struct DomainFlags {
 pub fn notify_email_flags(result: &CampaignResult, domain_count: usize) -> Vec<DomainFlags> {
     let mut flags = vec![DomainFlags::default(); domain_count];
     for record in &result.log.records {
-        let Some(attr) = attr_of(record) else { continue };
+        let Some(attr) = attr_of(record) else {
+            continue;
+        };
         let Some(d) = attr.domain_index else { continue };
         if d >= domain_count {
             continue;
@@ -154,7 +156,9 @@ pub fn spf_timing(result: &CampaignResult) -> TimingAnalysis {
     // Earliest SPF policy query per domain.
     let mut first_spf: HashMap<usize, u64> = HashMap::new();
     for record in &result.log.records {
-        let Some(attr) = attr_of(record) else { continue };
+        let Some(attr) = attr_of(record) else {
+            continue;
+        };
         let Some(d) = attr.domain_index else { continue };
         let is_spf = !matches!(
             attr.path.first().map(|s| s.as_str()),
@@ -215,7 +219,7 @@ pub fn spf_timing(result: &CampaignResult) -> TimingAnalysis {
 // ---------------------------------------------------------------------------
 
 /// Table 5 row.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ValidatingCounts {
     /// Domains in scope.
     pub total_domains: usize,
@@ -278,10 +282,7 @@ pub fn notify_validating_counts(result: &CampaignResult, pop: &Population) -> Va
     let mut contacted_hosts: HashSet<usize> = HashSet::new();
     for session in &result.sessions {
         contacted_hosts.insert(session.host_index);
-        if flags
-            .get(session.domain_index)
-            .is_some_and(|f| f.spf)
-        {
+        if flags.get(session.domain_index).is_some_and(|f| f.spf) {
             validating_hosts.insert(session.host_index);
         }
     }
@@ -452,9 +453,9 @@ pub fn serial_vs_parallel(log: &QueryLog) -> SerialParallel {
     let mut classified = 0usize;
     let mut serial = 0usize;
     for seen in per_host.values() {
-        if let (Some(foo), Some(l3)) = (seen.foo_at, seen.l3_at) {
+        if let (Some(foo_ms), Some(l3)) = (seen.foo_at, seen.l3_at) {
             classified += 1;
-            if foo > l3 {
+            if foo_ms > l3 {
                 serial += 1;
             }
         }
@@ -551,7 +552,11 @@ impl BehaviorStat {
     }
 }
 
-fn hosts_with(log: &QueryLog, testid: &'static str, pred: impl Fn(&QueryRecord) -> bool) -> HashSet<usize> {
+fn hosts_with(
+    log: &QueryLog,
+    testid: &'static str,
+    pred: impl Fn(&QueryRecord) -> bool,
+) -> HashSet<usize> {
     log.for_test(testid)
         .filter(|r| pred(r))
         .filter_map(|r| attr_of(r)?.host_index)
@@ -757,7 +762,12 @@ pub fn alexa_breakdown(
     pop: &Population,
 ) -> (AlexaColumn, AlexaColumn, AlexaColumn) {
     use mailval_datasets::alexa::AlexaTier;
-    let mut all = AlexaColumn { total: 0, spf: 0, dkim: 0, dmarc: 0 };
+    let mut all = AlexaColumn {
+        total: 0,
+        spf: 0,
+        dkim: 0,
+        dmarc: 0,
+    };
     let mut top1m = all;
     let mut top1k = all;
     for d in &pop.domains {
@@ -799,7 +809,7 @@ pub fn probed_hosts(sessions: &[SessionRecord]) -> HashSet<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+    use crate::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
     use mailval_datasets::{DatasetKind, PopulationConfig};
     use mailval_simnet::LatencyModel;
 
@@ -807,7 +817,12 @@ mod tests {
         Population::generate(&PopulationConfig { kind, scale, seed })
     }
 
-    fn run(kind: CampaignKind, pop: &Population, tests: Vec<&'static str>, seed: u64) -> CampaignResult {
+    fn run(
+        kind: CampaignKind,
+        pop: &Population,
+        tests: Vec<&'static str>,
+        seed: u64,
+    ) -> CampaignResult {
         let profiles = sample_host_profiles(pop, seed);
         run_campaign(
             &CampaignConfig {
@@ -816,6 +831,7 @@ mod tests {
                 seed,
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
+                shards: 1,
             },
             pop,
             &profiles,
@@ -891,7 +907,9 @@ mod tests {
     #[test]
     fn behavior_battery_produces_sane_fractions() {
         let pop = small_pop(DatasetKind::TwoWeekMx, 25, 0.02);
-        let tests = vec!["t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10", "t11"];
+        let tests = vec![
+            "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10", "t11",
+        ];
         let result = run(CampaignKind::TwoWeekMx, &pop, tests, 25);
         let stats = behavior_battery(&result.log);
         assert_eq!(stats.len(), 13);
@@ -905,10 +923,7 @@ mod tests {
             );
         }
         // No MTA followed both duplicate records.
-        let both = stats
-            .iter()
-            .find(|s| s.behavior.contains("BOTH"))
-            .unwrap();
+        let both = stats.iter().find(|s| s.behavior.contains("BOTH")).unwrap();
         assert_eq!(both.exhibited, 0);
         // TCP fallback is nearly universal.
         let tcp = stats.iter().find(|s| s.testid == "t09").unwrap();
@@ -942,6 +957,7 @@ mod tests {
                 seed: 27,
                 probe_pause_ms: 0,
                 latency: LatencyModel::default(),
+                shards: 1,
             },
             &pop,
             &profiles,
@@ -953,6 +969,7 @@ mod tests {
                 seed: 27,
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
+                shards: 1,
             },
             &pop,
             &profiles,

@@ -27,10 +27,15 @@ pub struct Attribution {
 }
 
 /// One logged query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryRecord {
     /// Virtual receive time, ms.
     pub time_ms: u64,
+    /// Global index of the campaign session whose resolver issued the
+    /// query. Together with `time_ms` this is the canonical ordering key
+    /// (see [`QueryLog::sort_canonical`]), which makes sharded runs
+    /// merge to the same byte sequence as a single-threaded run.
+    pub session: usize,
     /// The queried name.
     pub qname: Name,
     /// The queried type.
@@ -61,13 +66,32 @@ impl QueryLog {
         self.records.push(record);
     }
 
+    /// Sort into canonical order: by `(time_ms, session)`, stable, so
+    /// records of one session keep their causal order and concurrent
+    /// sessions tie-break on their global index. Every campaign log is
+    /// canonicalized before it is returned, which is what makes a
+    /// `shards = K` run byte-identical to `shards = 1`.
+    pub fn sort_canonical(&mut self) {
+        self.records.sort_by_key(|r| (r.time_ms, r.session));
+    }
+
+    /// Merge per-shard logs into one canonical log. Each input is
+    /// already internally canonical; the concatenation is re-sorted with
+    /// the same stable key, so the result is independent of the shard
+    /// count and of thread completion order.
+    pub fn merge(logs: Vec<QueryLog>) -> QueryLog {
+        let mut merged = QueryLog::new();
+        for mut log in logs {
+            merged.records.append(&mut log.records);
+        }
+        merged.sort_canonical();
+        merged
+    }
+
     /// Iterate records attributed to a given test.
     pub fn for_test<'a>(&'a self, testid: &'a str) -> impl Iterator<Item = &'a QueryRecord> {
         self.records.iter().filter(move |r| {
-            r.attribution
-                .as_ref()
-                .and_then(|a| a.testid.as_deref())
-                == Some(testid)
+            r.attribution.as_ref().and_then(|a| a.testid.as_deref()) == Some(testid)
         })
     }
 
@@ -241,7 +265,9 @@ mod tests {
             n("p.v6only.t10.m00001.spf-test.dns-lab.org"),
             RecordType::Txt,
         );
-        assert!(server.handle(&q.to_bytes(), Transport::Udp, false).is_none());
+        assert!(server
+            .handle(&q.to_bytes(), Transport::Udp, false)
+            .is_none());
         let v6 = server.handle(&q.to_bytes(), Transport::Udp, true).unwrap();
         let resp = Message::from_bytes(&v6.bytes).unwrap();
         assert_eq!(resp.answers.len(), 1);
@@ -309,6 +335,7 @@ mod tests {
             let qname = n(name);
             log.push(QueryRecord {
                 time_ms: t,
+                session: 0,
                 attribution: auth.attribute(&qname),
                 qname,
                 qtype: RecordType::Txt,

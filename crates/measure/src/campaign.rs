@@ -1,6 +1,6 @@
-//! Virtual-time campaign drivers (§4.6 of the paper).
+//! Campaign orchestration (§4.6 of the paper).
 //!
-//! Three campaigns share one event loop:
+//! Three campaigns share one execution path:
 //!
 //! * **NotifyEmail** — one legitimate, DKIM-signed delivery per domain to
 //!   its first MX host; SPF/DKIM/DMARC designed to *pass*.
@@ -10,36 +10,38 @@
 //! * **TwoWeekMX** — same probing against the high-demand dataset, with
 //!   guessed recipients (§6.3).
 //!
-//! The loop carries real DNS datagrams and real SMTP lines between the
-//! probe client, the receiving MTAs, their resolvers and the apparatus's
-//! synthesizing authoritative server, with per-pair latencies and
-//! server-side response delays, and logs every query that arrives — the
-//! raw material for every table in `analysis`.
+//! This module builds the session list (deterministically, from the
+//! config seed alone), partitions it into `shards` independent shards
+//! ([`crate::shard`]), runs one [`crate::engine::SessionEngine`] per
+//! shard on its own thread against the one shared
+//! [`SynthesizingAuthority`], and merges the per-shard outputs by the
+//! stable `(time_ms, session)` key — so the merged [`QueryLog`] and
+//! session records are byte-identical for every shard count.
 
-use crate::apparatus::{QueryLog, QueryRecord, SynthesizingAuthority};
+use crate::apparatus::{QueryLog, SynthesizingAuthority};
+use crate::engine::{EngineConfig, LiveSession, SessionEngine};
 use crate::names::NameScheme;
 use crate::policies::SynthAddrs;
+use crate::shard::{merge_session_records, partition, ShardStats};
 use mailval_crypto::bigint::SplitMix64;
 use mailval_crypto::rsa::RsaKeyPair;
 use mailval_datasets::Population;
 use mailval_dkim::key::DkimKeyRecord;
 use mailval_dkim::sign::{sign_message, SignConfig};
 use mailval_dmarc::record::DmarcRecord;
-use mailval_dns::resolver::ResolveOutcome;
-use mailval_dns::server::{ServerCore, Transport};
+use mailval_dns::server::ServerCore;
 use mailval_dns::Name;
-use mailval_mta::actor::{ConnContext, MtaActor, MtaEvent, MtaInput, MtaOutput};
+use mailval_mta::actor::{ConnContext, MtaActor};
 use mailval_mta::profile::MtaProfile;
-use mailval_mta::resolver::{ResolverActor, ResolverEvent, UpstreamSend};
-use mailval_simnet::{LatencyModel, SimRng, Simulator};
-use mailval_smtp::client::{
-    probe_usernames, ClientAction, ClientConfig, ClientOutcome, ClientSession,
-};
+use mailval_mta::resolver::ResolverActor;
+use mailval_simnet::{run_shards, LatencyModel, SimRng};
+use mailval_smtp::client::{probe_usernames, ClientConfig, ClientSession};
 use mailval_smtp::mail::MailMessage;
-use mailval_smtp::reply::ReplyParser;
 use mailval_smtp::EmailAddress;
 use std::collections::HashMap;
 use std::net::IpAddr;
+
+pub use crate::engine::SessionRecord;
 
 /// Which campaign to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,10 +68,15 @@ pub struct CampaignConfig {
     pub probe_pause_ms: u64,
     /// Network latency model.
     pub latency: LatencyModel,
+    /// Number of parallel shards (0 and 1 both mean single-threaded).
+    /// The merged output is byte-identical for every value.
+    pub shards: usize,
 }
 
 impl CampaignConfig {
-    /// Paper-faithful settings for a campaign kind.
+    /// Paper-faithful settings for a campaign kind (single shard, like
+    /// the paper's one-machine apparatus; raise `shards` freely — the
+    /// output does not change).
     pub fn paper(kind: CampaignKind, seed: u64) -> CampaignConfig {
         CampaignConfig {
             kind,
@@ -77,35 +84,22 @@ impl CampaignConfig {
             seed,
             probe_pause_ms: 15_000,
             latency: LatencyModel::default(),
+            shards: 1,
         }
     }
 }
 
-/// Per-session record.
-#[derive(Debug, Clone)]
-pub struct SessionRecord {
-    /// Index of the target MTA host in the population.
-    pub host_index: usize,
-    /// The recipient domain's index.
-    pub domain_index: usize,
-    /// Test id (`None` for NotifyEmail deliveries).
-    pub testid: Option<&'static str>,
-    /// Virtual start time.
-    pub start_ms: u64,
-    /// The SMTP outcome.
-    pub outcome: Option<ClientOutcome>,
-    /// When the message was accepted for delivery (NotifyEmail).
-    pub delivery_time_ms: Option<u64>,
-}
-
 /// Everything a campaign produced.
 pub struct CampaignResult {
-    /// The apparatus query log.
+    /// The apparatus query log, in canonical `(time_ms, session)` order.
     pub log: QueryLog,
-    /// Per-session records.
+    /// Per-session records, in global session order.
     pub sessions: Vec<SessionRecord>,
-    /// Total virtual events dispatched.
+    /// Total virtual events dispatched (sum over shards; shard-count
+    /// invariant because sessions never exchange events).
     pub events: u64,
+    /// Per-shard execution counters.
+    pub shard_stats: Vec<ShardStats>,
 }
 
 /// Sample behavior profiles for a population's hosts, deterministically.
@@ -144,8 +138,7 @@ pub fn sample_host_profiles(pop: &Population, seed: u64) -> Vec<MtaProfile> {
                 .entry(host.asn)
                 .or_insert_with(|| {
                     let mut rng = root.fork(host.asn as u64);
-                    let mut quality: f64 = match as_alexa.get(&host.asn).copied().unwrap_or(0)
-                    {
+                    let mut quality: f64 = match as_alexa.get(&host.asn).copied().unwrap_or(0) {
                         2 => 1.2,
                         1 => 0.5,
                         _ => 0.0,
@@ -198,220 +191,17 @@ pub fn drift_profiles(
 }
 
 // ---------------------------------------------------------------------------
-// Event loop
-// ---------------------------------------------------------------------------
-
-enum Ev {
-    Start(usize),
-    ToMta(usize, String),
-    ToClient(usize, String),
-    ClientPauseDone(usize),
-    MtaTimer(usize, u64),
-    /// Resolver datagram arriving at the authoritative server.
-    DnsArrive(usize, u16, Vec<u8>, Transport, bool),
-    /// Server response arriving back at the resolver.
-    DnsReturn(usize, u16, Vec<u8>, bool),
-    /// Resolver attempt timeout.
-    DnsTimeout(usize, u16, bool),
-    /// Resolver finished a lookup for the MTA.
-    MtaDns(usize, u64, ResolveOutcome),
-}
-
-struct LiveSession {
-    record: SessionRecord,
-    client: ClientSession,
-    parser: ReplyParser,
-    mta: MtaActor,
-    resolver: ResolverActor,
-    mta_ip: IpAddr,
-}
-
-struct Driver<'a> {
-    sim: Simulator<Ev>,
-    sessions: Vec<LiveSession>,
-    server: &'a ServerCore<SynthesizingAuthority>,
-    log: QueryLog,
-    latency: LatencyModel,
-    client_ip: IpAddr,
-    auth_ip: IpAddr,
-    /// Local validator↔resolver hop, ms.
-    local_hop_ms: u64,
-}
-
-impl Driver<'_> {
-    fn one_way_client(&self, id: usize) -> u64 {
-        self.latency
-            .one_way_ms(&self.client_ip, &self.sessions[id].mta_ip)
-    }
-
-    fn one_way_auth(&self, id: usize) -> u64 {
-        self.latency
-            .one_way_ms(&self.sessions[id].mta_ip, &self.auth_ip)
-    }
-
-    fn run(&mut self) {
-        while let Some((_, ev)) = self.sim.next() {
-            match ev {
-                Ev::Start(id) => {
-                    let outputs = self.sessions[id].mta.handle(MtaInput::Connected);
-                    self.handle_mta_outputs(id, outputs);
-                }
-                Ev::ToMta(id, text) => {
-                    let mut outputs = Vec::new();
-                    for line in text.split_inclusive("\r\n") {
-                        let line = line.trim_end_matches(['\r', '\n']);
-                        outputs.extend(
-                            self.sessions[id].mta.handle(MtaInput::Line(line.to_string())),
-                        );
-                    }
-                    self.handle_mta_outputs(id, outputs);
-                }
-                Ev::ToClient(id, text) => {
-                    let mut actions = Vec::new();
-                    {
-                        let session = &mut self.sessions[id];
-                        for line in text.split_inclusive("\r\n") {
-                            let line = line.trim_end_matches(['\r', '\n']);
-                            if line.is_empty() {
-                                continue;
-                            }
-                            if let Ok(Some(reply)) = session.parser.push_line(line) {
-                                actions.push(session.client.on_reply(reply));
-                            }
-                        }
-                    }
-                    for action in actions {
-                        self.handle_client_action(id, action);
-                    }
-                }
-                Ev::ClientPauseDone(id) => {
-                    let action = self.sessions[id].client.on_pause_elapsed();
-                    self.handle_client_action(id, action);
-                }
-                Ev::MtaTimer(id, token) => {
-                    let outputs = self.sessions[id].mta.handle(MtaInput::Timer { token });
-                    self.handle_mta_outputs(id, outputs);
-                }
-                Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6) => {
-                    // Log with attribution (§4.5).
-                    if let Ok(msg) = mailval_dns::Message::from_bytes(&bytes) {
-                        if let Some(q) = msg.question() {
-                            self.log.push(QueryRecord {
-                                time_ms: self.sim.now_ms(),
-                                qname: q.name.clone(),
-                                qtype: q.rtype,
-                                transport,
-                                via_ipv6,
-                                attribution: self.server.authority().attribute(&q.name),
-                            });
-                        }
-                    }
-                    if let Some(reply) = self.server.handle(&bytes, transport, via_ipv6) {
-                        let rtt = self.one_way_auth(id);
-                        self.sim.schedule(
-                            reply.delay_ms + rtt,
-                            Ev::DnsReturn(id, core_id, reply.bytes, via_ipv6),
-                        );
-                    }
-                }
-                Ev::DnsReturn(id, core_id, bytes, via_ipv6) => {
-                    let now = self.sim.now_ms();
-                    let event = self.sessions[id]
-                        .resolver
-                        .on_upstream_response(core_id, &bytes, via_ipv6, now);
-                    self.handle_resolver_event(id, event);
-                }
-                Ev::DnsTimeout(id, core_id, via_ipv6) => {
-                    let now = self.sim.now_ms();
-                    let event = self.sessions[id].resolver.on_timeout(core_id, via_ipv6, now);
-                    self.handle_resolver_event(id, event);
-                }
-                Ev::MtaDns(id, qid, outcome) => {
-                    let outputs = self.sessions[id]
-                        .mta
-                        .handle(MtaInput::DnsFinished { qid, outcome });
-                    self.handle_mta_outputs(id, outputs);
-                }
-            }
-        }
-    }
-
-    fn handle_mta_outputs(&mut self, id: usize, outputs: Vec<MtaOutput>) {
-        for output in outputs {
-            match output {
-                MtaOutput::Smtp(text) => {
-                    let delay = self.one_way_client(id);
-                    self.sim.schedule(delay, Ev::ToClient(id, text));
-                }
-                MtaOutput::Resolve { qid, name, rtype } => {
-                    let now = self.sim.now_ms();
-                    let event = self.sessions[id].resolver.resolve(qid, name, rtype, now);
-                    self.handle_resolver_event(id, event);
-                }
-                MtaOutput::SetTimer { token, delay_ms } => {
-                    self.sim.schedule(delay_ms, Ev::MtaTimer(id, token));
-                }
-                MtaOutput::Close => {}
-                MtaOutput::Event(MtaEvent::MessageAccepted) => {
-                    self.sessions[id].record.delivery_time_ms = Some(self.sim.now_ms());
-                }
-                MtaOutput::Event(_) => {}
-            }
-        }
-    }
-
-    fn handle_resolver_event(&mut self, id: usize, event: ResolverEvent) {
-        match event {
-            ResolverEvent::Finished { qid, outcome } => {
-                self.sim
-                    .schedule(self.local_hop_ms, Ev::MtaDns(id, qid, outcome));
-            }
-            ResolverEvent::Send(UpstreamSend {
-                core_id,
-                bytes,
-                transport,
-                via_ipv6,
-                timeout_ms,
-            }) => {
-                let rtt = self.one_way_auth(id);
-                self.sim
-                    .schedule(rtt, Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6));
-                self.sim
-                    .schedule(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
-            }
-            ResolverEvent::Idle => {}
-        }
-    }
-
-    fn handle_client_action(&mut self, id: usize, action: ClientAction) {
-        match action {
-            ClientAction::Send(bytes) => {
-                let delay = self.one_way_client(id);
-                self.sim.schedule(
-                    delay,
-                    Ev::ToMta(id, String::from_utf8_lossy(&bytes).into_owned()),
-                );
-            }
-            ClientAction::Pause(0) => {}
-            ClientAction::Pause(ms) => {
-                self.sim.schedule(ms, Ev::ClientPauseDone(id));
-            }
-            ClientAction::Close(outcome) => {
-                self.sessions[id].record.outcome = Some(*outcome);
-                let outputs = self.sessions[id].mta.handle(MtaInput::Disconnected);
-                self.handle_mta_outputs(id, outputs);
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Campaign assembly
 // ---------------------------------------------------------------------------
 
 /// Run a campaign against a population with pre-sampled host profiles
 /// (use [`sample_host_profiles`]; the same profiles must be reused
 /// across NotifyEmail and NotifyMX for the §6.2 consistency analysis).
+///
+/// Execution fans out over `config.shards` worker threads; results are
+/// merged back into canonical order, so the output is a pure function
+/// of `(config, pop, profiles)` regardless of shard count or thread
+/// scheduling.
 pub fn run_campaign(
     config: &CampaignConfig,
     pop: &Population,
@@ -435,6 +225,73 @@ pub fn run_campaign(
     let client_ip: IpAddr = IpAddr::V4(addrs.sender_v4);
     let auth_ip: IpAddr = "198.51.100.53".parse().expect("valid");
 
+    let sessions = build_sessions(config, pop, profiles, &scheme, &keypair, client_ip);
+    let engine_config = EngineConfig {
+        latency: config.latency.clone(),
+        client_ip,
+        auth_ip,
+        local_hop_ms: 1,
+    };
+
+    // Partition the global session list round-robin, move each shard's
+    // sessions onto its own engine, and fan out on scoped threads. The
+    // authority is shared by reference: `ServerCore::handle` is
+    // `&self`-only and synthesizes every answer from the query name.
+    let parts = partition(sessions.len(), config.shards);
+    let mut shard_inputs: Vec<Vec<LiveSession>> =
+        parts.iter().map(|p| Vec::with_capacity(p.len())).collect();
+    {
+        let mut remaining: Vec<Option<LiveSession>> = sessions.into_iter().map(Some).collect();
+        for (shard, part) in parts.iter().enumerate() {
+            for &global in part {
+                let session = remaining[global].take().expect("each session in one shard");
+                shard_inputs[shard].push(session);
+            }
+        }
+    }
+
+    let server_ref = &server;
+    let engine_ref = &engine_config;
+    let outputs = run_shards(shard_inputs, move |_, sessions| {
+        let mut engine = SessionEngine::new(server_ref, engine_ref.clone());
+        for session in sessions {
+            // Stagger session starts by global id, exactly as the
+            // single-threaded driver did.
+            let start = (session.session_id() as u64) * 7;
+            engine.add_session(session, start);
+        }
+        engine.run()
+    });
+
+    let mut logs = Vec::with_capacity(outputs.len());
+    let mut per_shard_records = Vec::with_capacity(outputs.len());
+    let mut shard_stats = Vec::with_capacity(outputs.len());
+    let mut events = 0;
+    for (output, timing) in outputs {
+        events += output.stats.events;
+        shard_stats.push(ShardStats::new(timing.shard, output.stats, timing.wall_ms));
+        logs.push(output.log);
+        per_shard_records.push(output.records);
+    }
+
+    CampaignResult {
+        log: QueryLog::merge(logs),
+        sessions: merge_session_records(per_shard_records),
+        events,
+        shard_stats,
+    }
+}
+
+/// Build the full session list in deterministic campaign order and
+/// assign global session ids (`0..n`, the merge key).
+fn build_sessions(
+    config: &CampaignConfig,
+    pop: &Population,
+    profiles: &[MtaProfile],
+    scheme: &NameScheme,
+    keypair: &RsaKeyPair,
+    client_ip: IpAddr,
+) -> Vec<LiveSession> {
     let mut rng = SimRng::new(config.seed);
     let mut sessions: Vec<LiveSession> = Vec::new();
 
@@ -449,7 +306,7 @@ pub fn run_campaign(
                 };
                 let from = scheme.notify_from(d.index);
                 let message =
-                    build_notification(&from, &d.name, &keypair, &scheme.notify_domain(d.index));
+                    build_notification(&from, &d.name, keypair, &scheme.notify_domain(d.index));
                 let client = ClientSession::new(ClientConfig {
                     helo_identity: "notify.dns-lab.org".into(),
                     mail_from: Some(from),
@@ -459,12 +316,14 @@ pub fn run_campaign(
                 });
                 sessions.push(make_session(
                     SessionRecord {
+                        session_id: sessions.len(),
                         host_index,
                         domain_index: d.index,
                         testid: None,
                         start_ms: 0,
                         outcome: None,
                         delivery_time_ms: None,
+                        closed_by_server: false,
                     },
                     client,
                     pop,
@@ -496,15 +355,14 @@ pub fn run_campaign(
                 let domain_name = pop.domains[domain_index].name.clone();
                 // TwoWeekMX must guess usernames (§4.4, §6.3); NotifyMX
                 // reuses the known-valid notification recipients.
-                let rcpt_candidates: Vec<EmailAddress> =
-                    if config.kind == CampaignKind::TwoWeekMx {
-                        probe_usernames()
-                            .iter()
-                            .map(|u| EmailAddress::new(u, domain_name.clone()))
-                            .collect()
-                    } else {
-                        vec![EmailAddress::new("operator", domain_name.clone())]
-                    };
+                let rcpt_candidates: Vec<EmailAddress> = if config.kind == CampaignKind::TwoWeekMx {
+                    probe_usernames()
+                        .iter()
+                        .map(|u| EmailAddress::new(u, domain_name.clone()))
+                        .collect()
+                } else {
+                    vec![EmailAddress::new("operator", domain_name.clone())]
+                };
                 for testid in &config.tests {
                     let from = scheme.probe_from(testid, host_index);
                     let client = ClientSession::new(ClientConfig {
@@ -516,12 +374,14 @@ pub fn run_campaign(
                     });
                     sessions.push(make_session(
                         SessionRecord {
+                            session_id: sessions.len(),
                             host_index,
                             domain_index,
                             testid: Some(testid),
                             start_ms: 0,
                             outcome: None,
                             delivery_time_ms: None,
+                            closed_by_server: false,
                         },
                         client,
                         pop,
@@ -535,31 +395,7 @@ pub fn run_campaign(
             }
         }
     }
-
-    let mut driver = Driver {
-        sim: Simulator::new(),
-        sessions,
-        server: &server,
-        log: QueryLog::new(),
-        latency: config.latency.clone(),
-        client_ip,
-        auth_ip,
-        local_hop_ms: 1,
-    };
-    // Stagger session starts.
-    for id in 0..driver.sessions.len() {
-        let start = (id as u64) * 7;
-        driver.sessions[id].record.start_ms = start;
-        driver.sim.schedule_at(start, Ev::Start(id));
-    }
-    driver.run();
-
-    let events = driver.sim.dispatched;
-    CampaignResult {
-        log: driver.log,
-        sessions: driver.sessions.into_iter().map(|s| s.record).collect(),
-        events,
-    }
+    sessions
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -589,14 +425,7 @@ fn make_session(
             recipients_guessed: guessed,
         },
     );
-    LiveSession {
-        record,
-        client,
-        parser: ReplyParser::new(),
-        mta,
-        resolver,
-        mta_ip: IpAddr::V4(host.ipv4),
-    }
+    LiveSession::new(record, client, mta, resolver, IpAddr::V4(host.ipv4))
 }
 
 /// Build the signed notification message (§4.3.1: "the content was in
@@ -649,17 +478,22 @@ mod tests {
         })
     }
 
+    fn test_config(kind: CampaignKind, tests: Vec<&'static str>, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            kind,
+            tests,
+            seed,
+            probe_pause_ms: 0,
+            latency: LatencyModel::default(),
+            shards: 1,
+        }
+    }
+
     #[test]
     fn notify_email_campaign_delivers_and_logs() {
         let pop = tiny_pop(DatasetKind::NotifyEmail, 11);
         let profiles = sample_host_profiles(&pop, 11);
-        let config = CampaignConfig {
-            kind: CampaignKind::NotifyEmail,
-            tests: vec![],
-            seed: 11,
-            probe_pause_ms: 0,
-            latency: LatencyModel::default(),
-        };
+        let config = test_config(CampaignKind::NotifyEmail, vec![], 11);
         let result = run_campaign(&config, &pop, &profiles);
         assert_eq!(result.sessions.len(), pop.domains.len());
         // Most deliveries succeed.
@@ -695,13 +529,8 @@ mod tests {
     fn probe_campaign_aborts_before_data_and_attributes_queries() {
         let pop = tiny_pop(DatasetKind::TwoWeekMx, 13);
         let profiles = sample_host_profiles(&pop, 13);
-        let config = CampaignConfig {
-            kind: CampaignKind::TwoWeekMx,
-            tests: vec!["t01", "t12"],
-            seed: 13,
-            probe_pause_ms: 15_000,
-            latency: LatencyModel::default(),
-        };
+        let mut config = test_config(CampaignKind::TwoWeekMx, vec!["t01", "t12"], 13);
+        config.probe_pause_ms = 15_000;
         let result = run_campaign(&config, &pop, &profiles);
         assert!(!result.sessions.is_empty());
         // No probe session ever delivers a message (§5.1).
@@ -726,13 +555,8 @@ mod tests {
     fn deterministic_given_seed() {
         let pop = tiny_pop(DatasetKind::TwoWeekMx, 17);
         let profiles = sample_host_profiles(&pop, 17);
-        let config = CampaignConfig {
-            kind: CampaignKind::TwoWeekMx,
-            tests: vec!["t12"],
-            seed: 17,
-            probe_pause_ms: 1_000,
-            latency: LatencyModel::default(),
-        };
+        let mut config = test_config(CampaignKind::TwoWeekMx, vec!["t12"], 17);
+        config.probe_pause_ms = 1_000;
         let a = run_campaign(&config, &pop, &profiles);
         let b = run_campaign(&config, &pop, &profiles);
         assert_eq!(a.log.records.len(), b.log.records.len());
@@ -742,5 +566,71 @@ mod tests {
             assert_eq!(x.time_ms, y.time_ms);
         }
     }
-}
 
+    #[test]
+    fn sharded_run_matches_single_threaded() {
+        // The unit-level determinism check; the cross-crate integration
+        // test (tests/shard_determinism.rs) covers analysis tables too.
+        let pop = tiny_pop(DatasetKind::TwoWeekMx, 23);
+        let profiles = sample_host_profiles(&pop, 23);
+        let mut config = test_config(CampaignKind::TwoWeekMx, vec!["t01", "t12"], 23);
+        config.probe_pause_ms = 1_000;
+        let single = run_campaign(&config, &pop, &profiles);
+        for shards in [2, 3, 8] {
+            config.shards = shards;
+            let sharded = run_campaign(&config, &pop, &profiles);
+            assert_eq!(sharded.events, single.events, "shards={shards}");
+            assert_eq!(
+                sharded.log.records.len(),
+                single.log.records.len(),
+                "shards={shards}"
+            );
+            for (x, y) in sharded.log.records.iter().zip(&single.log.records) {
+                assert_eq!(x.time_ms, y.time_ms);
+                assert_eq!(x.session, y.session);
+                assert_eq!(x.qname, y.qname);
+                assert_eq!(x.qtype, y.qtype);
+            }
+            assert_eq!(sharded.sessions.len(), single.sessions.len());
+            for (x, y) in sharded.sessions.iter().zip(&single.sessions) {
+                assert_eq!(x.session_id, y.session_id);
+                assert_eq!(x.outcome, y.outcome);
+                assert_eq!(x.delivery_time_ms, y.delivery_time_ms);
+                assert_eq!(x.closed_by_server, y.closed_by_server);
+            }
+            let stats_sessions: usize = sharded.shard_stats.iter().map(|s| s.sessions).sum();
+            assert_eq!(stats_sessions, sharded.sessions.len());
+        }
+    }
+
+    #[test]
+    fn server_initiated_close_reaches_the_client() {
+        // Force every operator into the "DNSBL slam" behavior: the MTA
+        // rejects the blacklisted NotifyMX client at MAIL and drops the
+        // connection itself. Before close propagation those sessions
+        // ended with `outcome: None`; now the disconnect is recorded.
+        let pop = tiny_pop(DatasetKind::NotifyEmail, 29);
+        let mut profiles = sample_host_profiles(&pop, 29);
+        for p in &mut profiles {
+            p.rejects_spam = false;
+            p.rejects_blacklist = true;
+        }
+        let config = test_config(CampaignKind::NotifyMx, vec!["t01"], 29);
+        let result = run_campaign(&config, &pop, &profiles);
+        assert!(!result.sessions.is_empty());
+        for s in &result.sessions {
+            assert!(
+                s.closed_by_server,
+                "session {} must be ended by the server-side close",
+                s.session_id
+            );
+            let outcome = s
+                .outcome
+                .as_ref()
+                .expect("disconnect must record a partial outcome");
+            let (phase, reply) = outcome.rejection.as_ref().expect("rejected at MAIL");
+            assert_eq!(*phase, mailval_smtp::client::Phase::Mail);
+            assert!(reply.text().contains("blacklist"));
+        }
+    }
+}

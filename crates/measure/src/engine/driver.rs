@@ -1,0 +1,312 @@
+//! The per-shard session engine: a virtual-time event loop driving any
+//! number of **independent** probe sessions against the shared
+//! authoritative server.
+
+use super::event::Ev;
+use super::session::{LiveSession, SessionRecord};
+use crate::apparatus::{QueryLog, QueryRecord, SynthesizingAuthority};
+use mailval_dns::server::ServerCore;
+use mailval_mta::actor::{MtaEvent, MtaInput, MtaOutput};
+use mailval_mta::resolver::{ResolverEvent, UpstreamSend};
+use mailval_simnet::{LatencyModel, Simulator};
+use mailval_smtp::client::ClientAction;
+use std::net::IpAddr;
+
+/// Engine wiring that is identical for every session: the latency model
+/// and the fixed apparatus endpoints.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Network latency model (injectable: tests swap in zero-latency or
+    /// adversarial models without touching the driver).
+    pub latency: LatencyModel,
+    /// The probe client's source address.
+    pub client_ip: IpAddr,
+    /// The authoritative server's address.
+    pub auth_ip: IpAddr,
+    /// Local validator↔resolver hop, ms.
+    pub local_hop_ms: u64,
+}
+
+/// What one engine run produced.
+pub struct EngineOutput {
+    /// The shard's query log, already in canonical `(time_ms, session)`
+    /// order.
+    pub log: QueryLog,
+    /// Finished session records, in the shard's insertion order.
+    pub records: Vec<SessionRecord>,
+    /// Run counters.
+    pub stats: EngineStats,
+}
+
+/// Lightweight per-engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Sessions driven.
+    pub sessions: usize,
+    /// Virtual events dispatched.
+    pub events: u64,
+    /// Queries logged at the authoritative server.
+    pub queries_logged: u64,
+    /// Final virtual clock value, ms.
+    pub virtual_ms: u64,
+}
+
+/// A virtual-time driver for a set of sessions that never interact.
+///
+/// This is the unit of parallelism: a campaign partitions its sessions
+/// into shards and runs one `SessionEngine` per shard, all borrowing the
+/// same [`ServerCore`] (whose handling is `&self`-only and stateless per
+/// query). The clock is injectable via [`SessionEngine::with_clock`];
+/// the default starts at virtual zero.
+pub struct SessionEngine<'a> {
+    sim: Simulator<Ev>,
+    sessions: Vec<LiveSession>,
+    server: &'a ServerCore<SynthesizingAuthority>,
+    log: QueryLog,
+    config: EngineConfig,
+}
+
+impl<'a> SessionEngine<'a> {
+    /// A fresh engine at virtual time zero.
+    pub fn new(server: &'a ServerCore<SynthesizingAuthority>, config: EngineConfig) -> Self {
+        Self::with_clock(server, config, Simulator::new())
+    }
+
+    /// An engine over an injected clock (e.g. one pre-advanced to a
+    /// campaign epoch, or shared-sequence test setups).
+    pub fn with_clock(
+        server: &'a ServerCore<SynthesizingAuthority>,
+        config: EngineConfig,
+        clock: Simulator<Ev>,
+    ) -> Self {
+        SessionEngine {
+            sim: clock,
+            sessions: Vec::new(),
+            server,
+            log: QueryLog::new(),
+            config,
+        }
+    }
+
+    /// Add a session and schedule its connection establishment at
+    /// `start_ms` (absolute virtual time).
+    pub fn add_session(&mut self, mut session: LiveSession, start_ms: u64) {
+        let local = self.sessions.len();
+        session.record.start_ms = start_ms;
+        self.sessions.push(session);
+        self.sim.schedule_at(start_ms, Ev::Start(local));
+    }
+
+    /// Number of sessions added so far.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Drive every session to completion and return the shard's output.
+    pub fn run(mut self) -> EngineOutput {
+        while let Some((_, ev)) = self.sim.next() {
+            self.dispatch(ev);
+        }
+        let stats = EngineStats {
+            sessions: self.sessions.len(),
+            events: self.sim.dispatched,
+            queries_logged: self.log.records.len() as u64,
+            virtual_ms: self.sim.now_ms(),
+        };
+        self.log.sort_canonical();
+        EngineOutput {
+            log: self.log,
+            records: self.sessions.into_iter().map(|s| s.record).collect(),
+            stats,
+        }
+    }
+
+    fn one_way_client(&self, id: usize) -> u64 {
+        self.config
+            .latency
+            .one_way_ms(&self.config.client_ip, &self.sessions[id].mta_ip)
+    }
+
+    fn one_way_auth(&self, id: usize) -> u64 {
+        self.config
+            .latency
+            .one_way_ms(&self.sessions[id].mta_ip, &self.config.auth_ip)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Start(id) => {
+                let outputs = self.sessions[id].mta.handle(MtaInput::Connected);
+                self.handle_mta_outputs(id, outputs);
+            }
+            Ev::ToMta(id, text) => {
+                let mut outputs = Vec::new();
+                for line in text.split_inclusive("\r\n") {
+                    let line = line.trim_end_matches(['\r', '\n']);
+                    outputs.extend(
+                        self.sessions[id]
+                            .mta
+                            .handle(MtaInput::Line(line.to_string())),
+                    );
+                }
+                self.handle_mta_outputs(id, outputs);
+            }
+            Ev::ToClient(id, text) => {
+                let mut actions = Vec::new();
+                {
+                    let session = &mut self.sessions[id];
+                    for line in text.split_inclusive("\r\n") {
+                        let line = line.trim_end_matches(['\r', '\n']);
+                        if line.is_empty() {
+                            continue;
+                        }
+                        if let Ok(Some(reply)) = session.parser.push_line(line) {
+                            actions.push(session.client.on_reply(reply));
+                        }
+                    }
+                }
+                for action in actions {
+                    self.handle_client_action(id, action);
+                }
+            }
+            Ev::ClientPauseDone(id) => {
+                let action = self.sessions[id].client.on_pause_elapsed();
+                self.handle_client_action(id, action);
+            }
+            Ev::MtaTimer(id, token) => {
+                let outputs = self.sessions[id].mta.handle(MtaInput::Timer { token });
+                self.handle_mta_outputs(id, outputs);
+            }
+            Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6) => {
+                // Log with attribution (§4.5).
+                if let Ok(msg) = mailval_dns::Message::from_bytes(&bytes) {
+                    if let Some(q) = msg.question() {
+                        self.log.push(QueryRecord {
+                            time_ms: self.sim.now_ms(),
+                            session: self.sessions[id].record.session_id,
+                            qname: q.name.clone(),
+                            qtype: q.rtype,
+                            transport,
+                            via_ipv6,
+                            attribution: self.server.authority().attribute(&q.name),
+                        });
+                    }
+                }
+                if let Some(reply) = self.server.handle(&bytes, transport, via_ipv6) {
+                    let rtt = self.one_way_auth(id);
+                    self.sim.schedule(
+                        reply.delay_ms + rtt,
+                        Ev::DnsReturn(id, core_id, reply.bytes, via_ipv6),
+                    );
+                }
+            }
+            Ev::DnsReturn(id, core_id, bytes, via_ipv6) => {
+                let now = self.sim.now_ms();
+                let event = self.sessions[id]
+                    .resolver
+                    .on_upstream_response(core_id, &bytes, via_ipv6, now);
+                self.handle_resolver_event(id, event);
+            }
+            Ev::DnsTimeout(id, core_id, via_ipv6) => {
+                let now = self.sim.now_ms();
+                let event = self.sessions[id]
+                    .resolver
+                    .on_timeout(core_id, via_ipv6, now);
+                self.handle_resolver_event(id, event);
+            }
+            Ev::MtaDns(id, qid, outcome) => {
+                let outputs = self.sessions[id]
+                    .mta
+                    .handle(MtaInput::DnsFinished { qid, outcome });
+                self.handle_mta_outputs(id, outputs);
+            }
+            Ev::ServerClosed(id) => {
+                // The server-side FIN reached the client. If the client
+                // already finished through its own close path the session
+                // record is settled; otherwise capture the partial
+                // outcome (§6.2: MTA-initiated disconnects, e.g.
+                // blacklist rejections that slam the connection).
+                let session = &mut self.sessions[id];
+                if session.record.outcome.is_none() {
+                    session.record.outcome = Some(session.client.on_disconnect());
+                    session.record.closed_by_server = true;
+                }
+            }
+        }
+    }
+
+    fn handle_mta_outputs(&mut self, id: usize, outputs: Vec<MtaOutput>) {
+        for output in outputs {
+            match output {
+                MtaOutput::Smtp(text) => {
+                    let delay = self.one_way_client(id);
+                    self.sim.schedule(delay, Ev::ToClient(id, text));
+                }
+                MtaOutput::Resolve { qid, name, rtype } => {
+                    let now = self.sim.now_ms();
+                    let event = self.sessions[id].resolver.resolve(qid, name, rtype, now);
+                    self.handle_resolver_event(id, event);
+                }
+                MtaOutput::SetTimer { token, delay_ms } => {
+                    self.sim.schedule(delay_ms, Ev::MtaTimer(id, token));
+                }
+                MtaOutput::Close => {
+                    // Propagate the server-initiated disconnect to the
+                    // client after the wire delay (it travels with, and
+                    // sorts after, any final reply emitted in the same
+                    // output batch).
+                    let delay = self.one_way_client(id);
+                    self.sim.schedule(delay, Ev::ServerClosed(id));
+                }
+                MtaOutput::Event(MtaEvent::MessageAccepted) => {
+                    self.sessions[id].record.delivery_time_ms = Some(self.sim.now_ms());
+                }
+                MtaOutput::Event(_) => {}
+            }
+        }
+    }
+
+    fn handle_resolver_event(&mut self, id: usize, event: ResolverEvent) {
+        match event {
+            ResolverEvent::Finished { qid, outcome } => {
+                self.sim
+                    .schedule(self.config.local_hop_ms, Ev::MtaDns(id, qid, outcome));
+            }
+            ResolverEvent::Send(UpstreamSend {
+                core_id,
+                bytes,
+                transport,
+                via_ipv6,
+                timeout_ms,
+            }) => {
+                let rtt = self.one_way_auth(id);
+                self.sim
+                    .schedule(rtt, Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6));
+                self.sim
+                    .schedule(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
+            }
+            ResolverEvent::Idle => {}
+        }
+    }
+
+    fn handle_client_action(&mut self, id: usize, action: ClientAction) {
+        match action {
+            ClientAction::Send(bytes) => {
+                let delay = self.one_way_client(id);
+                self.sim.schedule(
+                    delay,
+                    Ev::ToMta(id, String::from_utf8_lossy(&bytes).into_owned()),
+                );
+            }
+            ClientAction::Pause(0) => {}
+            ClientAction::Pause(ms) => {
+                self.sim.schedule(ms, Ev::ClientPauseDone(id));
+            }
+            ClientAction::Close(outcome) => {
+                self.sessions[id].record.outcome = Some(*outcome);
+                let outputs = self.sessions[id].mta.handle(MtaInput::Disconnected);
+                self.handle_mta_outputs(id, outputs);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The engine's event vocabulary.
+
+use mailval_dns::resolver::ResolveOutcome;
+use mailval_dns::server::Transport;
+
+/// One scheduled occurrence inside a [`crate::engine::SessionEngine`].
+///
+/// The `usize` in every variant is the session's **local index** within
+/// its engine (not the campaign-global id); an engine only ever
+/// dispatches events to sessions it owns, so shards need no coordination.
+pub enum Ev {
+    /// TCP established: the MTA emits its greeting.
+    Start(usize),
+    /// Client bytes arriving at the MTA.
+    ToMta(usize, String),
+    /// MTA reply text arriving at the probe client.
+    ToClient(usize, String),
+    /// The probe client's inter-command pause elapsed.
+    ClientPauseDone(usize),
+    /// An MTA-armed timer fired.
+    MtaTimer(usize, u64),
+    /// Resolver datagram arriving at the authoritative server.
+    DnsArrive(usize, u16, Vec<u8>, Transport, bool),
+    /// Server response arriving back at the resolver.
+    DnsReturn(usize, u16, Vec<u8>, bool),
+    /// Resolver attempt timeout.
+    DnsTimeout(usize, u16, bool),
+    /// Resolver finished a lookup for the MTA.
+    MtaDns(usize, u64, ResolveOutcome),
+    /// The MTA-side close reached the client (server-initiated
+    /// disconnect, e.g. an SMTP `ReplyAndClose`).
+    ServerClosed(usize),
+}

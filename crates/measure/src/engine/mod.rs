@@ -1,0 +1,23 @@
+//! The session-engine layer: a per-shard virtual-time driver.
+//!
+//! Extracted from the former monolithic `experiment.rs` so the event
+//! loop is reusable and testable in isolation:
+//!
+//! * [`Ev`] — the event vocabulary carried by the simulator;
+//! * [`LiveSession`] / [`SessionRecord`] — one probe↔MTA connection and
+//!   its durable output;
+//! * [`SessionEngine`] — the driver: owns one clock and any number of
+//!   *independent* sessions, borrows the shared authoritative server,
+//!   and produces a canonically-ordered [`crate::apparatus::QueryLog`].
+//!
+//! Sessions never exchange events, so a campaign can partition them
+//! into shards (`crate::shard`) and run one engine per shard on its own
+//! thread; the per-shard outputs merge deterministically.
+
+mod driver;
+mod event;
+mod session;
+
+pub use driver::{EngineConfig, EngineOutput, EngineStats, SessionEngine};
+pub use event::Ev;
+pub use session::{LiveSession, SessionRecord};

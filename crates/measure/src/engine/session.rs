@@ -1,0 +1,74 @@
+//! Per-session state: the campaign-visible record and the live protocol
+//! actors driving one probe-client ↔ MTA connection.
+
+use mailval_mta::actor::MtaActor;
+use mailval_mta::resolver::ResolverActor;
+use mailval_smtp::client::{ClientOutcome, ClientSession};
+use mailval_smtp::reply::ReplyParser;
+use std::net::IpAddr;
+
+/// Per-session record — the campaign's durable output for one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// Global session index, stable across shard counts (assigned in
+    /// campaign build order, before partitioning).
+    pub session_id: usize,
+    /// Index of the target MTA host in the population.
+    pub host_index: usize,
+    /// The recipient domain's index.
+    pub domain_index: usize,
+    /// Test id (`None` for NotifyEmail deliveries).
+    pub testid: Option<&'static str>,
+    /// Virtual start time.
+    pub start_ms: u64,
+    /// The SMTP outcome.
+    pub outcome: Option<ClientOutcome>,
+    /// When the message was accepted for delivery (NotifyEmail).
+    pub delivery_time_ms: Option<u64>,
+    /// The MTA, not the client, terminated the connection (a
+    /// server-initiated close that ended the session before the client's
+    /// own close path could record an outcome).
+    pub closed_by_server: bool,
+}
+
+/// One live session: record plus the protocol state machines.
+pub struct LiveSession {
+    pub(crate) record: SessionRecord,
+    pub(crate) client: ClientSession,
+    pub(crate) parser: ReplyParser,
+    pub(crate) mta: MtaActor,
+    pub(crate) resolver: ResolverActor,
+    pub(crate) mta_ip: IpAddr,
+}
+
+impl LiveSession {
+    /// Assemble a session from its parts. The campaign layer builds the
+    /// actors (it owns population, profiles and name scheme); the engine
+    /// only drives them.
+    pub fn new(
+        record: SessionRecord,
+        client: ClientSession,
+        mta: MtaActor,
+        resolver: ResolverActor,
+        mta_ip: IpAddr,
+    ) -> LiveSession {
+        LiveSession {
+            record,
+            client,
+            parser: ReplyParser::new(),
+            mta,
+            resolver,
+            mta_ip,
+        }
+    }
+
+    /// The session's campaign-global id.
+    pub fn session_id(&self) -> usize {
+        self.record.session_id
+    }
+
+    /// The session's record (so far).
+    pub fn record(&self) -> &SessionRecord {
+        &self.record
+    }
+}

@@ -184,8 +184,8 @@ pub fn behavior_vectors(log: &QueryLog) -> HashMap<usize, BehaviorVector> {
     for (h, s) in scratch {
         ensure(h, &mut vectors);
         let v = vectors.get_mut(&h).expect("just inserted");
-        if let (Some(foo), Some(l3)) = (s.t01_foo, s.t01_l3) {
-            v.parallel = Some(foo < l3);
+        if let (Some(foo_ms), Some(l3)) = (s.t01_foo, s.t01_l3) {
+            v.parallel = Some(foo_ms < l3);
         }
         if s.t02_seen {
             v.limit_bucket = Some(match s.t02_count {
@@ -240,7 +240,7 @@ pub fn classify(vectors: &HashMap<usize, BehaviorVector>) -> Vec<FingerprintClas
             FingerprintClass { vector, hosts }
         })
         .collect();
-    classes.sort_by(|a, b| b.hosts.len().cmp(&a.hosts.len()));
+    classes.sort_by_key(|c| std::cmp::Reverse(c.hosts.len()));
     classes
 }
 
@@ -285,7 +285,7 @@ pub fn fully_observed(vectors: &HashMap<usize, BehaviorVector>) -> HashSet<usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+    use crate::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
     use mailval_datasets::{DatasetKind, Population, PopulationConfig};
     use mailval_simnet::LatencyModel;
 
@@ -300,10 +300,13 @@ mod tests {
         let result = run_campaign(
             &CampaignConfig {
                 kind: CampaignKind::TwoWeekMx,
-                tests: vec!["t01", "t02", "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10"],
+                tests: vec![
+                    "t01", "t02", "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10",
+                ],
                 seed: 31,
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
+                shards: 1,
             },
             &pop,
             &profiles,
@@ -317,9 +320,14 @@ mod tests {
         assert!(summary.largest >= 1);
         // Among classified validators, the serial mainstream dominates
         // (§7.1: 97%).
-        let serial = vectors.values().filter(|v| v.parallel == Some(false)).count();
-        let parallel = vectors.values().filter(|v| v.parallel == Some(true)).count();
+        let serial = vectors
+            .values()
+            .filter(|v| v.parallel == Some(false))
+            .count();
+        let parallel = vectors
+            .values()
+            .filter(|v| v.parallel == Some(true))
+            .count();
         assert!(serial > parallel, "serial {serial} vs parallel {parallel}");
     }
 }
-

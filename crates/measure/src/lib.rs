@@ -17,9 +17,16 @@
 //!   DNS server (§4.5): responses are generated from the query name, so
 //!   the 27.8M-record logical zone needs no storage, plus the query log
 //!   and attribution.
-//! * [`experiment`] — the virtual-time drivers for the three campaigns:
-//!   NotifyEmail (real deliveries, Exim-like client), NotifyMX and
-//!   TwoWeekMX (probe client with 15 s sleeps, aborted before DATA).
+//! * [`engine`] — the session-engine layer: the virtual-time event
+//!   driver for any set of independent probe↔MTA sessions, extracted
+//!   behind an injectable-latency/clock API.
+//! * [`shard`] — campaign sharding: round-robin partitioning of the
+//!   session list and the deterministic `(time_ms, session)` merge that
+//!   makes `shards = K` output byte-identical to `shards = 1`.
+//! * [`campaign`] — orchestration of the three campaigns: NotifyEmail
+//!   (real deliveries, Exim-like client), NotifyMX and TwoWeekMX (probe
+//!   client with 15 s sleeps, aborted before DATA), fanned out over
+//!   shard worker threads against the one shared authority.
 //! * [`analysis`] — classification of raw observations into the paper's
 //!   tables: validation combos (Table 4), validating counts and deciles
 //!   (Table 5), providers (Table 6), Alexa tiers (Table 7), SPF-vs-
@@ -34,13 +41,20 @@
 
 pub mod analysis;
 pub mod apparatus;
-pub mod experiment;
+pub mod campaign;
+pub mod engine;
 pub mod fingerprint;
 pub mod names;
 pub mod policies;
 pub mod report;
+pub mod shard;
 
 pub use apparatus::{Attribution, QueryLog, QueryRecord, SynthesizingAuthority};
-pub use experiment::{CampaignConfig, CampaignKind, CampaignResult};
+pub use campaign::{
+    drift_profiles, run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
+    CampaignResult,
+};
+pub use engine::{EngineConfig, SessionEngine, SessionRecord};
 pub use names::NameScheme;
 pub use policies::{TestPolicyId, ALL_TESTS};
+pub use shard::ShardStats;

@@ -156,10 +156,7 @@ mod tests {
     fn probe_from_matches_paper_template() {
         let s = scheme();
         let from = s.probe_from("t01", 42);
-        assert_eq!(
-            from.to_string(),
-            "spf-test@t01.m00042.spf-test.dns-lab.org"
-        );
+        assert_eq!(from.to_string(), "spf-test@t01.m00042.spf-test.dns-lab.org");
     }
 
     #[test]

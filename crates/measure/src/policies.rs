@@ -8,8 +8,8 @@
 //! truncation and v6-only flags included. Nothing is stored; the
 //! 27.8M-record logical zone exists only as this function (§4.5).
 
-use mailval_dns::server::AuthorityAnswer;
 use mailval_dns::rr::{RData, RecordType};
+use mailval_dns::server::AuthorityAnswer;
 use mailval_dns::{Name, Record};
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -28,45 +28,202 @@ pub struct TestPolicyId {
 /// paper discusses (§6.2, §7.1–§7.3); the rest exercise auxiliary
 /// behaviors and feed the fingerprinting extension (§8).
 pub const ALL_TESTS: &[TestPolicyId] = &[
-    TestPolicyId { id: "t01", name: "serial-parallel", description: "include-chain + a-hint with 100ms delays; infers serial vs parallel lookups (Fig. 3)" },
-    TestPolicyId { id: "t02", name: "lookup-limits", description: "46-lookup include tree with 800ms delays; tests the 10-term limit (Fig. 4/5)" },
-    TestPolicyId { id: "t03", name: "helo-check", description: "-all policy at the HELO identity; do MTAs check it? (§7.3)" },
-    TestPolicyId { id: "t04", name: "syntax-main", description: "'ipv4' typo in the main policy; do MTAs keep evaluating? (§7.3)" },
-    TestPolicyId { id: "t05", name: "syntax-child", description: "syntax error inside an included policy (§7.3)" },
-    TestPolicyId { id: "t06", name: "void-lookups", description: "five dead 'a' hints; void-lookup limit (§7.3)" },
-    TestPolicyId { id: "t07", name: "mx-fallback", description: "mx of a nonexistent name; RFC-forbidden A fallback (§7.3)" },
-    TestPolicyId { id: "t08", name: "multi-record", description: "two SPF records at one name (§7.3)" },
-    TestPolicyId { id: "t09", name: "tcp-only", description: "truncated UDP answers force TCP retrieval (§7.3)" },
-    TestPolicyId { id: "t10", name: "ipv6-only", description: "included policy served only over IPv6 (§7.3)" },
-    TestPolicyId { id: "t11", name: "mx-twenty", description: "mx with 20 exchanges; per-mx address-lookup limit (§7.3)" },
-    TestPolicyId { id: "t12", name: "fail-all", description: "plain -all" },
-    TestPolicyId { id: "t13", name: "softfail-all", description: "plain ~all" },
-    TestPolicyId { id: "t14", name: "neutral-all", description: "plain ?all" },
-    TestPolicyId { id: "t15", name: "pass-all", description: "plain +all" },
-    TestPolicyId { id: "t16", name: "ip4-literal", description: "non-matching ip4 literal then -all" },
-    TestPolicyId { id: "t17", name: "a-simple", description: "single a-hint" },
-    TestPolicyId { id: "t18", name: "mx-simple", description: "mx with two live exchanges" },
-    TestPolicyId { id: "t19", name: "redirect", description: "redirect= to a live policy" },
-    TestPolicyId { id: "t20", name: "redirect-loop", description: "redirect= pointing at itself; loop protection" },
-    TestPolicyId { id: "t21", name: "exists-macro", description: "exists:%{ir} macro expansion observable in the query name" },
-    TestPolicyId { id: "t22", name: "ptr", description: "ptr mechanism (discouraged by RFC 7208 §5.5)" },
-    TestPolicyId { id: "t23", name: "include-pass", description: "include whose child passes everything" },
-    TestPolicyId { id: "t24", name: "include-chain-13", description: "13-deep include chain; limit placement" },
-    TestPolicyId { id: "t25", name: "long-policy", description: "policy > 255 octets (multi-string TXT) and > 512-byte answer" },
-    TestPolicyId { id: "t26", name: "cname-include", description: "include target behind a CNAME" },
-    TestPolicyId { id: "t27", name: "uppercase", description: "policy spelled in uppercase" },
-    TestPolicyId { id: "t28", name: "no-record", description: "NODATA at the policy name" },
-    TestPolicyId { id: "t29", name: "empty-policy", description: "bare v=spf1" },
-    TestPolicyId { id: "t30", name: "unknown-modifier", description: "unknown modifier must be ignored" },
-    TestPolicyId { id: "t31", name: "exp-modifier", description: "exp= explanation; do MTAs fetch it?" },
-    TestPolicyId { id: "t32", name: "slow-answer", description: "2s delay on the base policy; timeout tolerance" },
-    TestPolicyId { id: "t33", name: "servfail-child", description: "SERVFAIL for an included policy; temperror handling" },
-    TestPolicyId { id: "t34", name: "a-cidr4", description: "a-hint with /24 suffix" },
-    TestPolicyId { id: "t35", name: "dual-cidr6", description: "a-hint with //64 and an ip6 literal" },
-    TestPolicyId { id: "t36", name: "eleven-terms", description: "exactly 11 DNS terms; off-by-one limit enforcement" },
-    TestPolicyId { id: "t37", name: "void-includes", description: "three includes of nonexistent names" },
-    TestPolicyId { id: "t38", name: "split-txt", description: "policy split mid-mechanism across TXT strings" },
-    TestPolicyId { id: "t39", name: "control-pass", description: "control: policy passes any sender" },
+    TestPolicyId {
+        id: "t01",
+        name: "serial-parallel",
+        description:
+            "include-chain + a-hint with 100ms delays; infers serial vs parallel lookups (Fig. 3)",
+    },
+    TestPolicyId {
+        id: "t02",
+        name: "lookup-limits",
+        description: "46-lookup include tree with 800ms delays; tests the 10-term limit (Fig. 4/5)",
+    },
+    TestPolicyId {
+        id: "t03",
+        name: "helo-check",
+        description: "-all policy at the HELO identity; do MTAs check it? (§7.3)",
+    },
+    TestPolicyId {
+        id: "t04",
+        name: "syntax-main",
+        description: "'ipv4' typo in the main policy; do MTAs keep evaluating? (§7.3)",
+    },
+    TestPolicyId {
+        id: "t05",
+        name: "syntax-child",
+        description: "syntax error inside an included policy (§7.3)",
+    },
+    TestPolicyId {
+        id: "t06",
+        name: "void-lookups",
+        description: "five dead 'a' hints; void-lookup limit (§7.3)",
+    },
+    TestPolicyId {
+        id: "t07",
+        name: "mx-fallback",
+        description: "mx of a nonexistent name; RFC-forbidden A fallback (§7.3)",
+    },
+    TestPolicyId {
+        id: "t08",
+        name: "multi-record",
+        description: "two SPF records at one name (§7.3)",
+    },
+    TestPolicyId {
+        id: "t09",
+        name: "tcp-only",
+        description: "truncated UDP answers force TCP retrieval (§7.3)",
+    },
+    TestPolicyId {
+        id: "t10",
+        name: "ipv6-only",
+        description: "included policy served only over IPv6 (§7.3)",
+    },
+    TestPolicyId {
+        id: "t11",
+        name: "mx-twenty",
+        description: "mx with 20 exchanges; per-mx address-lookup limit (§7.3)",
+    },
+    TestPolicyId {
+        id: "t12",
+        name: "fail-all",
+        description: "plain -all",
+    },
+    TestPolicyId {
+        id: "t13",
+        name: "softfail-all",
+        description: "plain ~all",
+    },
+    TestPolicyId {
+        id: "t14",
+        name: "neutral-all",
+        description: "plain ?all",
+    },
+    TestPolicyId {
+        id: "t15",
+        name: "pass-all",
+        description: "plain +all",
+    },
+    TestPolicyId {
+        id: "t16",
+        name: "ip4-literal",
+        description: "non-matching ip4 literal then -all",
+    },
+    TestPolicyId {
+        id: "t17",
+        name: "a-simple",
+        description: "single a-hint",
+    },
+    TestPolicyId {
+        id: "t18",
+        name: "mx-simple",
+        description: "mx with two live exchanges",
+    },
+    TestPolicyId {
+        id: "t19",
+        name: "redirect",
+        description: "redirect= to a live policy",
+    },
+    TestPolicyId {
+        id: "t20",
+        name: "redirect-loop",
+        description: "redirect= pointing at itself; loop protection",
+    },
+    TestPolicyId {
+        id: "t21",
+        name: "exists-macro",
+        description: "exists:%{ir} macro expansion observable in the query name",
+    },
+    TestPolicyId {
+        id: "t22",
+        name: "ptr",
+        description: "ptr mechanism (discouraged by RFC 7208 §5.5)",
+    },
+    TestPolicyId {
+        id: "t23",
+        name: "include-pass",
+        description: "include whose child passes everything",
+    },
+    TestPolicyId {
+        id: "t24",
+        name: "include-chain-13",
+        description: "13-deep include chain; limit placement",
+    },
+    TestPolicyId {
+        id: "t25",
+        name: "long-policy",
+        description: "policy > 255 octets (multi-string TXT) and > 512-byte answer",
+    },
+    TestPolicyId {
+        id: "t26",
+        name: "cname-include",
+        description: "include target behind a CNAME",
+    },
+    TestPolicyId {
+        id: "t27",
+        name: "uppercase",
+        description: "policy spelled in uppercase",
+    },
+    TestPolicyId {
+        id: "t28",
+        name: "no-record",
+        description: "NODATA at the policy name",
+    },
+    TestPolicyId {
+        id: "t29",
+        name: "empty-policy",
+        description: "bare v=spf1",
+    },
+    TestPolicyId {
+        id: "t30",
+        name: "unknown-modifier",
+        description: "unknown modifier must be ignored",
+    },
+    TestPolicyId {
+        id: "t31",
+        name: "exp-modifier",
+        description: "exp= explanation; do MTAs fetch it?",
+    },
+    TestPolicyId {
+        id: "t32",
+        name: "slow-answer",
+        description: "2s delay on the base policy; timeout tolerance",
+    },
+    TestPolicyId {
+        id: "t33",
+        name: "servfail-child",
+        description: "SERVFAIL for an included policy; temperror handling",
+    },
+    TestPolicyId {
+        id: "t34",
+        name: "a-cidr4",
+        description: "a-hint with /24 suffix",
+    },
+    TestPolicyId {
+        id: "t35",
+        name: "dual-cidr6",
+        description: "a-hint with //64 and an ip6 literal",
+    },
+    TestPolicyId {
+        id: "t36",
+        name: "eleven-terms",
+        description: "exactly 11 DNS terms; off-by-one limit enforcement",
+    },
+    TestPolicyId {
+        id: "t37",
+        name: "void-includes",
+        description: "three includes of nonexistent names",
+    },
+    TestPolicyId {
+        id: "t38",
+        name: "split-txt",
+        description: "policy split mid-mechanism across TXT strings",
+    },
+    TestPolicyId {
+        id: "t39",
+        name: "control-pass",
+        description: "control: policy passes any sender",
+    },
 ];
 
 /// Look up a test by id label.
@@ -179,11 +336,10 @@ pub fn synthesize_probe(
                 );
             }
             let delayed = |answer: AuthorityAnswer| answer.with_delay_ms(800);
-            match (path_strs.first().copied(), qtype) {
-                (Some("x46"), RecordType::A | RecordType::Aaaa) => {
-                    return delayed(a_record(qname, addrs.unrelated));
-                }
-                _ => {}
+            if let (Some("x46"), RecordType::A | RecordType::Aaaa) =
+                (path_strs.first().copied(), qtype)
+            {
+                return delayed(a_record(qname, addrs.unrelated));
             }
             // Subtree nodes: path is [node, ..., subtree-root].
             let node = path_strs.first().copied().unwrap_or("");
@@ -200,12 +356,8 @@ pub fn synthesize_probe(
                     qname,
                     &format!("v=spf1 include:f.{qname} a:g.{qname} ?all"),
                 )),
-                ("f", RecordType::Txt) => {
-                    delayed(txt(qname, &format!("v=spf1 a:h.{qname} ?all")))
-                }
-                ("b", RecordType::Txt) => {
-                    delayed(txt(qname, &format!("v=spf1 a:e.{qname} ?all")))
-                }
+                ("f", RecordType::Txt) => delayed(txt(qname, &format!("v=spf1 a:h.{qname} ?all"))),
+                ("b", RecordType::Txt) => delayed(txt(qname, &format!("v=spf1 a:e.{qname} ?all"))),
                 ("d" | "e" | "g" | "h", RecordType::A | RecordType::Aaaa) => {
                     delayed(a_record(qname, addrs.unrelated))
                 }
@@ -222,10 +374,9 @@ pub fn synthesize_probe(
             }
         }
         "t04" => match (path_strs.as_slice(), qtype) {
-            ([], RecordType::Txt) => txt(
-                qname,
-                &format!("v=spf1 ipv4:192.0.2.1 a:after.{base} -all"),
-            ),
+            ([], RecordType::Txt) => {
+                txt(qname, &format!("v=spf1 ipv4:192.0.2.1 a:after.{base} -all"))
+            }
             (["after"], RecordType::A | RecordType::Aaaa) => a_record(qname, addrs.unrelated),
             _ => AuthorityAnswer::nxdomain(),
         },
@@ -291,9 +442,7 @@ pub fn synthesize_probe(
             }
         }
         "t10" => match (path_strs.as_slice(), qtype) {
-            ([], RecordType::Txt) => {
-                txt(qname, &format!("v=spf1 include:p.v6only.{base} ?all"))
-            }
+            ([], RecordType::Txt) => txt(qname, &format!("v=spf1 include:p.v6only.{base} ?all")),
             (["p", "v6only"], RecordType::Txt) => {
                 let mut answer = txt(qname, "v=spf1 ?all");
                 answer.v6_only = true;
@@ -400,10 +549,7 @@ pub fn synthesize_probe(
                     .and_then(|n| n.parse::<u32>().ok())
                 {
                     if k < 13 {
-                        return txt(
-                            qname,
-                            &format!("v=spf1 include:c{}.{base} ?all", k + 1),
-                        );
+                        return txt(qname, &format!("v=spf1 include:c{}.{base} ?all", k + 1));
                     }
                     return txt(qname, "v=spf1 ?all");
                 }
@@ -422,9 +568,7 @@ pub fn synthesize_probe(
                 txt(qname, &policy)
             } else {
                 match (path_strs.as_slice(), qtype) {
-                    (["end"], RecordType::A | RecordType::Aaaa) => {
-                        a_record(qname, addrs.unrelated)
-                    }
+                    (["end"], RecordType::A | RecordType::Aaaa) => a_record(qname, addrs.unrelated),
                     _ => AuthorityAnswer::nxdomain(),
                 }
             }
@@ -459,10 +603,9 @@ pub fn synthesize_probe(
         }
         "t29" => simple_policy(is_base, want_txt, qname, "v=spf1"),
         "t30" => match (path_strs.as_slice(), qtype) {
-            ([], RecordType::Txt) => txt(
-                qname,
-                &format!("v=spf1 mailval-unknown=x a:um.{base} -all"),
-            ),
+            ([], RecordType::Txt) => {
+                txt(qname, &format!("v=spf1 mailval-unknown=x a:um.{base} -all"))
+            }
             (["um"], RecordType::A | RecordType::Aaaa) => a_record(qname, addrs.unrelated),
             _ => AuthorityAnswer::nxdomain(),
         },
@@ -527,7 +670,9 @@ pub fn synthesize_probe(
             if is_base && want_txt {
                 txt(
                     qname,
-                    &format!("v=spf1 include:nx1.{base} include:nx2.{base} include:nx3.{base} ?all"),
+                    &format!(
+                        "v=spf1 include:nx1.{base} include:nx2.{base} include:nx3.{base} ?all"
+                    ),
                 )
             } else {
                 AuthorityAnswer::nxdomain()
@@ -537,7 +682,7 @@ pub fn synthesize_probe(
             if is_base && want_txt {
                 // Split mid-mechanism across two character-strings: RFC
                 // 7208 §3.3 requires concatenation without spaces.
-                let part1 = format!("v=spf1 a:spl");
+                let part1 = "v=spf1 a:spl".to_string();
                 let part2 = format!("it.{base} -all");
                 AuthorityAnswer::positive(vec![Record::new(
                     qname.clone(),
@@ -693,8 +838,7 @@ mod tests {
             while let Some((name, rtype)) = stack.pop() {
                 count += 1;
                 let parsed = scheme.parse(&name).unwrap();
-                let answer =
-                    synthesize_probe("t02", &parsed.path, &name, &b, rtype, &addrs);
+                let answer = synthesize_probe("t02", &parsed.path, &name, &b, rtype, &addrs);
                 assert_eq!(answer.delay_ms, 800, "{name} should be delayed");
                 if rtype == RecordType::Txt {
                     policies.push(policy_text(&answer));
@@ -772,7 +916,15 @@ mod tests {
     fn notify_synthesis() {
         let addrs = addrs();
         let b = Name::parse("d00042.dsav-mail.dns-lab.org").unwrap();
-        let l0 = synthesize_notify(&[], &b, &b, RecordType::Txt, &addrs, "v=DKIM1; p=x", "v=DMARC1; p=reject");
+        let l0 = synthesize_notify(
+            &[],
+            &b,
+            &b,
+            RecordType::Txt,
+            &addrs,
+            "v=DKIM1; p=x",
+            "v=DMARC1; p=reject",
+        );
         assert!(policy_text(&l0).contains("a:sender."));
         let sender = synthesize_notify(
             &["sender".into()],

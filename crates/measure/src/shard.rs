@@ -1,0 +1,120 @@
+//! Campaign sharding: partition independent sessions across engines and
+//! merge their outputs deterministically.
+//!
+//! Sessions of a campaign never interact — each drives its own MTA,
+//! resolver and client state machines, and the shared authoritative
+//! server answers every query statelessly from the name alone. A
+//! campaign therefore partitions its session list into `K` shards, runs
+//! one [`crate::engine::SessionEngine`] per shard on its own thread
+//! (via [`mailval_simnet::run_shards`]), and merges:
+//!
+//! * query logs by the stable `(time_ms, session)` key
+//!   ([`crate::apparatus::QueryLog::merge`]);
+//! * session records back into global `session_id` order
+//!   ([`merge_session_records`]).
+//!
+//! Both merges are independent of `K` and of thread scheduling, so
+//! `shards = K` output is byte-identical to `shards = 1`.
+
+use crate::engine::{EngineStats, SessionRecord};
+
+/// Lightweight per-shard counters surfaced in
+/// [`crate::campaign::CampaignResult`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Shard index, `0..shard_count`.
+    pub shard: usize,
+    /// Sessions this shard drove.
+    pub sessions: usize,
+    /// Virtual events its engine dispatched.
+    pub events: u64,
+    /// Queries it logged at the authoritative server.
+    pub queries_logged: u64,
+    /// Its final virtual clock, ms.
+    pub virtual_ms: u64,
+    /// Wall-clock time the shard's worker ran, ms (the only
+    /// non-deterministic field; diagnostics only).
+    pub wall_ms: f64,
+}
+
+impl ShardStats {
+    /// Combine engine counters with the runner's wall-clock timing.
+    pub fn new(shard: usize, stats: EngineStats, wall_ms: f64) -> ShardStats {
+        ShardStats {
+            shard,
+            sessions: stats.sessions,
+            events: stats.events,
+            queries_logged: stats.queries_logged,
+            virtual_ms: stats.virtual_ms,
+            wall_ms,
+        }
+    }
+}
+
+/// Partition `n` sessions into `shards` index lists, round-robin:
+/// session `i` goes to shard `i % shards`. Round-robin keeps shard
+/// loads balanced even though campaign build order clusters sessions by
+/// test and host. A `shards` of 0 is treated as 1; empty shards are
+/// dropped (never more shards than sessions).
+pub fn partition(n: usize, shards: usize) -> Vec<Vec<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    let mut parts: Vec<Vec<usize>> = (0..shards)
+        .map(|_| Vec::with_capacity(n / shards + 1))
+        .collect();
+    for i in 0..n {
+        parts[i % shards].push(i);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Merge per-shard session records back into global `session_id` order.
+pub fn merge_session_records(per_shard: Vec<Vec<SessionRecord>>) -> Vec<SessionRecord> {
+    let mut all: Vec<SessionRecord> = per_shard.into_iter().flatten().collect();
+    all.sort_by_key(|r| r.session_id);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_round_robin_covers_all() {
+        let parts = partition(10, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], vec![0, 4, 8]);
+        assert_eq!(parts[1], vec![1, 5, 9]);
+        assert_eq!(parts[2], vec![2, 6]);
+        assert_eq!(parts[3], vec![3, 7]);
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_never_exceeds_sessions() {
+        assert_eq!(partition(2, 8).len(), 2);
+        assert_eq!(partition(0, 4).len(), 0);
+        assert_eq!(partition(5, 0).len(), 1);
+        assert_eq!(partition(5, 1)[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_restores_global_order() {
+        let rec = |session_id: usize| SessionRecord {
+            session_id,
+            host_index: 0,
+            domain_index: 0,
+            testid: None,
+            start_ms: 0,
+            outcome: None,
+            delivery_time_ms: None,
+            closed_by_server: false,
+        };
+        let merged =
+            merge_session_records(vec![vec![rec(0), rec(2), rec(4)], vec![rec(1), rec(3)]]);
+        let ids: Vec<usize> = merged.iter().map(|r| r.session_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -118,7 +118,10 @@ enum Work {
         qid: u64,
     },
     /// DMARC discovery.
-    Dmarc { evaluator: Box<DmarcEvaluator>, qid: u64 },
+    Dmarc {
+        evaluator: Box<DmarcEvaluator>,
+        qid: u64,
+    },
     /// Waiting out the accept-latency timer before the final 250.
     AcceptDelay,
 }
@@ -268,11 +271,18 @@ impl MtaActor {
                     return;
                 }
                 if self.ctx.client_blacklisted && self.profile.rejects_blacklist {
-                    let reply = self.session.on_decision(Decision::Reject(Reply::new(
-                        554,
-                        "5.7.1 Client host found on blacklist (DNSBL)",
-                    )));
+                    // DNSBL operators slam the connection after the 554
+                    // (§6.2): reply, then a server-initiated close the
+                    // driver must propagate to the probe client.
+                    let reply = self
+                        .session
+                        .on_decision(Decision::RejectAndClose(Reply::new(
+                            554,
+                            "5.7.1 Client host found on blacklist (DNSBL)",
+                        )));
                     out.push(MtaOutput::Smtp(reply.to_wire()));
+                    out.push(MtaOutput::Close);
+                    self.closed = true;
                     return;
                 }
                 if let Some(addr) = from {
@@ -303,7 +313,7 @@ impl MtaActor {
                 } else if local == "postmaster" {
                     true
                 } else {
-                    self.profile.accepted_username.as_deref() == Some(local.as_str())
+                    self.profile.accepted_username == Some(local.as_str())
                 };
                 if !accepted {
                     let reply = self
@@ -414,25 +424,15 @@ impl MtaActor {
             domain: domain.clone(),
             sender_local: "postmaster".into(),
             sender_domain: domain,
-            helo: self
-                .session
-                .helo_identity
-                .clone()
-                .unwrap_or_default(),
+            helo: self.session.helo_identity.clone().unwrap_or_default(),
         };
-        let mut evaluator = Box::new(SpfEvaluator::new(
-            params,
-            self.profile.spf_behavior.clone(),
-        ));
+        let mut evaluator = Box::new(SpfEvaluator::new(params, self.profile.spf_behavior.clone()));
         let step = evaluator.start();
         self.install_spf(evaluator, step, true, out);
     }
 
     fn start_mail_spf(&mut self, out: &mut Vec<MtaOutput>) {
-        let domain = self
-            .mail_from_domain
-            .clone()
-            .expect("mail from domain set");
+        let domain = self.mail_from_domain.clone().expect("mail from domain set");
         let params = EvalParams {
             ip: self.ctx.client_ip,
             domain: domain.clone(),
@@ -441,16 +441,9 @@ impl MtaActor {
                 .clone()
                 .unwrap_or_else(|| "postmaster".into()),
             sender_domain: domain,
-            helo: self
-                .session
-                .helo_identity
-                .clone()
-                .unwrap_or_default(),
+            helo: self.session.helo_identity.clone().unwrap_or_default(),
         };
-        let mut evaluator = Box::new(SpfEvaluator::new(
-            params,
-            self.profile.spf_behavior.clone(),
-        ));
+        let mut evaluator = Box::new(SpfEvaluator::new(params, self.profile.spf_behavior.clone()));
         let step = evaluator.start();
         self.spf_done = true; // one MAIL-identity evaluation per session
         self.install_spf(evaluator, step, false, out);
@@ -625,9 +618,15 @@ impl MtaActor {
                     }
                 }
             }
-            Some(Work::Dkim { mut verifier, qid: expect }) => {
+            Some(Work::Dkim {
+                mut verifier,
+                qid: expect,
+            }) => {
                 if qid != expect {
-                    self.current = Some(Work::Dkim { verifier, qid: expect });
+                    self.current = Some(Work::Dkim {
+                        verifier,
+                        qid: expect,
+                    });
                     return;
                 }
                 match verifier.on_key(outcome) {
@@ -638,9 +637,15 @@ impl MtaActor {
                     VerifyStep::NeedKey { .. } => unreachable!("single key fetch"),
                 }
             }
-            Some(Work::Dmarc { mut evaluator, qid: expect }) => {
+            Some(Work::Dmarc {
+                mut evaluator,
+                qid: expect,
+            }) => {
                 if qid != expect {
-                    self.current = Some(Work::Dmarc { evaluator, qid: expect });
+                    self.current = Some(Work::Dmarc {
+                        evaluator,
+                        qid: expect,
+                    });
                     return;
                 }
                 match evaluator.on_answer(outcome) {
@@ -677,10 +682,8 @@ impl MtaActor {
                     self.advance_queue(out);
                 }
             }
-            TIMER_POST_DELIVERY => {
-                if self.current.is_none() && self.mail_from_domain.is_some() {
-                    self.start_mail_spf(out);
-                }
+            TIMER_POST_DELIVERY if self.current.is_none() && self.mail_from_domain.is_some() => {
+                self.start_mail_spf(out);
             }
             _ => {}
         }
@@ -798,6 +801,36 @@ mod tests {
     }
 
     #[test]
+    fn blacklisted_client_slammed_with_close() {
+        // The "DNSBL slam" (§6.2): the operator not only rejects the
+        // blacklisted client at MAIL but drops the connection itself.
+        let mut profile = MtaProfile::strict();
+        profile.rejects_blacklist = true;
+        let mut actor = MtaActor::new(
+            "mx.r.test",
+            profile,
+            ConnContext {
+                client_ip: "192.0.2.77".parse().unwrap(),
+                client_blacklisted: true,
+                recipients_guessed: false,
+            },
+        );
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<x@y.test>");
+        let reply = first_smtp(&out).unwrap();
+        assert!(reply.starts_with("554"));
+        assert!(reply.contains("blacklist"));
+        assert!(
+            out.iter().any(|o| matches!(o, MtaOutput::Close)),
+            "slam must close the connection after the 554"
+        );
+        // Everything after the slam is ignored: the session is closed.
+        let out = drive_line(&mut actor, "RCPT TO:<u@r.test>");
+        assert!(first_smtp(&out).is_none());
+    }
+
+    #[test]
     fn non_blacklisted_client_not_rejected() {
         let mut profile = MtaProfile::strict();
         profile.rejects_spam = true;
@@ -886,7 +919,10 @@ mod tests {
         assert!(first_smtp(&all).is_some());
         drive_line(&mut actor, "RCPT TO:<michael@r.test>");
         drive_line(&mut actor, "DATA");
-        drive_line(&mut actor, "DKIM-Signature: v=1; a=rsa-sha256; d=sender.test; s=s1;");
+        drive_line(
+            &mut actor,
+            "DKIM-Signature: v=1; a=rsa-sha256; d=sender.test; s=s1;",
+        );
         drive_line(&mut actor, " c=relaxed/relaxed; h=from; bh=AAAA; b=BBBB");
         drive_line(&mut actor, "From: Alice <a@sender.test>");
         drive_line(&mut actor, "Subject: hello");
@@ -907,14 +943,19 @@ mod tests {
             resolves.iter().any(|n| n.contains("_domainkey")),
             "{resolves:?}"
         );
-        assert!(resolves.iter().any(|n| n.starts_with("_dmarc.")), "{resolves:?}");
+        assert!(
+            resolves.iter().any(|n| n.starts_with("_dmarc.")),
+            "{resolves:?}"
+        );
         let timer = all.iter().find_map(|o| match o {
             MtaOutput::SetTimer { token, .. } => Some(*token),
             _ => None,
         });
         assert_eq!(timer, Some(TIMER_ACCEPT));
         // Fire the accept timer → 250 + MessageAccepted event.
-        let out = actor.handle(MtaInput::Timer { token: TIMER_ACCEPT });
+        let out = actor.handle(MtaInput::Timer {
+            token: TIMER_ACCEPT,
+        });
         assert!(first_smtp(&out).unwrap().starts_with("250"));
         assert!(out
             .iter()
@@ -939,17 +980,27 @@ mod tests {
         drive_line(&mut actor, "");
         let out = drive_line(&mut actor, ".");
         // Accept timer; fire it.
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, MtaOutput::SetTimer { token: TIMER_ACCEPT, .. })));
-        let out = actor.handle(MtaInput::Timer { token: TIMER_ACCEPT });
+        assert!(out.iter().any(|o| matches!(
+            o,
+            MtaOutput::SetTimer {
+                token: TIMER_ACCEPT,
+                ..
+            }
+        )));
+        let out = actor.handle(MtaInput::Timer {
+            token: TIMER_ACCEPT,
+        });
         assert!(out
             .iter()
             .any(|o| matches!(o, MtaOutput::Event(MtaEvent::MessageAccepted))));
         // Post-delivery timer armed; firing it starts SPF.
-        assert!(out.iter().any(
-            |o| matches!(o, MtaOutput::SetTimer { token: TIMER_POST_DELIVERY, .. })
-        ));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            MtaOutput::SetTimer {
+                token: TIMER_POST_DELIVERY,
+                ..
+            }
+        )));
         let out = actor.handle(MtaInput::Timer {
             token: TIMER_POST_DELIVERY,
         });

@@ -200,11 +200,8 @@ mod tests {
 
     #[test]
     fn v6_only_zone_unreachable_for_v4_resolver() {
-        let mut actor = ResolverActor::new(
-            ResolverConfig::default(),
-            false,
-            Some("v6only".to_string()),
-        );
+        let mut actor =
+            ResolverActor::new(ResolverConfig::default(), false, Some("v6only".to_string()));
         match actor.resolve(1, n("l1.v6only.t10.m1.spf.test"), RecordType::Txt, 0) {
             ResolverEvent::Finished { outcome, .. } => {
                 assert_eq!(outcome, ResolveOutcome::Timeout);
@@ -220,11 +217,8 @@ mod tests {
 
     #[test]
     fn v6_capable_resolver_routes_via_v6() {
-        let mut actor = ResolverActor::new(
-            ResolverConfig::default(),
-            true,
-            Some("v6only".to_string()),
-        );
+        let mut actor =
+            ResolverActor::new(ResolverConfig::default(), true, Some("v6only".to_string()));
         match actor.resolve(1, n("l1.v6only.t10.m1.spf.test"), RecordType::Txt, 0) {
             ResolverEvent::Send(send) => assert!(send.via_ipv6),
             other => panic!("{other:?}"),
@@ -260,6 +254,9 @@ mod tests {
             actor.on_upstream_response(42, &[0, 0], false, 0),
             ResolverEvent::Idle
         ));
-        assert!(matches!(actor.on_timeout(42, false, 0), ResolverEvent::Idle));
+        assert!(matches!(
+            actor.on_timeout(42, false, 0),
+            ResolverEvent::Idle
+        ));
     }
 }

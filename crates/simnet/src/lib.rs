@@ -13,14 +13,19 @@
 //!   endpoints, with optional jitter and loss, used to time DNS and SMTP
 //!   exchanges (the serial-vs-parallel inference of §7.1 of the paper is
 //!   all about these RTT sums).
+//! * [`shard`] — a scoped-thread shard runner: workloads that partition
+//!   into independent shards run one simulator per shard in parallel and
+//!   merge outputs deterministically afterwards.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod net;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 
 pub use net::LatencyModel;
 pub use rng::SimRng;
+pub use shard::{run_shards, ShardTiming};
 pub use sim::Simulator;

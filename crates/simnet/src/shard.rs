@@ -1,0 +1,99 @@
+//! Scoped-thread shard runner.
+//!
+//! The simulation substrate is single-threaded *per shard*: one
+//! [`crate::Simulator`] owns one event queue and one virtual clock.
+//! Embedders that can partition their workload into independent shards
+//! (sessions that never exchange events) run one simulator per shard on
+//! its own OS thread and merge the outputs afterwards. This module is
+//! the thread plumbing: it owns no simulation state and imposes no
+//! ordering of its own, so determinism is entirely the embedder's merge
+//! discipline.
+
+/// Wall-clock timing of one shard worker, for throughput accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardTiming {
+    /// Shard index, `0..shard_count`.
+    pub shard: usize,
+    /// Wall-clock milliseconds the worker spent inside its closure.
+    pub wall_ms: f64,
+}
+
+/// Run `work` once per input shard, each on its own scoped thread, and
+/// return the outputs **in shard order** together with per-shard wall
+/// times.
+///
+/// * With zero or one input the closure runs inline on the caller's
+///   thread — no spawn cost for the `shards = 1` path.
+/// * A panicking worker propagates the panic to the caller.
+/// * Output order is the input order, never completion order, so a
+///   deterministic merge downstream sees a deterministic input.
+pub fn run_shards<I, O, F>(inputs: Vec<I>, work: F) -> Vec<(O, ShardTiming)>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let timed = |shard: usize, input: I, work: &F| {
+        let started = std::time::Instant::now();
+        let output = work(shard, input);
+        let timing = ShardTiming {
+            shard,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        };
+        (output, timing)
+    };
+    if inputs.len() <= 1 {
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, input)| timed(shard, input, &work))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, input)| scope.spawn(move || timed(shard, input, work)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_in_shard_order() {
+        // Make later shards finish first; order must still be input order.
+        let inputs = vec![30u64, 20, 10, 0];
+        let out = run_shards(inputs, |shard, sleep_ms| {
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+            shard * 2
+        });
+        let values: Vec<usize> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![0, 2, 4, 6]);
+        for (i, (_, t)) in out.iter().enumerate() {
+            assert_eq!(t.shard, i);
+            assert!(t.wall_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_shard_runs_inline() {
+        let id = std::thread::current().id();
+        let out = run_shards(vec![()], |_, ()| std::thread::current().id());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, id);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out: Vec<(u8, ShardTiming)> = run_shards(Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -86,6 +86,9 @@ impl<E> Simulator<E> {
     }
 
     /// Pop the next event, advancing the clock to its firing time.
+    /// (Named like, but deliberately not, `Iterator::next` — iterating
+    /// borrows `&mut self` per event, which an `Iterator` impl cannot.)
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(u64, E)> {
         let entry = self.queue.pop()?;
         debug_assert!(entry.time_ms >= self.now_ms, "time went backwards");

@@ -250,7 +250,9 @@ impl ClientSession {
                 self.fail(Phase::Message, reply)
             }
             State::AwaitQuitReply => self.close(),
-            State::Done | State::PauseBeforeMail | State::PauseBeforeRcpt
+            State::Done
+            | State::PauseBeforeMail
+            | State::PauseBeforeRcpt
             | State::PauseBeforeData => {
                 // Unexpected extra reply; ignore but record (already in
                 // transcript).

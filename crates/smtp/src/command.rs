@@ -37,8 +37,25 @@ impl EmailAddress {
             let ok = b.is_ascii_alphanumeric()
                 || matches!(
                     b,
-                    b'.' | b'-' | b'_' | b'+' | b'=' | b'!' | b'#' | b'$' | b'%' | b'&' | b'\''
-                        | b'*' | b'/' | b'?' | b'^' | b'`' | b'{' | b'|' | b'}' | b'~'
+                    b'.' | b'-'
+                        | b'_'
+                        | b'+'
+                        | b'='
+                        | b'!'
+                        | b'#'
+                        | b'$'
+                        | b'%'
+                        | b'&'
+                        | b'\''
+                        | b'*'
+                        | b'/'
+                        | b'?'
+                        | b'^'
+                        | b'`'
+                        | b'{'
+                        | b'|'
+                        | b'}'
+                        | b'~'
                 );
             if !ok {
                 return None;
@@ -156,8 +173,8 @@ impl Command {
                 Ok(Command::Mail(parse_path(path)?))
             }
             "RCPT" => {
-                let rest = strip_keyword(args, "TO:")
-                    .ok_or(CommandError::BadArguments("expected TO:"))?;
+                let rest =
+                    strip_keyword(args, "TO:").ok_or(CommandError::BadArguments("expected TO:"))?;
                 let (path, _params) = split_params(rest);
                 match parse_path(path)? {
                     Some(addr) => Ok(Command::Rcpt(addr)),
@@ -229,7 +246,10 @@ mod tests {
     fn parse_addresses() {
         let a = addr("spf-test@t01.m5.spf-test.dns-lab.org");
         assert_eq!(a.local, "spf-test");
-        assert_eq!(a.domain, Name::parse("t01.m5.spf-test.dns-lab.org").unwrap());
+        assert_eq!(
+            a.domain,
+            Name::parse("t01.m5.spf-test.dns-lab.org").unwrap()
+        );
         assert!(EmailAddress::parse("no-at-sign").is_none());
         assert!(EmailAddress::parse("@nodomain").is_none());
         assert!(EmailAddress::parse("a@").is_none());

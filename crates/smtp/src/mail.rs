@@ -46,11 +46,14 @@ pub fn unfold(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
-        if bytes[i] == b'\r' && i + 2 < bytes.len() && bytes[i + 1] == b'\n'
+        if bytes[i] == b'\r'
+            && i + 2 < bytes.len()
+            && bytes[i + 1] == b'\n'
             && (bytes[i + 2] == b' ' || bytes[i + 2] == b'\t')
         {
             i += 2; // drop CRLF, keep the WSP
-        } else if bytes[i] == b'\n' && i + 1 < bytes.len()
+        } else if bytes[i] == b'\n'
+            && i + 1 < bytes.len()
             && (bytes[i + 1] == b' ' || bytes[i + 1] == b'\t')
         {
             i += 1; // tolerate bare LF folding
@@ -247,7 +250,10 @@ Dear operator,\r\nYour network has an issue.\r\n";
     fn parse_headers_and_body() {
         let msg = MailMessage::parse(SAMPLE).unwrap();
         assert_eq!(msg.headers.len(), 4);
-        assert_eq!(msg.header("subject").unwrap().value(), "Network notification");
+        assert_eq!(
+            msg.header("subject").unwrap().value(),
+            "Network notification"
+        );
         assert_eq!(
             msg.header("X-FOLDED").unwrap().value(),
             "first part\tsecond part"

@@ -153,9 +153,7 @@ impl ReplyParser {
         if line.len() < 3 {
             return Err(ReplyParseError::BadFormat);
         }
-        let code: u16 = line[..3]
-            .parse()
-            .map_err(|_| ReplyParseError::BadFormat)?;
+        let code: u16 = line[..3].parse().map_err(|_| ReplyParseError::BadFormat)?;
         if !(200..=599).contains(&code) && !(100..200).contains(&code) {
             return Err(ReplyParseError::BadFormat);
         }
@@ -202,7 +200,11 @@ mod tests {
     fn multiline_roundtrip() {
         let r = Reply::multiline(
             250,
-            vec!["mx.test greets you".into(), "SIZE 1000000".into(), "8BITMIME".into()],
+            vec![
+                "mx.test greets you".into(),
+                "SIZE 1000000".into(),
+                "8BITMIME".into(),
+            ],
         );
         let wire = r.to_wire();
         assert_eq!(

@@ -68,6 +68,11 @@ pub enum Decision {
     AcceptWith(Reply),
     /// Refuse with the given reply (4xx/5xx).
     Reject(Reply),
+    /// Refuse and drop the connection right after the reply (the
+    /// "DNSBL slam": operators that terminate blacklisted clients
+    /// instead of letting the dialogue continue, §6.2). The embedder
+    /// must emit its close output after sending the reply.
+    RejectAndClose(Reply),
 }
 
 /// What the session wants the embedder to do next.
@@ -265,6 +270,10 @@ impl Session {
                 if matches!(query, PolicyQuery::Message { .. }) {
                     self.reset_transaction();
                 }
+                return reply;
+            }
+            Decision::RejectAndClose(reply) => {
+                self.state = SessionState::Closed;
                 return reply;
             }
         };

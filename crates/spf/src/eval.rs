@@ -162,7 +162,10 @@ enum RecordPurpose {
 #[derive(Debug)]
 enum Waiting {
     /// TXT lookup to fetch a policy.
-    Record { domain: Name, purpose: RecordPurpose },
+    Record {
+        domain: Name,
+        purpose: RecordPurpose,
+    },
     /// A/AAAA lookup for an `a` mechanism.
     MechAddr {
         qualifier: Qualifier,
@@ -193,7 +196,11 @@ enum Waiting {
         term: String,
     },
     /// PTR list lookup for a `ptr` mechanism.
-    PtrList { qualifier: Qualifier, target: Name, term: String },
+    PtrList {
+        qualifier: Qualifier,
+        target: Name,
+        term: String,
+    },
     /// Forward-confirmation lookups for `ptr`.
     PtrConfirm {
         qualifier: Qualifier,
@@ -335,7 +342,12 @@ impl SpfEvaluator {
     }
 
     /// Finish with a result.
-    fn done(&mut self, result: SpfResult, matched: Option<String>, error: Option<String>) -> EvalStep {
+    fn done(
+        &mut self,
+        result: SpfResult,
+        matched: Option<String>,
+        error: Option<String>,
+    ) -> EvalStep {
         self.frames.clear();
         EvalStep::Done(SpfEvaluation {
             result,
@@ -462,9 +474,7 @@ impl SpfEvaluator {
             if frame.idx >= frame.record.terms.len() {
                 // No mechanism matched: redirect or default Neutral.
                 let redirect = frame.record.terms.iter().find_map(|t| match t {
-                    Term::Modifier(Modifier::Redirect { domain_spec }) => {
-                        Some(domain_spec.clone())
-                    }
+                    Term::Modifier(Modifier::Redirect { domain_spec }) => Some(domain_spec.clone()),
                     _ => None,
                 });
                 match redirect {
@@ -505,13 +515,11 @@ impl SpfEvaluator {
             frame.idx += 1;
             match term {
                 Term::Modifier(_) => continue, // handled at end / ignored
-                Term::Mechanism(qualifier, mech) => {
-                    match self.process_mechanism(qualifier, mech) {
-                        ProcessOutcome::Continue => continue,
-                        ProcessOutcome::Await => return None,
-                        ProcessOutcome::Finished(step) => return Some(step),
-                    }
-                }
+                Term::Mechanism(qualifier, mech) => match self.process_mechanism(qualifier, mech) {
+                    ProcessOutcome::Continue => continue,
+                    ProcessOutcome::Await => return None,
+                    ProcessOutcome::Finished(step) => return Some(step),
+                },
             }
         }
     }
@@ -693,9 +701,11 @@ impl SpfEvaluator {
                 {
                     self.mechanism_matched(qualifier, term)
                 }
-                ResolveOutcome::Timeout | ResolveOutcome::ServFail => {
-                    Some(self.done(SpfResult::TempError, None, Some("exists lookup failed".into())))
-                }
+                ResolveOutcome::Timeout | ResolveOutcome::ServFail => Some(self.done(
+                    SpfResult::TempError,
+                    None,
+                    Some("exists lookup failed".into()),
+                )),
                 other => {
                     if other.is_void() {
                         if let Some(step) = self.count_void() {
@@ -797,7 +807,11 @@ impl SpfEvaluator {
                         domain,
                         on_pass_qualifier: Some(qualifier),
                     });
-                    self.conclude_frame(result, None, Some("no SPF record at include target".into()))
+                    self.conclude_frame(
+                        result,
+                        None,
+                        Some("no SPF record at include target".into()),
+                    )
                 }
                 RecordPurpose::Redirect => self.conclude_frame(
                     result,
@@ -916,15 +930,15 @@ impl SpfEvaluator {
         for term in &record.terms {
             let q = match term {
                 Term::Mechanism(_, Mechanism::Include { domain_spec })
-                | Term::Modifier(Modifier::Redirect {
-                    domain_spec,
-                }) => expand(domain_spec, &ctx, false)
-                    .ok()
-                    .and_then(|d| Name::parse(&d).ok())
-                    .map(|name| DnsQuestion {
-                        name,
-                        rtype: RecordType::Txt,
-                    }),
+                | Term::Modifier(Modifier::Redirect { domain_spec }) => {
+                    expand(domain_spec, &ctx, false)
+                        .ok()
+                        .and_then(|d| Name::parse(&d).ok())
+                        .map(|name| DnsQuestion {
+                            name,
+                            rtype: RecordType::Txt,
+                        })
+                }
                 Term::Mechanism(_, Mechanism::A { domain_spec, .. }) => {
                     let name = match domain_spec {
                         Some(spec) => expand(spec, &ctx, false)
@@ -1230,9 +1244,7 @@ impl SpfEvaluator {
                 return self.mechanism_matched(qualifier, term);
             }
         }
-        let Some(next) = remaining.pop_front() else {
-            return None;
-        };
+        let next = remaining.pop_front()?;
         let rtype = self.addr_rtype();
         self.waiting = Some((
             DnsQuestion {

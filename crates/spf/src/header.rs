@@ -14,11 +14,17 @@ pub fn received_spf(
 ) -> String {
     let comment = match eval.result {
         SpfResult::Pass => format!("{receiver}: domain designates {client_ip} as permitted sender"),
-        SpfResult::Fail => format!("{receiver}: domain does not designate {client_ip} as permitted sender"),
-        SpfResult::SoftFail => format!("{receiver}: transitioning domain does not designate {client_ip} as permitted sender"),
+        SpfResult::Fail => {
+            format!("{receiver}: domain does not designate {client_ip} as permitted sender")
+        }
+        SpfResult::SoftFail => format!(
+            "{receiver}: transitioning domain does not designate {client_ip} as permitted sender"
+        ),
         SpfResult::Neutral => format!("{receiver}: {client_ip} is neither permitted nor denied"),
         SpfResult::None => format!("{receiver}: no SPF record"),
-        SpfResult::TempError => format!("{receiver}: error in processing during lookup (transient)"),
+        SpfResult::TempError => {
+            format!("{receiver}: error in processing during lookup (transient)")
+        }
         SpfResult::PermError => format!("{receiver}: permanent error in processing"),
     };
     format!(

@@ -92,11 +92,7 @@ pub fn expand(spec: &str, ctx: &MacroContext, is_exp: bool) -> Result<String, Ma
                 i += 2;
             }
             Some(b'{') => {
-                let end = spec[i + 2..]
-                    .find('}')
-                    .ok_or(MacroError::Unterminated)?
-                    + i
-                    + 2;
+                let end = spec[i + 2..].find('}').ok_or(MacroError::Unterminated)? + i + 2;
                 let inner = &spec[i + 2..end];
                 out.push_str(&expand_one(inner, ctx, is_exp)?);
                 i = end + 1;
@@ -109,7 +105,9 @@ pub fn expand(spec: &str, ctx: &MacroContext, is_exp: bool) -> Result<String, Ma
 
 fn expand_one(inner: &str, ctx: &MacroContext, is_exp: bool) -> Result<String, MacroError> {
     let mut chars = inner.chars();
-    let letter = chars.next().ok_or_else(|| MacroError::BadMacro(inner.into()))?;
+    let letter = chars
+        .next()
+        .ok_or_else(|| MacroError::BadMacro(inner.into()))?;
     let rest: String = chars.collect();
 
     let uppercase = letter.is_ascii_uppercase();
@@ -220,7 +218,10 @@ mod tests {
     #[test]
     fn rfc_examples() {
         let c = ctx();
-        assert_eq!(expand("%{s}", &c, false).unwrap(), "strong-bad@email.example.com");
+        assert_eq!(
+            expand("%{s}", &c, false).unwrap(),
+            "strong-bad@email.example.com"
+        );
         assert_eq!(expand("%{o}", &c, false).unwrap(), "email.example.com");
         assert_eq!(expand("%{d}", &c, false).unwrap(), "email.example.com");
         assert_eq!(expand("%{d4}", &c, false).unwrap(), "email.example.com");
@@ -281,22 +282,37 @@ mod tests {
         let c = ctx();
         assert_eq!(expand("%x", &c, false), Err(MacroError::BadPercent));
         assert_eq!(expand("%{d", &c, false), Err(MacroError::Unterminated));
-        assert!(matches!(expand("%{q}", &c, false), Err(MacroError::BadMacro(_))));
-        assert!(matches!(expand("%{d0}", &c, false), Err(MacroError::BadMacro(_))));
+        assert!(matches!(
+            expand("%{q}", &c, false),
+            Err(MacroError::BadMacro(_))
+        ));
+        assert!(matches!(
+            expand("%{d0}", &c, false),
+            Err(MacroError::BadMacro(_))
+        ));
         // exp-only macros outside exp:
-        assert!(matches!(expand("%{c}", &c, false), Err(MacroError::BadMacro(_))));
+        assert!(matches!(
+            expand("%{c}", &c, false),
+            Err(MacroError::BadMacro(_))
+        ));
         assert!(expand("%{c}", &c, true).is_ok());
     }
 
     #[test]
     fn uppercase_url_escapes() {
         let c = ctx();
-        assert_eq!(expand("%{S}", &c, false).unwrap(), "strong-bad%40email.example.com");
+        assert_eq!(
+            expand("%{S}", &c, false).unwrap(),
+            "strong-bad%40email.example.com"
+        );
     }
 
     #[test]
     fn no_macros_passthrough() {
         let c = ctx();
-        assert_eq!(expand("plain.example.org", &c, false).unwrap(), "plain.example.org");
+        assert_eq!(
+            expand("plain.example.org", &c, false).unwrap(),
+            "plain.example.org"
+        );
     }
 }

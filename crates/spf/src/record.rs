@@ -340,9 +340,7 @@ impl SpfRecord {
 
         let (qualifier, rest) = parse_qualifier(raw);
         // Mechanism name ends at ':' or '/' or end.
-        let name_end = rest
-            .find([':', '/'])
-            .unwrap_or(rest.len());
+        let name_end = rest.find([':', '/']).unwrap_or(rest.len());
         let name = &rest[..name_end];
         let body = &rest[name_end..];
         let mech = match name.to_ascii_lowercase().as_str() {
@@ -353,7 +351,10 @@ impl SpfRecord {
                 Mechanism::All
             }
             "include" => {
-                let spec = body.strip_prefix(':').filter(|s| !s.is_empty()).ok_or_else(bad)?;
+                let spec = body
+                    .strip_prefix(':')
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(bad)?;
                 Mechanism::Include {
                     domain_spec: spec.to_string(),
                 }
@@ -406,7 +407,10 @@ impl SpfRecord {
                 Mechanism::Ip6(Ipv6Net { addr, prefix })
             }
             "exists" => {
-                let spec = body.strip_prefix(':').filter(|s| !s.is_empty()).ok_or_else(bad)?;
+                let spec = body
+                    .strip_prefix(':')
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(bad)?;
                 Mechanism::Exists {
                     domain_spec: spec.to_string(),
                 }
@@ -553,16 +557,13 @@ mod tests {
 
     #[test]
     fn modifiers() {
-        let r = SpfRecord::parse("v=spf1 redirect=_spf.example.com exp=exp.%{d} unknown=x")
-            .unwrap();
+        let r =
+            SpfRecord::parse("v=spf1 redirect=_spf.example.com exp=exp.%{d} unknown=x").unwrap();
         assert!(matches!(
             &r.terms[0],
             Term::Modifier(Modifier::Redirect { domain_spec }) if domain_spec == "_spf.example.com"
         ));
-        assert!(matches!(
-            &r.terms[1],
-            Term::Modifier(Modifier::Exp { .. })
-        ));
+        assert!(matches!(&r.terms[1], Term::Modifier(Modifier::Exp { .. })));
         assert!(matches!(
             &r.terms[2],
             Term::Modifier(Modifier::Unknown { name, .. }) if name == "unknown"

@@ -632,11 +632,20 @@ fn non_spf_txt_records_ignored() {
 /// Install the paper's Figure 3 test policy: L0 = include:L1 a:FOO -all,
 /// L1 includes L2, L2 includes L3, L3 = ?all.
 fn serial_test_policy(dns: &mut MockDns) {
-    dns.txt("t01.m1.spf.test", "v=spf1 include:l1.t01.m1.spf.test a:foo.t01.m1.spf.test -all")
-        .txt("l1.t01.m1.spf.test", "v=spf1 include:l2.t01.m1.spf.test ?all")
-        .txt("l2.t01.m1.spf.test", "v=spf1 include:l3.t01.m1.spf.test ?all")
-        .txt("l3.t01.m1.spf.test", "v=spf1 ?all")
-        .a("foo.t01.m1.spf.test", "192.0.2.1");
+    dns.txt(
+        "t01.m1.spf.test",
+        "v=spf1 include:l1.t01.m1.spf.test a:foo.t01.m1.spf.test -all",
+    )
+    .txt(
+        "l1.t01.m1.spf.test",
+        "v=spf1 include:l2.t01.m1.spf.test ?all",
+    )
+    .txt(
+        "l2.t01.m1.spf.test",
+        "v=spf1 include:l3.t01.m1.spf.test ?all",
+    )
+    .txt("l3.t01.m1.spf.test", "v=spf1 ?all")
+    .a("foo.t01.m1.spf.test", "192.0.2.1");
 }
 
 #[test]

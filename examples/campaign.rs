@@ -9,7 +9,7 @@ use mailval::measure::analysis::{
     behavior_battery, consistency, notify_email_flags, notify_validating_counts,
     probe_validating_counts, serial_vs_parallel, spf_timing, table4,
 };
-use mailval::measure::experiment::{
+use mailval::measure::campaign::{
     run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
 };
 use mailval::simnet::LatencyModel;
@@ -18,7 +18,10 @@ fn main() {
     let seed = 7;
     let scale = 0.05;
 
-    println!("generating populations at {:.0}% of paper scale ...", scale * 100.0);
+    println!(
+        "generating populations at {:.0}% of paper scale ...",
+        scale * 100.0
+    );
     let notify = Population::generate(&PopulationConfig {
         kind: DatasetKind::NotifyEmail,
         scale,
@@ -38,10 +41,18 @@ fn main() {
         seed,
         probe_pause_ms: 15_000,
         latency: LatencyModel::default(),
+        shards: 4,
     };
 
-    println!("\n-- NotifyEmail: {} legitimate deliveries --", notify.domains.len());
-    let email_run = run_campaign(&config(CampaignKind::NotifyEmail), &notify, &notify_profiles);
+    println!(
+        "\n-- NotifyEmail: {} legitimate deliveries --",
+        notify.domains.len()
+    );
+    let email_run = run_campaign(
+        &config(CampaignKind::NotifyEmail),
+        &notify,
+        &notify_profiles,
+    );
     let flags = notify_email_flags(&email_run, notify.domains.len());
     let counts = notify_validating_counts(&email_run, &notify);
     println!(
@@ -53,7 +64,13 @@ fn main() {
     for row in table4(&flags) {
         let (s, d, m) = row.combo;
         let mark = |b: bool| if b { "v" } else { "x" };
-        println!("  SPF={} DKIM={} DMARC={}: {}", mark(s), mark(d), mark(m), row.count);
+        println!(
+            "  SPF={} DKIM={} DMARC={}: {}",
+            mark(s),
+            mark(d),
+            mark(m),
+            row.count
+        );
     }
     let timing = spf_timing(&email_run);
     println!(
@@ -80,7 +97,11 @@ fn main() {
     );
 
     println!("\n-- TwoWeekMX: probing the high-demand dataset --");
-    let tw_run = run_campaign(&config(CampaignKind::TwoWeekMx), &twoweek, &twoweek_profiles);
+    let tw_run = run_campaign(
+        &config(CampaignKind::TwoWeekMx),
+        &twoweek,
+        &twoweek_profiles,
+    );
     let tw_counts = probe_validating_counts(&tw_run, &twoweek);
     println!(
         "SPF-validating: {}/{} MTAs ({:.0}%)",

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example fingerprint`.
 
 use mailval::datasets::{DatasetKind, Population, PopulationConfig};
-use mailval::measure::experiment::{
+use mailval::measure::campaign::{
     run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
 };
 use mailval::measure::fingerprint::{behavior_vectors, classify, fully_observed, summarize};
@@ -28,6 +28,7 @@ fn main() {
             seed,
             probe_pause_ms: 15_000,
             latency: LatencyModel::default(),
+            shards: 4,
         },
         &pop,
         &profiles,
@@ -49,7 +50,12 @@ fn main() {
         summary.largest, summary.singletons
     );
     for (i, class) in classes.iter().take(8).enumerate() {
-        println!("class {:>2}: {:>4} MTAs  {:?}", i + 1, class.hosts.len(), class.vector);
+        println!(
+            "class {:>2}: {:>4} MTAs  {:?}",
+            i + 1,
+            class.hosts.len(),
+            class.vector
+        );
     }
     println!(
         "\nInterpretation: identical vectors suggest the same validator\n\

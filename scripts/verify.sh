@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full offline verification: formatting, lints, tier-1 build + tests.
+#
+# Everything here must run without network access — the workspace has
+# no registry dependencies (see the `proptest` feature note in the root
+# Cargo.toml), and CARGO_NET_OFFLINE pins cargo to what is vendored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "verify: OK"

@@ -6,7 +6,7 @@ use mailval::datasets::{DatasetKind, Population, PopulationConfig};
 use mailval::measure::analysis::{
     behavior_battery, lookup_limits, notify_email_flags, serial_vs_parallel, spf_timing, table4,
 };
-use mailval::measure::experiment::{
+use mailval::measure::campaign::{
     run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
 };
 use mailval::simnet::LatencyModel;
@@ -22,6 +22,7 @@ fn config(kind: CampaignKind, tests: Vec<&'static str>, seed: u64) -> CampaignCo
         seed,
         probe_pause_ms: 15_000,
         latency: LatencyModel::default(),
+        shards: 1,
     }
 }
 
@@ -45,7 +46,10 @@ fn full_pipeline_regenerates_headline_numbers() {
     let all3 = rows[0].count as f64 / total as f64;
     assert!((0.45..0.70).contains(&all3), "all-three share {all3}");
     let spf_dkim = rows[1].count as f64 / total as f64;
-    assert!((0.15..0.33).contains(&spf_dkim), "spf+dkim share {spf_dkim}");
+    assert!(
+        (0.15..0.33).contains(&spf_dkim),
+        "spf+dkim share {spf_dkim}"
+    );
 
     // Fig 2 shape: most SPF lookups precede delivery.
     let timing = spf_timing(&email);
@@ -109,7 +113,10 @@ fn behavior_shapes_match_paper_directions() {
         .find(|s| s.behavior.contains("exceeded two void"))
         .unwrap();
     assert!(void.fraction() > 0.85, "void violators {}", void.fraction());
-    let both = battery.iter().find(|s| s.behavior.contains("BOTH")).unwrap();
+    let both = battery
+        .iter()
+        .find(|s| s.behavior.contains("BOTH"))
+        .unwrap();
     assert_eq!(both.exhibited, 0);
 }
 
@@ -195,8 +202,16 @@ fn deliveries_and_validations_are_deterministic() {
     let seed = 55;
     let notify = pop(DatasetKind::NotifyEmail, 0.005, seed);
     let profiles = sample_host_profiles(&notify, seed);
-    let a = run_campaign(&config(CampaignKind::NotifyEmail, vec![], seed), &notify, &profiles);
-    let b = run_campaign(&config(CampaignKind::NotifyEmail, vec![], seed), &notify, &profiles);
+    let a = run_campaign(
+        &config(CampaignKind::NotifyEmail, vec![], seed),
+        &notify,
+        &profiles,
+    );
+    let b = run_campaign(
+        &config(CampaignKind::NotifyEmail, vec![], seed),
+        &notify,
+        &profiles,
+    );
     assert_eq!(a.log.records.len(), b.log.records.len());
     let da: Vec<Option<u64>> = a.sessions.iter().map(|s| s.delivery_time_ms).collect();
     let db: Vec<Option<u64>> = b.sessions.iter().map(|s| s.delivery_time_ms).collect();

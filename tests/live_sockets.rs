@@ -7,8 +7,8 @@ use mailval::crypto::rsa::RsaKeyPair;
 use mailval::dkim::key::DkimKeyRecord;
 use mailval::dmarc::record::DmarcRecord;
 use mailval::dns::resolver::{Begin, ResolveOutcome, ResolverConfig, ResolverCore, Step};
-use mailval::dns::server::{ServerCore, Transport};
 use mailval::dns::rr::RecordType;
+use mailval::dns::server::{ServerCore, Transport};
 use mailval::dns::Name;
 use mailval::measure::apparatus::SynthesizingAuthority;
 use mailval::measure::names::NameScheme;

