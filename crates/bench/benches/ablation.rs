@@ -156,6 +156,7 @@ fn ablation_campaign_throughput() {
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
                 shards,
+                faults: mailval_simnet::FaultConfig::default(),
             },
             &pop,
             &profiles,

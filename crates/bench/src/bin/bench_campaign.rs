@@ -52,6 +52,7 @@ fn main() {
             probe_pause_ms: 15_000,
             latency: LatencyModel::default(),
             shards,
+            faults: mailval_simnet::FaultConfig::default(),
         };
         let start = Instant::now();
         let result = run_campaign(&config, &pop, &profiles);

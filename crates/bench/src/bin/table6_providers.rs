@@ -19,6 +19,7 @@ fn main() {
             probe_pause_ms: 0,
             latency: LatencyModel::default(),
             shards: mailval_bench::shards(),
+            faults: mailval_simnet::FaultConfig::default(),
         },
         &pop,
         &profiles,

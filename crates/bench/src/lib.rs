@@ -26,7 +26,7 @@ use mailval_measure::campaign::{
     run_campaign, sample_host_profiles, CampaignConfig, CampaignKind, CampaignResult,
 };
 use mailval_mta::profile::MtaProfile;
-use mailval_simnet::LatencyModel;
+use mailval_simnet::{FaultConfig, LatencyModel};
 
 /// Read the population scale from `MAILVAL_SCALE` (default 1.0).
 pub fn scale() -> f64 {
@@ -95,6 +95,7 @@ pub fn campaign(
         probe_pause_ms: 15_000,
         latency: LatencyModel::default(),
         shards: shards(),
+        faults: FaultConfig::default(),
     };
     eprintln!(
         "[mailval] running {kind:?} over {} domains / {} hosts on {} shard(s) ...",

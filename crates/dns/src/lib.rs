@@ -28,7 +28,7 @@ pub mod server;
 pub mod wire;
 pub mod zone;
 
-pub use message::{Message, Question};
+pub use message::{truncate_response, Message, Question};
 pub use name::{Name, NameError};
 pub use rr::{RData, Record, RecordClass, RecordType};
 pub use wire::{Rcode, WireError};

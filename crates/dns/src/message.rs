@@ -106,6 +106,22 @@ impl Message {
     }
 }
 
+/// Truncate a wire-format *response* the way a too-small UDP path would:
+/// set TC=1 and strip every record section, leaving only the header and
+/// question (RFC 1035 §4.1.1 behavior that drives resolvers to TCP).
+/// Returns `None` for unparsable bytes or non-responses.
+pub fn truncate_response(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut msg = Message::from_bytes(bytes).ok()?;
+    if !msg.is_response {
+        return None;
+    }
+    msg.truncated = true;
+    msg.answers.clear();
+    msg.authorities.clear();
+    msg.additionals.clear();
+    Some(msg.to_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +148,26 @@ mod tests {
         assert_eq!(r.id, 99);
         assert_eq!(r.rcode, Rcode::NxDomain);
         assert_eq!(r.questions, q.questions);
+    }
+
+    #[test]
+    fn truncate_response_sets_tc_and_strips_records() {
+        let q = Message::query(5, n("x.test"), RecordType::A);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.answers.push(Record::new(
+            n("x.test"),
+            60,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        let wire = truncate_response(&r.to_bytes()).unwrap();
+        let parsed = Message::from_bytes(&wire).unwrap();
+        assert!(parsed.truncated);
+        assert!(parsed.answers.is_empty());
+        assert_eq!(parsed.id, 5);
+        assert_eq!(parsed.questions, r.questions);
+        // Queries and garbage are refused.
+        assert!(truncate_response(&q.to_bytes()).is_none());
+        assert!(truncate_response(b"\x00\x01junk").is_none());
     }
 
     #[test]

@@ -443,6 +443,61 @@ mod tests {
     }
 
     #[test]
+    fn injected_truncation_falls_back_to_tcp_and_succeeds() {
+        // Regression for the fault-injection path: a *full* UDP reply
+        // mangled by `truncate_response` (TC=1, answers stripped) must
+        // drive a capable resolver to a TCP retry that then succeeds.
+        let mut core = ResolverCore::new(ResolverConfig::default());
+        let Begin::Send(out) = core.begin(n("fault.test"), RecordType::A, 0) else {
+            panic!()
+        };
+        let full = respond_with_a(&out, [192, 0, 2, 44], 120);
+        let mangled = crate::message::truncate_response(&full).unwrap();
+        let Step::Continue(follow_up) = core.on_response(out.id, &mangled, 5) else {
+            panic!("expected TCP fallback")
+        };
+        assert_eq!(follow_up.transport, Transport::Tcp);
+        assert_ne!(follow_up.id, out.id, "TCP retry uses a fresh id");
+        let resp = respond_with_a(&follow_up, [192, 0, 2, 44], 120);
+        match core.on_response(follow_up.id, &resp, 9) {
+            Step::Done(ResolveOutcome::Records(records)) => assert_eq!(records.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(core.upstream_queries, 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_counts_exact_transmissions() {
+        // All attempts dropped: the lookup must end in Timeout after
+        // exactly max_retries + 1 transmissions, for several budgets.
+        for max_retries in [0u8, 1, 3, 5] {
+            let mut core = ResolverCore::new(ResolverConfig {
+                max_retries,
+                ..Default::default()
+            });
+            let Begin::Send(out) = core.begin(n("dropped.test"), RecordType::A, 0) else {
+                panic!()
+            };
+            let mut transmissions = 1u64; // the initial UDP attempt
+            let mut now = 3_000;
+            loop {
+                match core.on_timeout(out.id, now) {
+                    Step::Continue(retry) => {
+                        assert_eq!(retry.id, out.id, "UDP retries reuse the id");
+                        assert_eq!(retry.transport, Transport::Udp);
+                        transmissions += 1;
+                        now += 3_000;
+                    }
+                    Step::Done(ResolveOutcome::Timeout) => break,
+                    other => panic!("{other:?}"),
+                }
+            }
+            assert_eq!(transmissions, u64::from(max_retries) + 1);
+            assert_eq!(core.upstream_queries, transmissions);
+        }
+    }
+
+    #[test]
     fn negative_caching() {
         let mut core = ResolverCore::new(ResolverConfig::default());
         let Begin::Send(out) = core.begin(n("nx.test"), RecordType::A, 0) else {

@@ -832,6 +832,7 @@ mod tests {
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
                 shards: 1,
+                faults: mailval_simnet::FaultConfig::default(),
             },
             pop,
             &profiles,
@@ -958,6 +959,7 @@ mod tests {
                 probe_pause_ms: 0,
                 latency: LatencyModel::default(),
                 shards: 1,
+                faults: mailval_simnet::FaultConfig::default(),
             },
             &pop,
             &profiles,
@@ -970,6 +972,7 @@ mod tests {
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
                 shards: 1,
+                faults: mailval_simnet::FaultConfig::default(),
             },
             &pop,
             &profiles,

@@ -34,7 +34,7 @@ use mailval_dns::Name;
 use mailval_mta::actor::{ConnContext, MtaActor};
 use mailval_mta::profile::MtaProfile;
 use mailval_mta::resolver::ResolverActor;
-use mailval_simnet::{run_shards, LatencyModel, SimRng};
+use mailval_simnet::{run_shards, FaultConfig, FaultStats, LatencyModel, SimRng};
 use mailval_smtp::client::{probe_usernames, ClientConfig, ClientSession};
 use mailval_smtp::mail::MailMessage;
 use mailval_smtp::EmailAddress;
@@ -68,6 +68,11 @@ pub struct CampaignConfig {
     pub probe_pause_ms: u64,
     /// Network latency model.
     pub latency: LatencyModel,
+    /// Fault injection (drops via `latency.loss_probability`, plus
+    /// duplicates, reordering, truncation, resets and stalls). The
+    /// default injects nothing; the merged output stays byte-identical
+    /// for every shard count either way.
+    pub faults: FaultConfig,
     /// Number of parallel shards (0 and 1 both mean single-threaded).
     /// The merged output is byte-identical for every value.
     pub shards: usize,
@@ -84,10 +89,18 @@ impl CampaignConfig {
             seed,
             probe_pause_ms: 15_000,
             latency: LatencyModel::default(),
+            faults: FaultConfig::default(),
             shards: 1,
         }
     }
 }
+
+/// Transaction retries the probe client attempts after a 4xx tempfail
+/// (greylisting). Inert without faults: the calibrated MTA population
+/// only issues permanent (5xx) rejections.
+const CLIENT_RETRY_BUDGET: u32 = 2;
+/// Base client retry backoff (doubles per retry), virtual ms.
+const CLIENT_RETRY_BACKOFF_MS: u64 = 30_000;
 
 /// Everything a campaign produced.
 pub struct CampaignResult {
@@ -98,6 +111,9 @@ pub struct CampaignResult {
     /// Total virtual events dispatched (sum over shards; shard-count
     /// invariant because sessions never exchange events).
     pub events: u64,
+    /// Fault/retry/containment counters summed over shards (all zero
+    /// without fault injection; shard-count invariant).
+    pub faults: FaultStats,
     /// Per-shard execution counters.
     pub shard_stats: Vec<ShardStats>,
 }
@@ -228,6 +244,7 @@ pub fn run_campaign(
     let sessions = build_sessions(config, pop, profiles, &scheme, &keypair, client_ip);
     let engine_config = EngineConfig {
         latency: config.latency.clone(),
+        faults: config.faults.clone(),
         client_ip,
         auth_ip,
         local_hop_ms: 1,
@@ -267,8 +284,10 @@ pub fn run_campaign(
     let mut per_shard_records = Vec::with_capacity(outputs.len());
     let mut shard_stats = Vec::with_capacity(outputs.len());
     let mut events = 0;
+    let mut faults = FaultStats::default();
     for (output, timing) in outputs {
         events += output.stats.events;
+        faults.merge(&output.stats.faults);
         shard_stats.push(ShardStats::new(timing.shard, output.stats, timing.wall_ms));
         logs.push(output.log);
         per_shard_records.push(output.records);
@@ -278,6 +297,7 @@ pub fn run_campaign(
         log: QueryLog::merge(logs),
         sessions: merge_session_records(per_shard_records),
         events,
+        faults,
         shard_stats,
     }
 }
@@ -313,6 +333,8 @@ fn build_sessions(
                     rcpt_candidates: vec![EmailAddress::new("operator", d.name.clone())],
                     message: Some(message),
                     pause_before_commands_ms: 0,
+                    max_session_retries: CLIENT_RETRY_BUDGET,
+                    retry_backoff_ms: CLIENT_RETRY_BACKOFF_MS,
                 });
                 sessions.push(make_session(
                     SessionRecord {
@@ -324,6 +346,7 @@ fn build_sessions(
                         outcome: None,
                         delivery_time_ms: None,
                         closed_by_server: false,
+                        error: None,
                     },
                     client,
                     pop,
@@ -371,6 +394,8 @@ fn build_sessions(
                         rcpt_candidates: rcpt_candidates.clone(),
                         message: None,
                         pause_before_commands_ms: config.probe_pause_ms,
+                        max_session_retries: CLIENT_RETRY_BUDGET,
+                        retry_backoff_ms: CLIENT_RETRY_BACKOFF_MS,
                     });
                     sessions.push(make_session(
                         SessionRecord {
@@ -382,6 +407,7 @@ fn build_sessions(
                             outcome: None,
                             delivery_time_ms: None,
                             closed_by_server: false,
+                            error: None,
                         },
                         client,
                         pop,
@@ -486,6 +512,7 @@ mod tests {
             probe_pause_ms: 0,
             latency: LatencyModel::default(),
             shards: 1,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -600,6 +627,70 @@ mod tests {
             }
             let stats_sessions: usize = sharded.shard_stats.iter().map(|s| s.sessions).sum();
             assert_eq!(stats_sessions, sharded.sessions.len());
+            assert_eq!(sharded.faults, single.faults, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn total_loss_times_out_every_lookup() {
+        // Satellite (a): `LatencyModel::lost` is the engine's loss oracle.
+        // With loss_probability = 1.0 every UDP datagram is dropped, so no
+        // query ever reaches the authoritative server (empty log) and every
+        // resolution exhausts its retries through `on_timeout`.
+        let pop = tiny_pop(DatasetKind::NotifyEmail, 31);
+        let profiles = sample_host_profiles(&pop, 31);
+        let mut config = test_config(CampaignKind::NotifyEmail, vec![], 31);
+        config.latency.loss_probability = 1.0;
+        let result = run_campaign(&config, &pop, &profiles);
+        assert!(!result.sessions.is_empty());
+        assert!(
+            result.log.records.is_empty(),
+            "no query may reach the server under total loss"
+        );
+        assert!(result.faults.dns_dropped > 0);
+        assert!(result.faults.dns_timeouts > 0);
+        // Sessions still run to completion: the SMTP dialogue proceeds
+        // even though every validation lookup times out.
+        for s in &result.sessions {
+            assert!(s.error.is_none());
+            assert!(
+                s.outcome.is_some(),
+                "session {} has no outcome",
+                s.session_id
+            );
+        }
+    }
+
+    #[test]
+    fn greylisting_campaign_retries_and_delivers() {
+        // Satellite (c) at campaign scale: every host greylists the first
+        // RCPT with a 451, the probe client backs off and retries, and
+        // deliveries still succeed on the second attempt.
+        let pop = tiny_pop(DatasetKind::NotifyEmail, 37);
+        let mut profiles = sample_host_profiles(&pop, 37);
+        for p in &mut profiles {
+            p.greylists = true;
+        }
+        let config = test_config(CampaignKind::NotifyEmail, vec![], 37);
+        let result = run_campaign(&config, &pop, &profiles);
+        assert!(!result.sessions.is_empty());
+        assert!(result.faults.tempfails > 0);
+        assert!(result.faults.client_retries > 0);
+        let delivered = result
+            .sessions
+            .iter()
+            .filter(|s| s.delivery_time_ms.is_some())
+            .count();
+        assert!(
+            delivered as f64 > 0.9 * result.sessions.len() as f64,
+            "delivered {delivered}/{} despite greylisting",
+            result.sessions.len()
+        );
+        for s in &result.sessions {
+            if s.delivery_time_ms.is_some() {
+                let outcome = s.outcome.as_ref().expect("delivered implies outcome");
+                assert!(outcome.retries >= 1, "delivery without a greylist retry");
+            }
         }
     }
 

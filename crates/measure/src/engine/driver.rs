@@ -5,10 +5,13 @@
 use super::event::Ev;
 use super::session::{LiveSession, SessionRecord};
 use crate::apparatus::{QueryLog, QueryRecord, SynthesizingAuthority};
-use mailval_dns::server::ServerCore;
+use mailval_dns::resolver::ResolveOutcome;
+use mailval_dns::server::{ServerCore, Transport};
 use mailval_mta::actor::{MtaEvent, MtaInput, MtaOutput};
 use mailval_mta::resolver::{ResolverEvent, UpstreamSend};
-use mailval_simnet::{LatencyModel, Simulator};
+use mailval_simnet::{
+    ConnFault, DatagramFate, FaultConfig, FaultPlan, FaultStats, LatencyModel, Simulator,
+};
 use mailval_smtp::client::ClientAction;
 use std::net::IpAddr;
 
@@ -19,6 +22,9 @@ pub struct EngineConfig {
     /// Network latency model (injectable: tests swap in zero-latency or
     /// adversarial models without touching the driver).
     pub latency: LatencyModel,
+    /// Fault-injection knobs; the default injects nothing. Combined with
+    /// `latency.loss_probability` (the loss oracle) into a [`FaultPlan`].
+    pub faults: FaultConfig,
     /// The probe client's source address.
     pub client_ip: IpAddr,
     /// The authoritative server's address.
@@ -49,6 +55,8 @@ pub struct EngineStats {
     pub queries_logged: u64,
     /// Final virtual clock value, ms.
     pub virtual_ms: u64,
+    /// Fault-injection counters (all zero when no faults configured).
+    pub faults: FaultStats,
 }
 
 /// A virtual-time driver for a set of sessions that never interact.
@@ -64,6 +72,8 @@ pub struct SessionEngine<'a> {
     server: &'a ServerCore<SynthesizingAuthority>,
     log: QueryLog,
     config: EngineConfig,
+    plan: FaultPlan,
+    faults: FaultStats,
 }
 
 impl<'a> SessionEngine<'a> {
@@ -79,12 +89,15 @@ impl<'a> SessionEngine<'a> {
         config: EngineConfig,
         clock: Simulator<Ev>,
     ) -> Self {
+        let plan = FaultPlan::new(config.faults.clone(), config.latency.clone());
         SessionEngine {
             sim: clock,
             sessions: Vec::new(),
             server,
             log: QueryLog::new(),
             config,
+            plan,
+            faults: FaultStats::default(),
         }
     }
 
@@ -103,15 +116,42 @@ impl<'a> SessionEngine<'a> {
     }
 
     /// Drive every session to completion and return the shard's output.
+    ///
+    /// Per-session failures are *contained*: a panic while dispatching an
+    /// event (e.g. a poisoned MTA implementation) marks that session's
+    /// record with an error outcome and stops dispatching to it, instead
+    /// of killing the whole shard.
     pub fn run(mut self) -> EngineOutput {
         while let Some((_, ev)) = self.sim.next() {
-            self.dispatch(ev);
+            let id = ev.session();
+            if self.sessions[id].record.error.is_some() {
+                continue; // poisoned session: drop its remaining events
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.dispatch(ev);
+            }));
+            if let Err(payload) = result {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_string());
+                self.sessions[id].record.error = Some(msg);
+                self.faults.contained_panics += 1;
+            }
         }
+        self.faults.client_retries = self
+            .sessions
+            .iter()
+            .filter_map(|s| s.record.outcome.as_ref())
+            .map(|o| u64::from(o.retries))
+            .sum();
         let stats = EngineStats {
             sessions: self.sessions.len(),
             events: self.sim.dispatched,
             queries_logged: self.log.records.len() as u64,
             virtual_ms: self.sim.now_ms(),
+            faults: self.faults,
         };
         self.log.sort_canonical();
         EngineOutput {
@@ -131,6 +171,24 @@ impl<'a> SessionEngine<'a> {
         self.config
             .latency
             .one_way_ms(&self.sessions[id].mta_ip, &self.config.auth_ip)
+    }
+
+    /// The fate of the next UDP datagram of session `id`. Keyed by the
+    /// campaign-global session id and the session's own datagram cursor,
+    /// so the decision is independent of shard count and event
+    /// interleaving.
+    fn datagram_fate(&mut self, id: usize, may_truncate: bool) -> DatagramFate {
+        let session = &mut self.sessions[id];
+        let sid = session.record.session_id as u64;
+        self.plan
+            .datagram_fate(sid, &mut session.faults, may_truncate)
+    }
+
+    /// The fate of the next SMTP segment of session `id`.
+    fn conn_fault(&mut self, id: usize) -> ConnFault {
+        let session = &mut self.sessions[id];
+        let sid = session.record.session_id as u64;
+        self.plan.conn_fault(sid, &mut session.faults)
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -194,10 +252,53 @@ impl<'a> SessionEngine<'a> {
                 }
                 if let Some(reply) = self.server.handle(&bytes, transport, via_ipv6) {
                     let rtt = self.one_way_auth(id);
-                    self.sim.schedule(
-                        reply.delay_ms + rtt,
-                        Ev::DnsReturn(id, core_id, reply.bytes, via_ipv6),
-                    );
+                    let base = reply.delay_ms + rtt;
+                    let mut bytes = reply.bytes;
+                    // Response-side faults (UDP only; TCP is reliable,
+                    // and only responses can be meaningfully truncated).
+                    let fate = if transport == Transport::Udp {
+                        self.datagram_fate(id, true)
+                    } else {
+                        DatagramFate::Deliver
+                    };
+                    match fate {
+                        DatagramFate::Drop => {
+                            self.faults.dns_dropped += 1;
+                            // The armed DnsTimeout will fire the retry.
+                        }
+                        DatagramFate::Truncate => {
+                            self.faults.dns_truncated += 1;
+                            if let Some(mangled) = mailval_dns::truncate_response(&bytes) {
+                                bytes = mangled;
+                            }
+                            self.sim
+                                .schedule(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
+                        }
+                        DatagramFate::Duplicate { gap_ms } => {
+                            self.faults.dns_duplicated += 1;
+                            self.sim.schedule(
+                                base,
+                                Ev::DnsReturn(id, core_id, bytes.clone(), via_ipv6),
+                            );
+                            // The copy arrives after the original; the
+                            // resolver sees it as Idle (lookup settled).
+                            self.sim.schedule(
+                                base + gap_ms,
+                                Ev::DnsReturn(id, core_id, bytes, via_ipv6),
+                            );
+                        }
+                        DatagramFate::Delay { extra_ms } => {
+                            self.faults.dns_delayed += 1;
+                            self.sim.schedule(
+                                base + extra_ms,
+                                Ev::DnsReturn(id, core_id, bytes, via_ipv6),
+                            );
+                        }
+                        DatagramFate::Deliver => {
+                            self.sim
+                                .schedule(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
+                        }
+                    }
                 }
             }
             Ev::DnsReturn(id, core_id, bytes, via_ipv6) => {
@@ -232,6 +333,18 @@ impl<'a> SessionEngine<'a> {
                     session.record.closed_by_server = true;
                 }
             }
+            Ev::ConnReset(id) => {
+                // An injected reset reached the wire: the segment that
+                // carried it is gone and both ends observe a disconnect.
+                // Unlike `ServerClosed` this is the *network's* doing,
+                // so `closed_by_server` stays false.
+                let session = &mut self.sessions[id];
+                if session.record.outcome.is_none() {
+                    session.record.outcome = Some(session.client.on_disconnect());
+                }
+                let outputs = self.sessions[id].mta.handle(MtaInput::Disconnected);
+                self.handle_mta_outputs(id, outputs);
+            }
         }
     }
 
@@ -239,8 +352,27 @@ impl<'a> SessionEngine<'a> {
         for output in outputs {
             match output {
                 MtaOutput::Smtp(text) => {
-                    let delay = self.one_way_client(id);
-                    self.sim.schedule(delay, Ev::ToClient(id, text));
+                    // Any stall the MTA declared in this batch delays the
+                    // reply segment that follows it.
+                    let stall = std::mem::take(&mut self.sessions[id].stall_credit_ms);
+                    let delay = self.one_way_client(id) + stall;
+                    match self.conn_fault(id) {
+                        ConnFault::Reset => {
+                            self.faults.conn_resets += 1;
+                            self.sim.schedule(delay, Ev::ConnReset(id));
+                        }
+                        ConnFault::Stall { extra_ms } => {
+                            self.faults.conn_stalls += 1;
+                            self.sim.schedule(delay + extra_ms, Ev::ToClient(id, text));
+                        }
+                        ConnFault::Deliver => {
+                            self.sim.schedule(delay, Ev::ToClient(id, text));
+                        }
+                    }
+                }
+                MtaOutput::Stall { delay_ms } => {
+                    self.faults.mta_stalls += 1;
+                    self.sessions[id].stall_credit_ms += delay_ms;
                 }
                 MtaOutput::Resolve { qid, name, rtype } => {
                     let now = self.sim.now_ms();
@@ -261,6 +393,9 @@ impl<'a> SessionEngine<'a> {
                 MtaOutput::Event(MtaEvent::MessageAccepted) => {
                     self.sessions[id].record.delivery_time_ms = Some(self.sim.now_ms());
                 }
+                MtaOutput::Event(MtaEvent::TempFailed) => {
+                    self.faults.tempfails += 1;
+                }
                 MtaOutput::Event(_) => {}
             }
         }
@@ -269,6 +404,9 @@ impl<'a> SessionEngine<'a> {
     fn handle_resolver_event(&mut self, id: usize, event: ResolverEvent) {
         match event {
             ResolverEvent::Finished { qid, outcome } => {
+                if matches!(outcome, ResolveOutcome::Timeout) {
+                    self.faults.dns_timeouts += 1;
+                }
                 self.sim
                     .schedule(self.config.local_hop_ms, Ev::MtaDns(id, qid, outcome));
             }
@@ -280,10 +418,44 @@ impl<'a> SessionEngine<'a> {
                 timeout_ms,
             }) => {
                 let rtt = self.one_way_auth(id);
-                self.sim
-                    .schedule(rtt, Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6));
+                // The attempt timeout is ALWAYS armed, whatever happens
+                // to the datagram: a dropped query must trip
+                // `ResolverCore::on_timeout`'s retry machinery.
                 self.sim
                     .schedule(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
+                // Query-side faults (UDP only; queries can't truncate).
+                let fate = if transport == Transport::Udp {
+                    self.datagram_fate(id, false)
+                } else {
+                    DatagramFate::Deliver
+                };
+                match fate {
+                    DatagramFate::Drop => {
+                        self.faults.dns_dropped += 1;
+                    }
+                    DatagramFate::Duplicate { gap_ms } => {
+                        self.faults.dns_duplicated += 1;
+                        self.sim.schedule(
+                            rtt,
+                            Ev::DnsArrive(id, core_id, bytes.clone(), transport, via_ipv6),
+                        );
+                        self.sim.schedule(
+                            rtt + gap_ms,
+                            Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6),
+                        );
+                    }
+                    DatagramFate::Delay { extra_ms } => {
+                        self.faults.dns_delayed += 1;
+                        self.sim.schedule(
+                            rtt + extra_ms,
+                            Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6),
+                        );
+                    }
+                    DatagramFate::Deliver | DatagramFate::Truncate => {
+                        self.sim
+                            .schedule(rtt, Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6));
+                    }
+                }
             }
             ResolverEvent::Idle => {}
         }
@@ -293,10 +465,20 @@ impl<'a> SessionEngine<'a> {
         match action {
             ClientAction::Send(bytes) => {
                 let delay = self.one_way_client(id);
-                self.sim.schedule(
-                    delay,
-                    Ev::ToMta(id, String::from_utf8_lossy(&bytes).into_owned()),
-                );
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                match self.conn_fault(id) {
+                    ConnFault::Reset => {
+                        self.faults.conn_resets += 1;
+                        self.sim.schedule(delay, Ev::ConnReset(id));
+                    }
+                    ConnFault::Stall { extra_ms } => {
+                        self.faults.conn_stalls += 1;
+                        self.sim.schedule(delay + extra_ms, Ev::ToMta(id, text));
+                    }
+                    ConnFault::Deliver => {
+                        self.sim.schedule(delay, Ev::ToMta(id, text));
+                    }
+                }
             }
             ClientAction::Pause(0) => {}
             ClientAction::Pause(ms) => {

@@ -30,4 +30,26 @@ pub enum Ev {
     /// The MTA-side close reached the client (server-initiated
     /// disconnect, e.g. an SMTP `ReplyAndClose`).
     ServerClosed(usize),
+    /// An injected connection reset reached both ends: the in-flight
+    /// segment is lost and the session is torn down.
+    ConnReset(usize),
+}
+
+impl Ev {
+    /// The local session index this event belongs to.
+    pub fn session(&self) -> usize {
+        match *self {
+            Ev::Start(id)
+            | Ev::ToMta(id, _)
+            | Ev::ToClient(id, _)
+            | Ev::ClientPauseDone(id)
+            | Ev::MtaTimer(id, _)
+            | Ev::DnsArrive(id, _, _, _, _)
+            | Ev::DnsReturn(id, _, _, _)
+            | Ev::DnsTimeout(id, _, _)
+            | Ev::MtaDns(id, _, _)
+            | Ev::ServerClosed(id)
+            | Ev::ConnReset(id) => id,
+        }
+    }
 }

@@ -3,6 +3,7 @@
 
 use mailval_mta::actor::MtaActor;
 use mailval_mta::resolver::ResolverActor;
+use mailval_simnet::FaultCursor;
 use mailval_smtp::client::{ClientOutcome, ClientSession};
 use mailval_smtp::reply::ReplyParser;
 use std::net::IpAddr;
@@ -29,6 +30,10 @@ pub struct SessionRecord {
     /// server-initiated close that ended the session before the client's
     /// own close path could record an outcome).
     pub closed_by_server: bool,
+    /// The session's MTA panicked mid-dialogue and the engine contained
+    /// it (`catch_unwind`): the payload message, and no further events
+    /// were dispatched to this session.
+    pub error: Option<String>,
 }
 
 /// One live session: record plus the protocol state machines.
@@ -39,6 +44,11 @@ pub struct LiveSession {
     pub(crate) mta: MtaActor,
     pub(crate) resolver: ResolverActor,
     pub(crate) mta_ip: IpAddr,
+    /// Per-session fault cursors (datagram/segment indices), advanced on
+    /// every fate decision so fault sequences are shard-invariant.
+    pub(crate) faults: FaultCursor,
+    /// Accumulated MTA stall time to add to the next SMTP segment.
+    pub(crate) stall_credit_ms: u64,
 }
 
 impl LiveSession {
@@ -59,6 +69,8 @@ impl LiveSession {
             mta,
             resolver,
             mta_ip,
+            faults: FaultCursor::default(),
+            stall_credit_ms: 0,
         }
     }
 

@@ -307,6 +307,7 @@ mod tests {
                 probe_pause_ms: 15_000,
                 latency: LatencyModel::default(),
                 shards: 1,
+                faults: mailval_simnet::FaultConfig::default(),
             },
             &pop,
             &profiles,

@@ -17,6 +17,7 @@
 //! `shards = K` output is byte-identical to `shards = 1`.
 
 use crate::engine::{EngineStats, SessionRecord};
+use mailval_simnet::FaultStats;
 
 /// Lightweight per-shard counters surfaced in
 /// [`crate::campaign::CampaignResult`].
@@ -35,6 +36,8 @@ pub struct ShardStats {
     /// Wall-clock time the shard's worker ran, ms (the only
     /// non-deterministic field; diagnostics only).
     pub wall_ms: f64,
+    /// Injected-fault and recovery counters for this shard's sessions.
+    pub faults: FaultStats,
 }
 
 impl ShardStats {
@@ -47,6 +50,7 @@ impl ShardStats {
             queries_logged: stats.queries_logged,
             virtual_ms: stats.virtual_ms,
             wall_ms,
+            faults: stats.faults,
         }
     }
 }
@@ -111,6 +115,7 @@ mod tests {
             outcome: None,
             delivery_time_ms: None,
             closed_by_server: false,
+            error: None,
         };
         let merged =
             merge_session_records(vec![vec![rec(0), rec(2), rec(4)], vec![rec(1), rec(3)]]);

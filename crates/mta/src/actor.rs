@@ -71,6 +71,8 @@ pub enum MtaEvent {
     DkimConcluded(bool),
     /// A DMARC evaluation concluded (pass?).
     DmarcConcluded(bool),
+    /// The MTA issued a 451 tempfail (greylisting).
+    TempFailed,
 }
 
 /// Outputs from the actor.
@@ -97,6 +99,12 @@ pub enum MtaOutput {
     },
     /// Close the connection.
     Close,
+    /// The MTA stalls: delay delivery of every output that follows in
+    /// this batch by `delay_ms` (a flaky, overloaded implementation).
+    Stall {
+        /// Extra delay, ms.
+        delay_ms: u64,
+    },
     /// A milestone for the driver's logs.
     Event(MtaEvent),
 }
@@ -158,11 +166,16 @@ pub struct MtaActor {
     mail_from_domain: Option<Name>,
     mail_from_local: Option<String>,
     closed: bool,
+    /// Greylisting state: the next RCPT gets a 451 (armed from
+    /// `profile.greylists`, cleared once spent so the retried
+    /// transaction goes through).
+    greylist_pending: bool,
 }
 
 impl MtaActor {
     /// Create an actor for one connection.
     pub fn new(hostname: &str, profile: MtaProfile, ctx: ConnContext) -> MtaActor {
+        let greylist_pending = profile.greylists;
         MtaActor {
             profile,
             ctx,
@@ -179,6 +192,7 @@ impl MtaActor {
             mail_from_domain: None,
             mail_from_local: None,
             closed: false,
+            greylist_pending,
         }
     }
 
@@ -262,6 +276,14 @@ impl MtaActor {
                 out.push(MtaOutput::Smtp(reply.to_wire()));
             }
             PolicyQuery::Mail { ref from } => {
+                if self.profile.poison {
+                    panic!("poisoned MTA profile: injected crash at MAIL");
+                }
+                if self.profile.stall_at_mail_ms > 0 {
+                    out.push(MtaOutput::Stall {
+                        delay_ms: self.profile.stall_at_mail_ms,
+                    });
+                }
                 if self.ctx.client_blacklisted && self.profile.rejects_spam {
                     let reply = self.session.on_decision(Decision::Reject(Reply::new(
                         554,
@@ -298,6 +320,19 @@ impl MtaActor {
                 out.push(MtaOutput::Smtp(reply.to_wire()));
             }
             PolicyQuery::Rcpt { ref to } => {
+                if self.greylist_pending {
+                    // Greylisting tempfails the first RCPT of an unknown
+                    // sender regardless of whether the mailbox exists;
+                    // the retried transaction passes.
+                    self.greylist_pending = false;
+                    let reply = self.session.on_decision(Decision::TempFail(Reply::new(
+                        451,
+                        "4.7.1 Greylisted: please try again later",
+                    )));
+                    out.push(MtaOutput::Smtp(reply.to_wire()));
+                    out.push(MtaOutput::Event(MtaEvent::TempFailed));
+                    return;
+                }
                 let local = to.local.to_ascii_lowercase();
                 let accepted = if !self.ctx.recipients_guessed
                     && !matches!(
@@ -1038,6 +1073,53 @@ mod tests {
             "partial validator must not follow up"
         );
         assert!(first_smtp(&out).unwrap().starts_with("250"));
+    }
+
+    #[test]
+    fn greylisting_tempfails_first_rcpt_then_accepts_retry() {
+        let mut profile = MtaProfile::strict();
+        profile.greylists = true;
+        profile.spf_trigger = SpfTrigger::AfterDelivery; // keep MAIL synchronous
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        drive_line(&mut actor, "MAIL FROM:<a@sender.test>");
+        let out = drive_line(&mut actor, "RCPT TO:<michael@r.test>");
+        assert!(first_smtp(&out).unwrap().starts_with("451"));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MtaOutput::Event(MtaEvent::TempFailed))));
+        // The client retries the transaction: RSET / MAIL / same RCPT.
+        let out = drive_line(&mut actor, "RSET");
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        let out = drive_line(&mut actor, "MAIL FROM:<a@sender.test>");
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+        let out = drive_line(&mut actor, "RCPT TO:<michael@r.test>");
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+    }
+
+    #[test]
+    fn stalling_profile_emits_stall_before_mail_reply() {
+        let mut profile = MtaProfile::strict();
+        profile.stall_at_mail_ms = 7_000;
+        profile.spf_trigger = SpfTrigger::AfterDelivery;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        let out = drive_line(&mut actor, "MAIL FROM:<a@sender.test>");
+        assert!(matches!(out[0], MtaOutput::Stall { delay_ms: 7_000 }));
+        assert!(first_smtp(&out).unwrap().starts_with("250"));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned MTA profile")]
+    fn poisoned_profile_panics_at_mail() {
+        let mut profile = MtaProfile::strict();
+        profile.poison = true;
+        let mut actor = MtaActor::new("mx.r.test", profile, ctx());
+        actor.handle(MtaInput::Connected);
+        drive_line(&mut actor, "EHLO probe.test");
+        drive_line(&mut actor, "MAIL FROM:<a@sender.test>");
     }
 
     #[test]

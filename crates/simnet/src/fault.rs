@@ -1,0 +1,451 @@
+//! Deterministic fault injection: per-datagram and per-connection fates.
+//!
+//! The paper's apparatus survived nine months on the real Internet —
+//! lost and duplicated datagrams, UDP answers truncated mid-path,
+//! greylisting MTAs, mid-dialogue resets. A [`FaultPlan`] lets the
+//! simulation inject those faults while keeping every campaign output a
+//! pure function of its seed, **independent of shard count**.
+//!
+//! The trick is that no fault decision ever consumes a shared RNG in
+//! event order (event interleaving differs across shard counts). Each
+//! decision is instead a pure function of stable identifiers:
+//!
+//! ```text
+//! fate(i) = SimRng::new(mix(plan seed, global session id, stream, i))
+//! ```
+//!
+//! where `i` is a per-session, per-stream cursor ([`FaultCursor`]) that
+//! advances with each consulted datagram or SMTP segment. Per-session
+//! event subsequences are shard-invariant (sessions never interact), so
+//! the cursor values — and therefore every fate — are too.
+//!
+//! Datagram **loss** is not decided here: the plan delegates to
+//! [`LatencyModel::lost`], making the latency model's `loss_probability`
+//! the single loss oracle for the whole simulation.
+
+use crate::net::LatencyModel;
+use crate::rng::SimRng;
+
+/// Probabilities and magnitudes for injected faults. The default is
+/// all-zero: a plan built from it never alters anything.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Probability a UDP datagram is delivered twice.
+    pub duplicate_probability: f64,
+    /// Probability a UDP datagram is delayed (reordered past later
+    /// traffic) by up to [`FaultConfig::reorder_delay_ms`].
+    pub reorder_probability: f64,
+    /// Maximum extra delay for reordered (and gap for duplicated)
+    /// datagrams, ms.
+    pub reorder_delay_ms: u64,
+    /// Probability a UDP *response* is truncated mid-path (TC=1, answers
+    /// stripped), driving capable resolvers to TCP fallback.
+    pub truncate_probability: f64,
+    /// Probability an SMTP segment is replaced by a connection reset.
+    pub conn_reset_probability: f64,
+    /// Probability an SMTP segment is stalled by up to
+    /// [`FaultConfig::conn_stall_ms`].
+    pub conn_stall_probability: f64,
+    /// Maximum stall added to a stalled SMTP segment, ms.
+    pub conn_stall_ms: u64,
+    /// Seed mixed into every fate decision (fork of the campaign seed).
+    pub seed: u64,
+}
+
+/// The fate of one UDP datagram crossing the virtual wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatagramFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop (the receiver sees nothing; timeouts must fire).
+    Drop,
+    /// Deliver, then deliver a second copy `gap_ms` later.
+    Duplicate {
+        /// Gap between the two copies, ms.
+        gap_ms: u64,
+    },
+    /// Deliver late by `extra_ms` (reordering past later traffic).
+    Delay {
+        /// Extra one-way delay, ms.
+        extra_ms: u64,
+    },
+    /// Deliver with TC=1 and the answer sections stripped (responses
+    /// only; callers pass `may_truncate = false` for queries).
+    Truncate,
+}
+
+/// The fate of one SMTP segment (reply text or client command bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Deliver normally.
+    Deliver,
+    /// The connection is reset instead: the segment is lost and both
+    /// ends must observe a disconnect.
+    Reset,
+    /// Deliver late by `extra_ms` (a mid-session stall).
+    Stall {
+        /// Extra one-way delay, ms.
+        extra_ms: u64,
+    },
+}
+
+/// Per-session fault cursors: how many datagrams / SMTP segments of the
+/// session have been adjudicated so far. Stored with the session so the
+/// index sequence is shard-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCursor {
+    datagrams: u64,
+    segments: u64,
+}
+
+const STREAM_DATAGRAM: u64 = 0xDA7A_6BAD;
+const STREAM_SEGMENT: u64 = 0x5E65_BAD5;
+
+/// Fault counters, aggregated across engines and shards. All fields are
+/// shard-count invariant (they count deterministic fate decisions and
+/// their consequences, never wall-clock effects).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// UDP datagrams (queries or responses) dropped by the loss oracle.
+    pub dns_dropped: u64,
+    /// UDP datagrams delivered twice.
+    pub dns_duplicated: u64,
+    /// UDP datagrams delivered late (reordered).
+    pub dns_delayed: u64,
+    /// UDP responses truncated mid-path.
+    pub dns_truncated: u64,
+    /// Lookups that concluded in a timeout outcome (includes retries
+    /// exhausted under loss and unreachable v6-only zones).
+    pub dns_timeouts: u64,
+    /// SMTP segments replaced by connection resets.
+    pub conn_resets: u64,
+    /// SMTP segments stalled in flight.
+    pub conn_stalls: u64,
+    /// Stalls issued by flaky MTAs before reacting to MAIL.
+    pub mta_stalls: u64,
+    /// 451 tempfails issued by greylisting MTAs.
+    pub tempfails: u64,
+    /// Transaction retries performed by probe clients after 4xx replies.
+    pub client_retries: u64,
+    /// Session panics contained by the engine (`catch_unwind`).
+    pub contained_panics: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dns_dropped += other.dns_dropped;
+        self.dns_duplicated += other.dns_duplicated;
+        self.dns_delayed += other.dns_delayed;
+        self.dns_truncated += other.dns_truncated;
+        self.dns_timeouts += other.dns_timeouts;
+        self.conn_resets += other.conn_resets;
+        self.conn_stalls += other.conn_stalls;
+        self.mta_stalls += other.mta_stalls;
+        self.tempfails += other.tempfails;
+        self.client_retries += other.client_retries;
+        self.contained_panics += other.contained_panics;
+    }
+
+    /// True when any wire-level fault fired (injection diagnostics).
+    pub fn any_injected(&self) -> bool {
+        self.dns_dropped
+            + self.dns_duplicated
+            + self.dns_delayed
+            + self.dns_truncated
+            + self.conn_resets
+            + self.conn_stalls
+            > 0
+    }
+}
+
+/// A sealed fault plan: the fault configuration plus the latency model
+/// whose [`LatencyModel::lost`] is the loss oracle.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    latency: LatencyModel,
+    active: bool,
+}
+
+fn mix(seed: u64, session: u64, stream: u64, index: u64) -> u64 {
+    // splitmix64-style finalizer over the four identifiers; any good
+    // avalanche works, it just has to be stable.
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for v in [session, stream, index] {
+        h ^= v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 30)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    }
+    h
+}
+
+impl FaultPlan {
+    /// Seal a plan from a config and the campaign's latency model.
+    pub fn new(config: FaultConfig, latency: LatencyModel) -> FaultPlan {
+        let active = latency.loss_probability > 0.0
+            || config.duplicate_probability > 0.0
+            || config.reorder_probability > 0.0
+            || config.truncate_probability > 0.0
+            || config.conn_reset_probability > 0.0
+            || config.conn_stall_probability > 0.0;
+        FaultPlan {
+            config,
+            latency,
+            active,
+        }
+    }
+
+    /// True when some fault can ever fire (fast-path check).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn rng(&self, session: u64, stream: u64, index: u64) -> SimRng {
+        SimRng::new(mix(self.config.seed, session, stream, index))
+    }
+
+    /// Decide the fate of one UDP datagram of `session`. `may_truncate`
+    /// is true for responses (truncation of a query makes no sense).
+    ///
+    /// The decision depends only on `(plan, session, cursor position)` —
+    /// never on global event order — so it is shard-count invariant.
+    pub fn datagram_fate(
+        &self,
+        session: u64,
+        cursor: &mut FaultCursor,
+        may_truncate: bool,
+    ) -> DatagramFate {
+        if !self.active {
+            return DatagramFate::Deliver;
+        }
+        let index = cursor.datagrams;
+        cursor.datagrams += 1;
+        let mut rng = self.rng(session, STREAM_DATAGRAM, index);
+        if self.latency.lost(&mut rng) {
+            return DatagramFate::Drop;
+        }
+        if may_truncate
+            && self.config.truncate_probability > 0.0
+            && rng.chance(self.config.truncate_probability)
+        {
+            return DatagramFate::Truncate;
+        }
+        if self.config.duplicate_probability > 0.0 && rng.chance(self.config.duplicate_probability)
+        {
+            let span = self.config.reorder_delay_ms.max(1);
+            return DatagramFate::Duplicate {
+                gap_ms: 1 + rng.next_below(span),
+            };
+        }
+        if self.config.reorder_probability > 0.0 && rng.chance(self.config.reorder_probability) {
+            let span = self.config.reorder_delay_ms.max(1);
+            return DatagramFate::Delay {
+                extra_ms: 1 + rng.next_below(span),
+            };
+        }
+        DatagramFate::Deliver
+    }
+
+    /// Decide the fate of one SMTP segment of `session`.
+    pub fn conn_fault(&self, session: u64, cursor: &mut FaultCursor) -> ConnFault {
+        if !self.active {
+            return ConnFault::Deliver;
+        }
+        let index = cursor.segments;
+        cursor.segments += 1;
+        let mut rng = self.rng(session, STREAM_SEGMENT, index);
+        if self.config.conn_reset_probability > 0.0
+            && rng.chance(self.config.conn_reset_probability)
+        {
+            return ConnFault::Reset;
+        }
+        if self.config.conn_stall_probability > 0.0
+            && rng.chance(self.config.conn_stall_probability)
+        {
+            let span = self.config.conn_stall_ms.max(1);
+            return ConnFault::Stall {
+                extra_ms: 1 + rng.next_below(span),
+            };
+        }
+        ConnFault::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(p: f64) -> LatencyModel {
+        LatencyModel {
+            loss_probability: p,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_plan_is_inert() {
+        let plan = FaultPlan::new(FaultConfig::default(), LatencyModel::default());
+        assert!(!plan.is_active());
+        let mut cursor = FaultCursor::default();
+        for _ in 0..100 {
+            assert_eq!(
+                plan.datagram_fate(3, &mut cursor, true),
+                DatagramFate::Deliver
+            );
+            assert_eq!(plan.conn_fault(3, &mut cursor), ConnFault::Deliver);
+        }
+    }
+
+    #[test]
+    fn loss_routed_through_latency_model() {
+        // loss_probability lives on the LatencyModel and the plan must
+        // consult it — total loss means every datagram drops.
+        let plan = FaultPlan::new(FaultConfig::default(), lossy(1.0));
+        assert!(plan.is_active());
+        let mut cursor = FaultCursor::default();
+        for _ in 0..50 {
+            assert_eq!(
+                plan.datagram_fate(0, &mut cursor, false),
+                DatagramFate::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn loss_statistics_follow_probability() {
+        let plan = FaultPlan::new(FaultConfig::default(), lossy(0.3));
+        let mut drops = 0;
+        for session in 0..100u64 {
+            let mut cursor = FaultCursor::default();
+            for _ in 0..100 {
+                if plan.datagram_fate(session, &mut cursor, true) == DatagramFate::Drop {
+                    drops += 1;
+                }
+            }
+        }
+        assert!((2_600..3_400).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn fates_are_independent_of_consultation_order() {
+        // The shard-determinism property: interleaving sessions A and B
+        // must produce the same per-session fate sequences as running
+        // them back to back.
+        let config = FaultConfig {
+            duplicate_probability: 0.1,
+            reorder_probability: 0.1,
+            reorder_delay_ms: 40,
+            truncate_probability: 0.1,
+            conn_reset_probability: 0.1,
+            conn_stall_probability: 0.1,
+            conn_stall_ms: 500,
+            seed: 9,
+        };
+        let plan = FaultPlan::new(config, lossy(0.1));
+
+        let sequential: Vec<Vec<DatagramFate>> = (0..3u64)
+            .map(|session| {
+                let mut cursor = FaultCursor::default();
+                (0..40)
+                    .map(|_| plan.datagram_fate(session, &mut cursor, true))
+                    .collect()
+            })
+            .collect();
+
+        let mut cursors = [FaultCursor::default(); 3];
+        let mut interleaved = vec![Vec::new(), Vec::new(), Vec::new()];
+        for round in 0..40 {
+            // Rotate the visiting order every round.
+            for k in 0..3usize {
+                let session = (round + k) % 3;
+                interleaved[session].push(plan.datagram_fate(
+                    session as u64,
+                    &mut cursors[session],
+                    true,
+                ));
+            }
+        }
+        assert_eq!(sequential, interleaved);
+    }
+
+    #[test]
+    fn sessions_get_distinct_fault_sequences() {
+        let plan = FaultPlan::new(FaultConfig::default(), lossy(0.5));
+        let seq = |session: u64| -> Vec<DatagramFate> {
+            let mut cursor = FaultCursor::default();
+            (0..64)
+                .map(|_| plan.datagram_fate(session, &mut cursor, true))
+                .collect()
+        };
+        assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn truncation_only_offered_to_responses() {
+        let config = FaultConfig {
+            truncate_probability: 1.0,
+            seed: 4,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(config, LatencyModel::default());
+        let mut cursor = FaultCursor::default();
+        assert_eq!(
+            plan.datagram_fate(0, &mut cursor, false),
+            DatagramFate::Deliver
+        );
+        assert_eq!(
+            plan.datagram_fate(0, &mut cursor, true),
+            DatagramFate::Truncate
+        );
+    }
+
+    #[test]
+    fn conn_faults_fire_and_bound_their_magnitudes() {
+        let config = FaultConfig {
+            conn_reset_probability: 0.3,
+            conn_stall_probability: 0.3,
+            conn_stall_ms: 200,
+            seed: 11,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(config, LatencyModel::default());
+        let mut resets = 0;
+        let mut stalls = 0;
+        for session in 0..50u64 {
+            let mut cursor = FaultCursor::default();
+            for _ in 0..50 {
+                match plan.conn_fault(session, &mut cursor) {
+                    ConnFault::Reset => resets += 1,
+                    ConnFault::Stall { extra_ms } => {
+                        assert!((1..=200).contains(&extra_ms));
+                        stalls += 1;
+                    }
+                    ConnFault::Deliver => {}
+                }
+            }
+        }
+        assert!(resets > 500, "resets={resets}");
+        assert!(stalls > 300, "stalls={stalls}");
+    }
+
+    #[test]
+    fn stats_merge_adds_fieldwise() {
+        let mut a = FaultStats {
+            dns_dropped: 1,
+            tempfails: 2,
+            ..Default::default()
+        };
+        let b = FaultStats {
+            dns_dropped: 3,
+            contained_panics: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dns_dropped, 4);
+        assert_eq!(a.tempfails, 2);
+        assert_eq!(a.contained_panics, 4);
+        assert!(a.any_injected());
+        assert!(!FaultStats::default().any_injected());
+    }
+}

@@ -16,15 +16,21 @@
 //! * [`shard`] — a scoped-thread shard runner: workloads that partition
 //!   into independent shards run one simulator per shard in parallel and
 //!   merge outputs deterministically afterwards.
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   deciding per-datagram drop / duplicate / reorder / truncate and
+//!   per-connection resets and stalls, as pure functions of stable
+//!   identifiers so fates are byte-identical across shard counts.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod net;
 pub mod rng;
 pub mod shard;
 pub mod sim;
 
+pub use fault::{ConnFault, DatagramFate, FaultConfig, FaultCursor, FaultPlan, FaultStats};
 pub use net::LatencyModel;
 pub use rng::SimRng;
 pub use shard::{run_shards, ShardTiming};

@@ -50,6 +50,13 @@ pub struct ClientConfig {
     /// Pause inserted immediately before MAIL, RCPT and DATA (15 000 ms in
     /// the paper; 0 disables).
     pub pause_before_commands_ms: u64,
+    /// How many times a transiently-failed (4xx) transaction may be
+    /// retried within the session before giving up (the paper's probes
+    /// re-attempted greylisted deliveries; 0 disables retries).
+    pub max_session_retries: u32,
+    /// Base backoff before the first retry; doubles per retry
+    /// (exponential, in virtual time).
+    pub retry_backoff_ms: u64,
 }
 
 /// What the embedder must do next.
@@ -74,6 +81,8 @@ pub struct ClientOutcome {
     pub delivered: bool,
     /// The decisive rejection, if the session failed.
     pub rejection: Option<(Phase, Reply)>,
+    /// Transaction retries performed after transient (4xx) failures.
+    pub retries: u32,
     /// Every reply received, in order, tagged by phase.
     pub transcript: Vec<(Phase, Reply)>,
 }
@@ -89,6 +98,8 @@ enum State {
     PauseBeforeData,
     AwaitDataReply,
     AwaitMessageReply,
+    PauseBeforeRetry,
+    AwaitRsetReply,
     AwaitQuitReply,
     Done,
 }
@@ -119,6 +130,7 @@ impl ClientSession {
                 accepted_rcpt: None,
                 delivered: false,
                 rejection: None,
+                retries: 0,
                 transcript: Vec::new(),
             },
         }
@@ -128,7 +140,10 @@ impl ClientSession {
         match self.state {
             State::AwaitGreeting => Phase::Greeting,
             State::AwaitHeloReply { .. } => Phase::Helo,
-            State::PauseBeforeMail | State::AwaitMailReply => Phase::Mail,
+            State::PauseBeforeMail
+            | State::AwaitMailReply
+            | State::PauseBeforeRetry
+            | State::AwaitRsetReply => Phase::Mail,
             State::PauseBeforeRcpt | State::AwaitRcptReply => Phase::Rcpt,
             State::PauseBeforeData | State::AwaitDataReply => Phase::Data,
             State::AwaitMessageReply => Phase::Message,
@@ -147,6 +162,25 @@ impl ClientSession {
         } else {
             immediate
         }
+    }
+
+    fn can_retry(&self, reply: &Reply) -> bool {
+        reply.is_transient_failure() && self.outcome.retries < self.config.max_session_retries
+    }
+
+    /// Begin a bounded exponential-backoff retry of the transaction:
+    /// pause, then RSET and replay from MAIL with the same recipient
+    /// candidate.
+    fn begin_retry(&mut self) -> ClientAction {
+        self.outcome.retries += 1;
+        let shift = (self.outcome.retries - 1).min(16);
+        let backoff = self
+            .config
+            .retry_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .max(1); // Pause(0) is an embedder no-op; never emit it
+        self.state = State::PauseBeforeRetry;
+        ClientAction::Pause(backoff)
     }
 
     fn fail(&mut self, phase: Phase, reply: Reply) -> ClientAction {
@@ -191,6 +225,9 @@ impl ClientSession {
             }
             State::AwaitMailReply => {
                 if !reply.is_positive() {
+                    if self.can_retry(&reply) {
+                        return self.begin_retry();
+                    }
                     return self.fail(Phase::Mail, reply);
                 }
                 let rcpt = Command::Rcpt(self.config.rcpt_candidates[self.rcpt_index].clone());
@@ -205,6 +242,13 @@ impl ClientSession {
                     let action = self.send_line(&Command::Data);
                     self.state = State::AwaitDataReply;
                     return self.pause_or(State::PauseBeforeData, action);
+                }
+                // A transient failure (451 greylisting) is "come back
+                // later", not a verdict on the username: retry the whole
+                // transaction with the *same* candidate before falling
+                // through to the next-username logic.
+                if self.can_retry(&reply) {
+                    return self.begin_retry();
                 }
                 // Try the next username (the paper moves on to the next
                 // candidate whenever the server rejects the recipient).
@@ -229,6 +273,9 @@ impl ClientSession {
                     }
                     Some(message) => {
                         if !reply.is_intermediate() {
+                            if self.can_retry(&reply) {
+                                return self.begin_retry();
+                            }
                             return self.fail(Phase::Data, reply);
                         }
                         let mut payload = dot_stuff(message);
@@ -247,13 +294,26 @@ impl ClientSession {
                     self.state = State::AwaitQuitReply;
                     return self.send_line(&Command::Quit);
                 }
+                if self.can_retry(&reply) {
+                    return self.begin_retry();
+                }
                 self.fail(Phase::Message, reply)
+            }
+            State::AwaitRsetReply => {
+                if !reply.is_positive() {
+                    return self.fail(Phase::Mail, reply);
+                }
+                let mail = Command::Mail(self.config.mail_from.clone());
+                let action = self.send_line(&mail);
+                self.state = State::AwaitMailReply;
+                self.pause_or(State::PauseBeforeMail, action)
             }
             State::AwaitQuitReply => self.close(),
             State::Done
             | State::PauseBeforeMail
             | State::PauseBeforeRcpt
-            | State::PauseBeforeData => {
+            | State::PauseBeforeData
+            | State::PauseBeforeRetry => {
                 // Unexpected extra reply; ignore but record (already in
                 // transcript).
                 ClientAction::Pause(0)
@@ -277,6 +337,12 @@ impl ClientSession {
             State::PauseBeforeData => {
                 self.state = State::AwaitDataReply;
                 self.send_line(&Command::Data)
+            }
+            State::PauseBeforeRetry => {
+                // Backoff elapsed: clear the transaction server-side,
+                // then replay from MAIL once the RSET is acknowledged.
+                self.state = State::AwaitRsetReply;
+                self.send_line(&Command::Rset)
             }
             _ => ClientAction::Pause(0),
         }
@@ -313,6 +379,8 @@ mod tests {
                 .collect(),
             message: None,
             pause_before_commands_ms: 15_000,
+            max_session_retries: 0,
+            retry_backoff_ms: 0,
         }
     }
 
@@ -435,6 +503,78 @@ mod tests {
                 let (phase, reply) = outcome.rejection.unwrap();
                 assert_eq!(phase, Phase::Mail);
                 assert!(reply.text().contains("spam"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn greylisted_rcpt_retried_with_exponential_backoff() {
+        let mut config = probe_config();
+        config.pause_before_commands_ms = 0;
+        config.max_session_retries = 2;
+        config.retry_backoff_ms = 30_000;
+        let mut c = ClientSession::new(config);
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        expect_send(c.on_reply(Reply::ok())); // EHLO → MAIL
+        expect_send(c.on_reply(Reply::ok())); // MAIL → RCPT michael
+        let greylist = Reply::new(451, "4.7.1 Greylisted, try again later");
+        // First 451 → backoff 30s, then RSET / MAIL / same RCPT.
+        assert_eq!(c.on_reply(greylist.clone()), ClientAction::Pause(30_000));
+        assert_eq!(expect_send(c.on_pause_elapsed()), "RSET\r\n");
+        let line = expect_send(c.on_reply(Reply::ok()));
+        assert!(line.starts_with("MAIL FROM:"));
+        let line = expect_send(c.on_reply(Reply::ok()));
+        assert!(line.contains("<michael@target.test>"), "same candidate");
+        // Second 451 → backoff doubles to 60s.
+        assert_eq!(c.on_reply(greylist.clone()), ClientAction::Pause(60_000));
+        assert_eq!(expect_send(c.on_pause_elapsed()), "RSET\r\n");
+        expect_send(c.on_reply(Reply::ok())); // RSET → MAIL
+        let line = expect_send(c.on_reply(Reply::ok())); // MAIL → RCPT
+        assert!(line.contains("<michael@target.test>"));
+        // Accepted this time: the session proceeds to DATA.
+        let line = expect_send(c.on_reply(Reply::ok()));
+        assert_eq!(line, "DATA\r\n");
+        match c.on_reply(Reply::start_mail_input()) {
+            ClientAction::Close(outcome) => {
+                assert_eq!(outcome.retries, 2);
+                assert_eq!(outcome.accepted_rcpt.unwrap().local, "michael");
+                assert!(outcome.rejection.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_falls_back_to_failure_path() {
+        let mut config = probe_config();
+        config.pause_before_commands_ms = 0;
+        config.max_session_retries = 1;
+        config.retry_backoff_ms = 10_000;
+        let mut c = ClientSession::new(config);
+        expect_send(c.on_reply(Reply::greeting("mx")));
+        expect_send(c.on_reply(Reply::ok())); // EHLO → MAIL
+        expect_send(c.on_reply(Reply::ok())); // MAIL → RCPT
+        let greylist = Reply::new(451, "4.7.1 Greylisted");
+        assert_eq!(c.on_reply(greylist.clone()), ClientAction::Pause(10_000));
+        assert_eq!(expect_send(c.on_pause_elapsed()), "RSET\r\n");
+        expect_send(c.on_reply(Reply::ok())); // RSET → MAIL
+        expect_send(c.on_reply(Reply::ok())); // MAIL → RCPT
+                                              // Budget spent: the 451 now walks the username-fallback list.
+        let line = expect_send(c.on_reply(greylist.clone()));
+        assert!(line.contains("<john.smith@target.test>"));
+        // And once candidates run out, the session fails with the 451.
+        for _ in 0..2 {
+            expect_send(c.on_reply(greylist.clone()));
+        }
+        let line = expect_send(c.on_reply(greylist));
+        assert_eq!(line, "QUIT\r\n");
+        match c.on_reply(Reply::closing()) {
+            ClientAction::Close(outcome) => {
+                assert_eq!(outcome.retries, 1);
+                let (phase, reply) = outcome.rejection.unwrap();
+                assert_eq!(phase, Phase::Rcpt);
+                assert_eq!(reply.code, 451);
             }
             other => panic!("{other:?}"),
         }

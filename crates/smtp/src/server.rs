@@ -68,6 +68,12 @@ pub enum Decision {
     AcceptWith(Reply),
     /// Refuse with the given reply (4xx/5xx).
     Reject(Reply),
+    /// Refuse *temporarily* with a 4xx reply (greylisting, resource
+    /// pressure). State rollback is identical to [`Decision::Reject`];
+    /// the variant exists so embedders and transcripts can distinguish
+    /// "come back later" from a verdict — the paper's probes retried
+    /// tempfailed transactions, permanent rejections they did not.
+    TempFail(Reply),
     /// Refuse and drop the connection right after the reply (the
     /// "DNSBL slam": operators that terminate blacklisted clients
     /// instead of letting the dialogue continue, §6.2). The embedder
@@ -252,7 +258,7 @@ impl Session {
                 _ => Reply::ok(),
             },
             Decision::AcceptWith(custom) => custom,
-            Decision::Reject(reply) => {
+            Decision::Reject(reply) | Decision::TempFail(reply) => {
                 // Rejected: roll back to the pre-command state.
                 self.state = match &query {
                     PolicyQuery::Helo { .. } => SessionState::Connected,
@@ -379,6 +385,33 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(s.state(), SessionState::Greeted);
+    }
+
+    #[test]
+    fn tempfail_at_rcpt_rolls_back_like_reject() {
+        // Greylisting: the 451 must leave the transaction in a state
+        // where the client can RSET and retry the same recipient.
+        let mut s = Session::new("mx.test");
+        accept_all(&mut s, "EHLO probe.test");
+        accept_all(&mut s, "MAIL FROM:<a@s.test>");
+        match s.on_line("RCPT TO:<postmaster@r.test>") {
+            Action::Ask(PolicyQuery::Rcpt { .. }) => {
+                let r = s.on_decision(Decision::TempFail(Reply::new(
+                    451,
+                    "4.7.1 Greylisted, please try again later",
+                )));
+                assert_eq!(r.code, 451);
+                assert!(r.is_transient_failure());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.state(), SessionState::MailGiven);
+        assert!(s.rcpt_to.is_empty());
+        // The retried transaction goes through.
+        assert_eq!(accept_all(&mut s, "RSET").code, 250);
+        assert_eq!(accept_all(&mut s, "MAIL FROM:<a@s.test>").code, 250);
+        assert_eq!(accept_all(&mut s, "RCPT TO:<postmaster@r.test>").code, 250);
+        assert_eq!(s.state(), SessionState::RcptGiven);
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn main() {
         probe_pause_ms: 15_000,
         latency: LatencyModel::default(),
         shards: 4,
+        faults: mailval::simnet::FaultConfig::default(),
     };
 
     println!(

@@ -135,6 +135,8 @@ fn main() {
         )],
         message: Some(message.to_bytes()),
         pause_before_commands_ms: 0,
+        max_session_retries: 0,
+        retry_backoff_ms: 0,
     });
 
     let stream = TcpStream::connect(smtp_addr).expect("connect smtp");
@@ -236,6 +238,12 @@ fn serve_mta(stream: TcpStream, peer: SocketAddr, dns_addr: SocketAddr) {
                     }
                     MtaOutput::Event(MtaEvent::MessageAccepted) => {
                         println!("[mta] message accepted for delivery");
+                    }
+                    MtaOutput::Event(MtaEvent::TempFailed) => {
+                        println!("[mta] greylisted the client (451)");
+                    }
+                    MtaOutput::Stall { delay_ms } => {
+                        std::thread::sleep(Duration::from_millis(delay_ms / 1000));
                     }
                     MtaOutput::Close => return,
                 }

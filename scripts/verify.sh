@@ -1,13 +1,34 @@
 #!/usr/bin/env bash
-# Full offline verification: formatting, lints, tier-1 build + tests.
+# Full offline verification: formatting, lints, tier-1 build + tests,
+# and the chaos determinism gate.
 #
 # Everything here must run without network access — the workspace has
 # no registry dependencies (see the `proptest` feature note in the root
 # Cargo.toml), and CARGO_NET_OFFLINE pins cargo to what is vendored.
+#
+# Usage:
+#   scripts/verify.sh           # the full gate (fmt, clippy, build,
+#                               # tests, chaos determinism)
+#   scripts/verify.sh --chaos   # only the chaos determinism stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
+
+chaos() {
+  # Fault-injection determinism: a campaign under 5% datagram loss,
+  # greylisting/stalling/resetting MTAs and one injected crash must
+  # merge byte-identically for shards = 1/2/4/8, and the crash must be
+  # contained to its own session. Fixed seeds live in the test itself.
+  echo "== tier-1: chaos determinism (cargo test --test chaos_determinism) =="
+  cargo test -q --test chaos_determinism
+}
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  chaos
+  echo "verify --chaos: OK"
+  exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -20,5 +41,7 @@ cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+chaos
 
 echo "verify: OK"

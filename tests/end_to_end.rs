@@ -23,6 +23,7 @@ fn config(kind: CampaignKind, tests: Vec<&'static str>, seed: u64) -> CampaignCo
         probe_pause_ms: 15_000,
         latency: LatencyModel::default(),
         shards: 1,
+        faults: mailval::simnet::FaultConfig::default(),
     }
 }
 

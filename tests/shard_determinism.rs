@@ -25,6 +25,7 @@ fn run(
             probe_pause_ms: 15_000,
             latency: LatencyModel::default(),
             shards,
+            faults: mailval::simnet::FaultConfig::default(),
         },
         pop,
         &profiles,
