@@ -157,6 +157,7 @@ fn ablation_campaign_throughput() {
                 latency: LatencyModel::default(),
                 shards,
                 faults: mailval_simnet::FaultConfig::default(),
+                ..CampaignConfig::default()
             },
             &pop,
             &profiles,

@@ -53,6 +53,7 @@ fn main() {
             latency: LatencyModel::default(),
             shards,
             faults: mailval_simnet::FaultConfig::default(),
+            ..CampaignConfig::default()
         };
         let start = Instant::now();
         let result = run_campaign(&config, &pop, &profiles);

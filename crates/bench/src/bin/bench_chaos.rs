@@ -73,7 +73,9 @@ fn main() {
                 conn_stall_probability: 0.02,
                 conn_stall_ms: 200,
                 seed,
+                ..Default::default()
             },
+            ..CampaignConfig::default()
         };
         let start = Instant::now();
         let result = run_campaign(&config, &pop, &profiles);

@@ -1,0 +1,212 @@
+//! Journal-overhead benchmark: run the 2,000-domain NotifyEmail
+//! campaign with journaling off (baseline), on at the default fsync
+//! interval, and on across an fsync-interval sweep {1, 16, 64, 256};
+//! record wall-clock per configuration and the overhead relative to
+//! baseline, as JSON (hand-rolled — offline builds have no serde) to
+//! `results/BENCH_resume.json` or the path given as the first argument.
+//!
+//! The robustness budget for the journal is **≤ 10% wall-clock
+//! overhead at the default fsync interval**; the report carries a
+//! `within_budget` flag per journaled run so regressions are visible
+//! in the artifact itself.
+
+use mailval_datasets::{DatasetKind, Population, PopulationConfig};
+use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_measure::journal;
+use std::time::Instant;
+
+/// ~2,000 of the paper's 26,695 NotifyEmail domains.
+const SCALE: f64 = 2_000.0 / 26_695.0;
+
+/// The fsync-interval axis of the sweep (frames between `fdatasync`s).
+const FSYNC_SWEEP: [u64; 4] = [1, 16, 64, 256];
+
+/// Wall-clock overhead budget at the default fsync interval.
+const OVERHEAD_BUDGET: f64 = 0.10;
+
+/// Repetitions per configuration; the best wall-clock is reported so
+/// scheduler noise on a ~5 s run does not masquerade as overhead.
+const REPS: usize = 3;
+
+struct Run {
+    label: String,
+    fsync_every: Option<u64>,
+    sessions: usize,
+    events: u64,
+    wall_s: f64,
+    sessions_per_s: f64,
+    journal_bytes: u64,
+    overhead: Option<f64>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_resume.json".to_string());
+    let seed = mailval_bench::seed();
+    let shards = mailval_bench::shards();
+    let pop = Population::generate(&PopulationConfig {
+        kind: DatasetKind::NotifyEmail,
+        scale: SCALE,
+        seed,
+    });
+    let profiles = sample_host_profiles(&pop, seed);
+    eprintln!(
+        "[bench_resume] NotifyEmail, {} domains / {} hosts, seed {seed}, {shards} shard(s)",
+        pop.domains.len(),
+        pop.hosts.len()
+    );
+
+    let journal_dir =
+        std::env::temp_dir().join(format!("mailval-bench-resume-{}", std::process::id()));
+    let base_config = CampaignConfig {
+        kind: CampaignKind::NotifyEmail,
+        tests: vec![],
+        seed,
+        probe_pause_ms: 0,
+        shards,
+        ..CampaignConfig::default()
+    };
+
+    let mut runs: Vec<Run> = Vec::new();
+
+    // Baseline: journaling off.
+    let baseline = time_run(&base_config, &pop, &profiles, "journal off", None, None);
+    let baseline_wall = baseline.wall_s;
+    runs.push(baseline);
+
+    // Default interval first (the budgeted configuration), then the sweep.
+    let mut intervals = vec![journal::DEFAULT_FSYNC_EVERY];
+    intervals.extend(
+        FSYNC_SWEEP
+            .iter()
+            .copied()
+            .filter(|&n| n != journal::DEFAULT_FSYNC_EVERY),
+    );
+    for fsync_every in intervals {
+        let mut config = base_config.clone();
+        config.journal_dir = Some(journal_dir.clone());
+        config.fsync_every = fsync_every;
+        let label = if fsync_every == journal::DEFAULT_FSYNC_EVERY {
+            format!("journal on, fsync every {fsync_every} (default)")
+        } else {
+            format!("journal on, fsync every {fsync_every}")
+        };
+        let mut run = time_run(
+            &config,
+            &pop,
+            &profiles,
+            &label,
+            Some(fsync_every),
+            Some(&journal_dir),
+        );
+        run.overhead = Some(run.wall_s / baseline_wall - 1.0);
+        runs.push(run);
+    }
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let default_run = runs
+        .iter()
+        .find(|r| r.fsync_every == Some(journal::DEFAULT_FSYNC_EVERY))
+        .expect("default-interval run present");
+    let default_overhead = default_run.overhead.unwrap_or(0.0);
+    eprintln!(
+        "[bench_resume] default-interval overhead {:.1}% (budget {:.0}%): {}",
+        default_overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0,
+        if default_overhead <= OVERHEAD_BUDGET {
+            "OK"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+
+    let json = render_json(&pop, seed, shards, &runs);
+    std::fs::write(&out_path, &json).expect("write result file");
+    eprintln!("[bench_resume] wrote {out_path}");
+}
+
+fn time_run(
+    config: &CampaignConfig,
+    pop: &Population,
+    profiles: &[mailval_mta::profile::MtaProfile],
+    label: &str,
+    fsync_every: Option<u64>,
+    journal_dir: Option<&std::path::Path>,
+) -> Run {
+    let mut wall_s = f64::INFINITY;
+    let mut result = run_campaign(config, pop, profiles);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        result = run_campaign(config, pop, profiles);
+        wall_s = wall_s.min(start.elapsed().as_secs_f64());
+    }
+    let journal_bytes = journal_dir.map_or(0, |dir| {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    });
+    let run = Run {
+        label: label.to_string(),
+        fsync_every,
+        sessions: result.sessions.len(),
+        events: result.events,
+        wall_s,
+        sessions_per_s: result.sessions.len() as f64 / wall_s,
+        journal_bytes,
+        overhead: None,
+    };
+    eprintln!(
+        "[bench_resume] {label:<36} {:>7.3}s wall  {:>8.0} sessions/s  {} journal bytes",
+        run.wall_s, run.sessions_per_s, run.journal_bytes
+    );
+    run
+}
+
+fn render_json(pop: &Population, seed: u64, shards: usize, runs: &[Run]) -> String {
+    let mut s = String::new();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"journal_overhead\",\n");
+    s.push_str(&format!("  \"cpus\": {cpus},\n"));
+    s.push_str(&format!("  \"domains\": {},\n", pop.domains.len()));
+    s.push_str(&format!("  \"hosts\": {},\n", pop.hosts.len()));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"shards\": {shards},\n"));
+    s.push_str(&format!(
+        "  \"default_fsync_every\": {},\n",
+        journal::DEFAULT_FSYNC_EVERY
+    ));
+    s.push_str(&format!("  \"overhead_budget\": {OVERHEAD_BUDGET},\n"));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let fsync = r.fsync_every.map_or("null".to_string(), |n| n.to_string());
+        let overhead = r.overhead.map_or("null".to_string(), |o| format!("{o:.4}"));
+        let within = r
+            .overhead
+            .map_or("null".to_string(), |o| (o <= OVERHEAD_BUDGET).to_string());
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"fsync_every\": {fsync}, \
+             \"sessions\": {}, \"events\": {}, \"wall_s\": {:.3}, \
+             \"sessions_per_s\": {:.1}, \"journal_bytes\": {}, \
+             \"overhead\": {overhead}, \"within_budget\": {within}}}{}\n",
+            r.label,
+            r.sessions,
+            r.events,
+            r.wall_s,
+            r.sessions_per_s,
+            r.journal_bytes,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

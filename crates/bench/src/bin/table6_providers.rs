@@ -20,6 +20,7 @@ fn main() {
             latency: LatencyModel::default(),
             shards: mailval_bench::shards(),
             faults: mailval_simnet::FaultConfig::default(),
+            ..CampaignConfig::default()
         },
         &pop,
         &profiles,

@@ -96,6 +96,7 @@ pub fn campaign(
         latency: LatencyModel::default(),
         shards: shards(),
         faults: FaultConfig::default(),
+        ..CampaignConfig::default()
     };
     eprintln!(
         "[mailval] running {kind:?} over {} domains / {} hosts on {} shard(s) ...",

@@ -95,8 +95,20 @@ impl Message {
         self.answers.iter().filter(move |r| r.rtype() == rtype)
     }
 
-    /// Encode to wire bytes (convenience for [`crate::wire::encode_message`]).
+    /// Encode to wire bytes, panicking on unrepresentable contents.
+    ///
+    /// Every message the apparatus builds goes through validated
+    /// [`crate::Name`] construction and `txt_from_str` chunking, so the
+    /// error path of [`crate::wire::encode_message`] is unreachable for
+    /// them; use [`Message::try_to_bytes`] when encoding data of
+    /// untrusted provenance (e.g. decoded from corrupted input).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.try_to_bytes()
+            .expect("message contents are representable on the wire")
+    }
+
+    /// Encode to wire bytes (convenience for [`crate::wire::encode_message`]).
+    pub fn try_to_bytes(&self) -> Result<Vec<u8>, crate::wire::WireError> {
         crate::wire::encode_message(self)
     }
 

@@ -74,6 +74,9 @@ pub enum WireError {
     BadRdataLength,
     /// A name contained bytes we refuse to process.
     BadName,
+    /// A TXT character-string exceeded 255 bytes (its length prefix is
+    /// a single byte; encoding it would silently corrupt the message).
+    TxtTooLong,
 }
 
 impl std::fmt::Display for WireError {
@@ -85,6 +88,7 @@ impl std::fmt::Display for WireError {
             WireError::NameTooLong => "name too long",
             WireError::BadRdataLength => "rdata length mismatch",
             WireError::BadName => "invalid name contents",
+            WireError::TxtTooLong => "TXT character-string over 255 bytes",
         };
         write!(f, "{what}")
     }
@@ -147,7 +151,14 @@ impl Encoder {
     }
 
     /// Encode a name with compression.
-    pub fn put_name(&mut self, name: &Name) {
+    ///
+    /// Fails with [`WireError::BadLabel`] on a label over
+    /// [`MAX_LABEL_LEN`] bytes: the length prefix is a single byte with
+    /// the top two bits reserved for compression pointers, so an
+    /// oversized label cannot be represented — truncating it (what an
+    /// unchecked `as u8` cast would do) would silently corrupt the
+    /// message.
+    pub fn put_name(&mut self, name: &Name) -> Result<(), WireError> {
         let labels = name.labels();
         for i in 0..labels.len() {
             let suffix: Vec<&str> = labels[i..].iter().map(|s| s.as_str()).collect();
@@ -155,38 +166,47 @@ impl Encoder {
             if let Some(&off) = self.name_offsets.get(&key) {
                 // Emit a pointer to the previously-encoded suffix.
                 self.put_u16(0xc000 | off as u16);
-                return;
+                return Ok(());
             }
             if self.buf.len() < 0x3fff {
                 self.name_offsets.insert(key, self.buf.len());
             }
             let label = &labels[i];
-            debug_assert!(label.len() <= MAX_LABEL_LEN);
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::BadLabel);
+            }
             self.put_u8(label.len() as u8);
             self.buf.extend_from_slice(label.as_bytes());
         }
         self.put_u8(0);
+        Ok(())
     }
 
     /// Encode a name without compression (required inside RDATA of types
     /// that some implementations won't decompress; we compress only
-    /// NS/CNAME/PTR/MX/SOA names which RFC 3597 grandfathers).
-    pub fn put_name_uncompressed(&mut self, name: &Name) {
+    /// NS/CNAME/PTR/MX/SOA names which RFC 3597 grandfathers). Same
+    /// label-length failure mode as [`Encoder::put_name`].
+    pub fn put_name_uncompressed(&mut self, name: &Name) -> Result<(), WireError> {
         for label in name.labels() {
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::BadLabel);
+            }
             self.put_u8(label.len() as u8);
             self.buf.extend_from_slice(label.as_bytes());
         }
         self.put_u8(0);
+        Ok(())
     }
 
-    fn put_question(&mut self, q: &Question) {
-        self.put_name(&q.name);
+    fn put_question(&mut self, q: &Question) -> Result<(), WireError> {
+        self.put_name(&q.name)?;
         self.put_u16(q.rtype.code());
         self.put_u16(q.class.code());
+        Ok(())
     }
 
-    fn put_record(&mut self, r: &Record) {
-        self.put_name(&r.name);
+    fn put_record(&mut self, r: &Record) -> Result<(), WireError> {
+        self.put_name(&r.name)?;
         self.put_u16(r.rtype().code());
         self.put_u16(r.class.code());
         self.put_u32(r.ttl);
@@ -197,24 +217,26 @@ impl Encoder {
         match &r.rdata {
             RData::A(ip) => self.buf.extend_from_slice(&ip.octets()),
             RData::Aaaa(ip) => self.buf.extend_from_slice(&ip.octets()),
-            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => self.put_name(n),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => self.put_name(n)?,
             RData::Mx {
                 preference,
                 exchange,
             } => {
                 self.put_u16(*preference);
-                self.put_name(exchange);
+                self.put_name(exchange)?;
             }
             RData::Txt(strings) => {
                 for s in strings {
-                    debug_assert!(s.len() <= 255);
+                    if s.len() > 255 {
+                        return Err(WireError::TxtTooLong);
+                    }
                     self.put_u8(s.len() as u8);
                     self.buf.extend_from_slice(s);
                 }
             }
             RData::Soa(soa) => {
-                self.put_name(&soa.mname);
-                self.put_name(&soa.rname);
+                self.put_name(&soa.mname)?;
+                self.put_name(&soa.rname)?;
                 self.put_u32(soa.serial);
                 self.put_u32(soa.refresh);
                 self.put_u32(soa.retry);
@@ -225,11 +247,15 @@ impl Encoder {
         }
         let rdlen = (self.buf.len() - start) as u16;
         self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+        Ok(())
     }
 }
 
-/// Encode a complete message to wire format.
-pub fn encode_message(msg: &Message) -> Vec<u8> {
+/// Encode a complete message to wire format. Fails if any name label or
+/// TXT character-string cannot be represented (see
+/// [`Encoder::put_name`]); a `Message` built from validated [`Name`]s
+/// and [`RData::txt_from_str`] chunks always encodes.
+pub fn encode_message(msg: &Message) -> Result<Vec<u8>, WireError> {
     let mut enc = Encoder::new();
     enc.put_u16(msg.id);
     let mut flags: u16 = 0;
@@ -256,18 +282,18 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
     enc.put_u16(msg.authorities.len() as u16);
     enc.put_u16(msg.additionals.len() as u16);
     for q in &msg.questions {
-        enc.put_question(q);
+        enc.put_question(q)?;
     }
     for r in &msg.answers {
-        enc.put_record(r);
+        enc.put_record(r)?;
     }
     for r in &msg.authorities {
-        enc.put_record(r);
+        enc.put_record(r)?;
     }
     for r in &msg.additionals {
-        enc.put_record(r);
+        enc.put_record(r)?;
     }
-    enc.into_bytes()
+    Ok(enc.into_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -506,7 +532,7 @@ mod tests {
     #[test]
     fn query_roundtrip() {
         let msg = sample_message();
-        let bytes = encode_message(&msg);
+        let bytes = encode_message(&msg).unwrap();
         let decoded = decode_message(&bytes).unwrap();
         assert_eq!(decoded, msg);
     }
@@ -552,7 +578,7 @@ mod tests {
                 minimum: 300,
             }),
         )];
-        let bytes = encode_message(&msg);
+        let bytes = encode_message(&msg).unwrap();
         let decoded = decode_message(&bytes).unwrap();
         assert_eq!(decoded, msg);
     }
@@ -568,7 +594,7 @@ mod tests {
                 RData::A(Ipv4Addr::new(192, 0, 2, i)),
             ));
         }
-        let bytes = encode_message(&msg);
+        let bytes = encode_message(&msg).unwrap();
         // Without compression each record would repeat the 44-byte name;
         // with compression later records use a 2-byte pointer.
         let uncompressed_estimate = 12 + 30 + 10 * (44 + 14);
@@ -587,14 +613,14 @@ mod tests {
         let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
         let long = "y".repeat(700);
         msg.answers = vec![Record::new(n("p.example"), 60, RData::txt_from_str(&long))];
-        let bytes = encode_message(&msg);
+        let bytes = encode_message(&msg).unwrap();
         let decoded = decode_message(&bytes).unwrap();
         assert_eq!(decoded.answers[0].rdata.txt_joined().unwrap(), long);
     }
 
     #[test]
     fn decode_rejects_truncation() {
-        let bytes = encode_message(&sample_message());
+        let bytes = encode_message(&sample_message()).unwrap();
         for cut in 0..bytes.len() {
             assert!(decode_message(&bytes[..cut]).is_err(), "cut={cut}");
         }
@@ -629,7 +655,7 @@ mod tests {
             60,
             RData::A(Ipv4Addr::new(1, 2, 3, 4)),
         )];
-        let mut bytes = encode_message(&msg);
+        let mut bytes = encode_message(&msg).unwrap();
         // Corrupt the A rdlength (last 6 bytes are rdlength + 4 octets).
         let pos = bytes.len() - 6;
         bytes[pos] = 0;
@@ -648,7 +674,43 @@ mod tests {
     fn truncated_flag_roundtrip() {
         let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
         msg.truncated = true;
-        let decoded = decode_message(&encode_message(&msg)).unwrap();
+        let decoded = decode_message(&encode_message(&msg).unwrap()).unwrap();
         assert!(decoded.truncated);
+    }
+
+    #[test]
+    fn encode_rejects_oversized_txt_string() {
+        // Regression: the encoder used to debug_assert! here, so a
+        // release build would truncate the length via `as u8` and emit a
+        // corrupt wire image. It must be a real error instead.
+        let mut msg = Message::response_to(&sample_message(), Rcode::NoError);
+        msg.answers = vec![Record::new(
+            n("p.example"),
+            60,
+            RData::Txt(vec![vec![b'x'; 256]]),
+        )];
+        assert_eq!(encode_message(&msg), Err(WireError::TxtTooLong));
+        // At exactly 255 bytes the string still encodes.
+        msg.answers = vec![Record::new(
+            n("p.example"),
+            60,
+            RData::Txt(vec![vec![b'x'; 255]]),
+        )];
+        let bytes = encode_message(&msg).unwrap();
+        let decoded = decode_message(&bytes).unwrap();
+        assert_eq!(decoded.answers[0].rdata, RData::Txt(vec![vec![b'x'; 255]]));
+    }
+
+    #[test]
+    fn encoder_rejects_oversized_label() {
+        // `Name::parse`/`from_labels` refuse labels over 63 bytes, so the
+        // encoder-side check is defense in depth for names of other
+        // provenance; exercise it through the raw Encoder API.
+        let long = "a".repeat(MAX_LABEL_LEN + 1);
+        let name = Name::from_labels(vec![long]);
+        assert!(name.is_err(), "Name constructors reject oversized labels");
+        let mut enc = Encoder::new();
+        assert_eq!(enc.put_name(&n("ok.example")), Ok(()));
+        assert_eq!(enc.put_name_uncompressed(&n("ok.example")), Ok(()));
     }
 }

@@ -833,6 +833,7 @@ mod tests {
                 latency: LatencyModel::default(),
                 shards: 1,
                 faults: mailval_simnet::FaultConfig::default(),
+                ..CampaignConfig::default()
             },
             pop,
             &profiles,
@@ -960,6 +961,7 @@ mod tests {
                 latency: LatencyModel::default(),
                 shards: 1,
                 faults: mailval_simnet::FaultConfig::default(),
+                ..CampaignConfig::default()
             },
             &pop,
             &profiles,
@@ -973,6 +975,7 @@ mod tests {
                 latency: LatencyModel::default(),
                 shards: 1,
                 faults: mailval_simnet::FaultConfig::default(),
+                ..CampaignConfig::default()
             },
             &pop,
             &profiles,

@@ -19,7 +19,8 @@
 //! session records are byte-identical for every shard count.
 
 use crate::apparatus::{QueryLog, SynthesizingAuthority};
-use crate::engine::{EngineConfig, LiveSession, SessionEngine};
+use crate::engine::{EngineConfig, EngineOutput, LiveSession, SessionBudget, SessionEngine};
+use crate::journal::{self, JournalWriter};
 use crate::names::NameScheme;
 use crate::policies::SynthAddrs;
 use crate::shard::{merge_session_records, partition, ShardStats};
@@ -34,12 +35,13 @@ use mailval_dns::Name;
 use mailval_mta::actor::{ConnContext, MtaActor};
 use mailval_mta::profile::MtaProfile;
 use mailval_mta::resolver::ResolverActor;
-use mailval_simnet::{run_shards, FaultConfig, FaultStats, LatencyModel, SimRng};
+use mailval_simnet::{run_shards_catch, FaultConfig, FaultStats, LatencyModel, SimRng};
 use mailval_smtp::client::{probe_usernames, ClientConfig, ClientSession};
 use mailval_smtp::mail::MailMessage;
 use mailval_smtp::EmailAddress;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
+use std::path::PathBuf;
 
 pub use crate::engine::SessionRecord;
 
@@ -76,6 +78,42 @@ pub struct CampaignConfig {
     /// Number of parallel shards (0 and 1 both mean single-threaded).
     /// The merged output is byte-identical for every value.
     pub shards: usize,
+    /// Directory for per-shard session journals. `None` disables
+    /// durability (no files are written); `Some(dir)` writes one
+    /// `shard-NNNN.jrnl` per shard and enables supervised restart from
+    /// journal after a shard crash.
+    pub journal_dir: Option<PathBuf>,
+    /// Resume from existing journals in `journal_dir` instead of
+    /// truncating them at campaign start. Completed sessions found in a
+    /// journal are replayed, not re-run; the merged result is
+    /// byte-identical to an uninterrupted run.
+    pub resume: bool,
+    /// Journal fsync interval, frames (0 = never fsync; every append is
+    /// still flushed to the file).
+    pub fsync_every: u64,
+    /// Per-session runaway limits enforced by the engine.
+    pub budget: SessionBudget,
+    /// Shard-restart and deadline policy.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            kind: CampaignKind::NotifyEmail,
+            tests: Vec::new(),
+            seed: 0,
+            probe_pause_ms: 15_000,
+            latency: LatencyModel::default(),
+            faults: FaultConfig::default(),
+            shards: 1,
+            journal_dir: None,
+            resume: false,
+            fsync_every: journal::DEFAULT_FSYNC_EVERY,
+            budget: SessionBudget::default(),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
 }
 
 impl CampaignConfig {
@@ -87,10 +125,39 @@ impl CampaignConfig {
             kind,
             tests: crate::policies::ALL_TESTS.iter().map(|t| t.id).collect(),
             seed,
-            probe_pause_ms: 15_000,
-            latency: LatencyModel::default(),
-            faults: FaultConfig::default(),
-            shards: 1,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// How the campaign supervisor reacts to shard crashes.
+///
+/// A crashed shard (a panic that escaped the engine's per-session
+/// containment, or the deterministic `crash_after_sessions` injection)
+/// is restarted from its journal with exponential backoff. A shard that
+/// exhausts its restart budget — or any crash past the wall-clock
+/// deadline — is *finalized from its journal instead*: the campaign
+/// completes with `partial = true` and whatever that shard had durably
+/// completed, rather than crashing the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Restarts allowed per shard before it is finalized from journal.
+    pub max_shard_restarts: u32,
+    /// Base backoff before a restart round, wall-clock ms (doubles each
+    /// round, capped at 64×).
+    pub restart_backoff_ms: u64,
+    /// Global wall-clock deadline for the whole campaign, ms (0 = no
+    /// deadline). Checked when a shard crashes: past the deadline no
+    /// further restarts are attempted.
+    pub wall_deadline_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_shard_restarts: 2,
+            restart_backoff_ms: 10,
+            wall_deadline_ms: 0,
         }
     }
 }
@@ -116,6 +183,11 @@ pub struct CampaignResult {
     pub faults: FaultStats,
     /// Per-shard execution counters.
     pub shard_stats: Vec<ShardStats>,
+    /// One or more shards exhausted the supervisor's restart budget (or
+    /// crashed past the wall-clock deadline) and were finalized from
+    /// their journals: `sessions` holds only what completed durably.
+    /// Always `false` for a run that finished every session.
+    pub partial: bool,
 }
 
 /// Sample behavior profiles for a population's hosts, deterministically.
@@ -248,6 +320,7 @@ pub fn run_campaign(
         client_ip,
         auth_ip,
         local_hop_ms: 1,
+        budget: config.budget,
     };
 
     // Partition the global session list round-robin, move each shard's
@@ -255,6 +328,7 @@ pub fn run_campaign(
     // authority is shared by reference: `ServerCore::handle` is
     // `&self`-only and synthesizes every answer from the query name.
     let parts = partition(sessions.len(), config.shards);
+    let nshards = parts.len();
     let mut shard_inputs: Vec<Vec<LiveSession>> =
         parts.iter().map(|p| Vec::with_capacity(p.len())).collect();
     {
@@ -267,28 +341,127 @@ pub fn run_campaign(
         }
     }
 
+    // Durability setup: one journal file per shard. A fresh (non-resume)
+    // run resets any leftovers so stale frames cannot leak in.
+    let journal_paths: Option<Vec<PathBuf>> = config.journal_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create journal directory");
+        (0..nshards)
+            .map(|k| journal::shard_journal_path(dir, k))
+            .collect()
+    });
+    if let Some(paths) = &journal_paths {
+        if !config.resume {
+            for path in paths {
+                JournalWriter::create(path).expect("reset journal");
+            }
+        }
+    }
+
     let server_ref = &server;
     let engine_ref = &engine_config;
-    let outputs = run_shards(shard_inputs, move |_, sessions| {
+    let paths_ref = &journal_paths;
+    // Run one shard to completion. `input` carries the shard's prebuilt
+    // sessions on the first attempt; a supervised restart passes `None`
+    // and the sessions are rebuilt from the (deterministic) campaign
+    // config — build order and ids are identical by construction.
+    let run_one = |k: usize, input: Option<Vec<LiveSession>>| -> EngineOutput {
+        let sessions = input.unwrap_or_else(|| {
+            build_sessions(config, pop, profiles, &scheme, &keypair, client_ip)
+                .into_iter()
+                .filter(|s| s.session_id() % nshards == k)
+                .collect()
+        });
         let mut engine = SessionEngine::new(server_ref, engine_ref.clone());
+        let mut skip: HashSet<usize> = HashSet::new();
+        if let Some(paths) = paths_ref {
+            let path = &paths[k];
+            let replay = journal::replay(path);
+            let valid_len = replay.valid_len;
+            skip = replay.completed_ids();
+            engine.seed_replay(replay);
+            let writer = JournalWriter::open_append(path, valid_len, config.fsync_every)
+                .expect("open journal for append");
+            engine.set_journal(writer);
+        }
         for session in sessions {
+            if skip.contains(&session.session_id()) {
+                continue; // already completed and journaled
+            }
             // Stagger session starts by global id, exactly as the
             // single-threaded driver did.
             let start = (session.session_id() as u64) * 7;
             engine.add_session(session, start);
         }
         engine.run()
-    });
+    };
 
-    let mut logs = Vec::with_capacity(outputs.len());
-    let mut per_shard_records = Vec::with_capacity(outputs.len());
-    let mut shard_stats = Vec::with_capacity(outputs.len());
+    // The supervisor: run all pending shards, catch shard-level crashes,
+    // restart crashed shards (from journal) with exponential backoff and
+    // a bounded per-shard restart budget. A shard over budget — or any
+    // crash past the wall-clock deadline — is finalized from whatever
+    // its journal durably holds, and the result is marked partial.
+    let supervisor = config.supervisor;
+    let campaign_start = std::time::Instant::now();
+    let mut outputs: Vec<Option<EngineOutput>> = (0..nshards).map(|_| None).collect();
+    let mut wall_ms = vec![0.0f64; nshards];
+    let mut restarts = vec![0u32; nshards];
+    let mut partial = false;
+    let mut prebuilt: Vec<Option<Vec<LiveSession>>> = shard_inputs.into_iter().map(Some).collect();
+    let mut pending: Vec<usize> = (0..nshards).collect();
+    let mut round = 0u32;
+    while !pending.is_empty() {
+        let batch: Vec<(usize, Option<Vec<LiveSession>>)> =
+            pending.iter().map(|&k| (k, prebuilt[k].take())).collect();
+        let results = run_shards_catch(batch, |_, (k, input)| run_one(k, input));
+        let mut next_pending = Vec::new();
+        for (i, (result, timing)) in results.into_iter().enumerate() {
+            let k = pending[i];
+            wall_ms[k] += timing.wall_ms;
+            match result {
+                Ok(output) => outputs[k] = Some(output),
+                Err(_) => {
+                    restarts[k] += 1;
+                    let deadline_passed = supervisor.wall_deadline_ms > 0
+                        && campaign_start.elapsed().as_millis() as u64
+                            >= supervisor.wall_deadline_ms;
+                    if restarts[k] > supervisor.max_shard_restarts || deadline_passed {
+                        partial = true;
+                        // Finalize from journal: everything the shard
+                        // durably completed still counts. Without a
+                        // journal the shard's work is simply lost.
+                        outputs[k] = paths_ref
+                            .as_ref()
+                            .map(|paths| journal::replay(&paths[k]).into_engine_output());
+                    } else {
+                        next_pending.push(k);
+                    }
+                }
+            }
+        }
+        pending = next_pending;
+        if !pending.is_empty() {
+            let backoff = supervisor
+                .restart_backoff_ms
+                .saturating_mul(1u64 << round.min(6));
+            if backoff > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            round += 1;
+        }
+    }
+
+    let mut logs = Vec::with_capacity(nshards);
+    let mut per_shard_records = Vec::with_capacity(nshards);
+    let mut shard_stats = Vec::with_capacity(nshards);
     let mut events = 0;
     let mut faults = FaultStats::default();
-    for (output, timing) in outputs {
+    for (k, output) in outputs.into_iter().enumerate() {
+        let Some(output) = output else {
+            continue; // journal-less shard lost past its restart budget
+        };
         events += output.stats.events;
         faults.merge(&output.stats.faults);
-        shard_stats.push(ShardStats::new(timing.shard, output.stats, timing.wall_ms));
+        shard_stats.push(ShardStats::new(k, output.stats, wall_ms[k], restarts[k]));
         logs.push(output.log);
         per_shard_records.push(output.records);
     }
@@ -299,6 +472,7 @@ pub fn run_campaign(
         events,
         faults,
         shard_stats,
+        partial,
     }
 }
 
@@ -347,6 +521,7 @@ fn build_sessions(
                         delivery_time_ms: None,
                         closed_by_server: false,
                         error: None,
+                        termination: crate::engine::SessionOutcome::Completed,
                     },
                     client,
                     pop,
@@ -408,6 +583,7 @@ fn build_sessions(
                             delivery_time_ms: None,
                             closed_by_server: false,
                             error: None,
+                            termination: crate::engine::SessionOutcome::Completed,
                         },
                         client,
                         pop,
@@ -513,6 +689,7 @@ mod tests {
             latency: LatencyModel::default(),
             shards: 1,
             faults: FaultConfig::default(),
+            ..Default::default()
         }
     }
 

@@ -3,8 +3,9 @@
 //! authoritative server.
 
 use super::event::Ev;
-use super::session::{LiveSession, SessionRecord};
+use super::session::{LiveSession, SessionOutcome, SessionRecord};
 use crate::apparatus::{QueryLog, QueryRecord, SynthesizingAuthority};
+use crate::journal::{JournalFrame, JournalWriter, Replay};
 use mailval_dns::resolver::ResolveOutcome;
 use mailval_dns::server::{ServerCore, Transport};
 use mailval_mta::actor::{MtaEvent, MtaInput, MtaOutput};
@@ -14,6 +15,32 @@ use mailval_simnet::{
 };
 use mailval_smtp::client::ClientAction;
 use std::net::IpAddr;
+
+/// Per-session runaway limits. A nine-month campaign cannot afford one
+/// pathological session (a retry loop against a profile that tempfails
+/// forever, a stall cascade) holding its shard hostage: the engine
+/// terminates any session that exceeds either limit with
+/// [`SessionOutcome::BudgetExhausted`] and moves on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionBudget {
+    /// Maximum virtual time a session may span, from its start event to
+    /// its latest event, ms. Default: seven virtual days — an order of
+    /// magnitude past the two-week probes' longest legitimate single
+    /// session, far below a runaway loop's reach.
+    pub max_virtual_ms: u64,
+    /// Maximum events dispatched to one session. Default: one million —
+    /// real sessions take tens to hundreds.
+    pub max_events: u64,
+}
+
+impl Default for SessionBudget {
+    fn default() -> Self {
+        SessionBudget {
+            max_virtual_ms: 7 * 24 * 60 * 60 * 1000,
+            max_events: 1_000_000,
+        }
+    }
+}
 
 /// Engine wiring that is identical for every session: the latency model
 /// and the fixed apparatus endpoints.
@@ -31,6 +58,8 @@ pub struct EngineConfig {
     pub auth_ip: IpAddr,
     /// Local validator↔resolver hop, ms.
     pub local_hop_ms: u64,
+    /// Per-session runaway limits.
+    pub budget: SessionBudget,
 }
 
 /// What one engine run produced.
@@ -47,13 +76,17 @@ pub struct EngineOutput {
 /// Lightweight per-engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
-    /// Sessions driven.
+    /// Sessions driven (including sessions replayed from a journal).
     pub sessions: usize,
-    /// Virtual events dispatched.
+    /// Virtual events dispatched to live sessions. Drained stale events
+    /// of already-finished sessions are excluded, which makes the count
+    /// both shard-invariant and resume-invariant (a replayed session
+    /// contributes exactly the events its original run dispatched).
     pub events: u64,
     /// Queries logged at the authoritative server.
     pub queries_logged: u64,
-    /// Final virtual clock value, ms.
+    /// Virtual time of the latest event dispatched to a live session
+    /// (or replayed from a journal), ms.
     pub virtual_ms: u64,
     /// Fault-injection counters (all zero when no faults configured).
     pub faults: FaultStats,
@@ -73,7 +106,18 @@ pub struct SessionEngine<'a> {
     log: QueryLog,
     config: EngineConfig,
     plan: FaultPlan,
-    faults: FaultStats,
+    /// Journal receiving one frame per completed session, when the
+    /// campaign runs with durability enabled.
+    journal: Option<JournalWriter>,
+    /// Records of sessions already completed in a previous run of this
+    /// shard, replayed from its journal (resume).
+    replay_records: Vec<SessionRecord>,
+    replay_faults: FaultStats,
+    replay_events: u64,
+    replay_virtual_ms: u64,
+    /// Sessions completed so far, replayed *plus* live — the cursor the
+    /// deterministic `crash_after_sessions` injection compares against.
+    completed: u64,
 }
 
 impl<'a> SessionEngine<'a> {
@@ -97,8 +141,37 @@ impl<'a> SessionEngine<'a> {
             log: QueryLog::new(),
             config,
             plan,
-            faults: FaultStats::default(),
+            journal: None,
+            replay_records: Vec::new(),
+            replay_faults: FaultStats::default(),
+            replay_events: 0,
+            replay_virtual_ms: 0,
+            completed: 0,
         }
+    }
+
+    /// Attach a journal: every completed session is appended as one
+    /// frame. On resume, attach with `JournalWriter::open_append` at the
+    /// `valid_len` established by the [`Replay`] fed to
+    /// [`SessionEngine::seed_replay`].
+    pub fn set_journal(&mut self, writer: JournalWriter) {
+        self.journal = Some(writer);
+    }
+
+    /// Seed the engine with sessions already completed by a previous run
+    /// of this shard (replayed from its journal). The caller must *not*
+    /// [`SessionEngine::add_session`] those sessions again — use
+    /// [`Replay::completed_ids`] to skip them. The merged output is then
+    /// byte-identical to an uninterrupted run.
+    pub fn seed_replay(&mut self, replay: Replay) {
+        for frame in replay.frames {
+            self.replay_events += frame.events;
+            self.replay_faults.merge(&frame.faults);
+            self.replay_virtual_ms = self.replay_virtual_ms.max(frame.end_ms);
+            self.log.records.extend(frame.queries);
+            self.replay_records.push(frame.record);
+        }
+        self.completed = self.replay_records.len() as u64;
     }
 
     /// Add a session and schedule its connection establishment at
@@ -107,7 +180,7 @@ impl<'a> SessionEngine<'a> {
         let local = self.sessions.len();
         session.record.start_ms = start_ms;
         self.sessions.push(session);
-        self.sim.schedule_at(start_ms, Ev::Start(local));
+        self.sched_at(start_ms, Ev::Start(local));
     }
 
     /// Number of sessions added so far.
@@ -122,43 +195,141 @@ impl<'a> SessionEngine<'a> {
     /// record with an error outcome and stops dispatching to it, instead
     /// of killing the whole shard.
     pub fn run(mut self) -> EngineOutput {
-        while let Some((_, ev)) = self.sim.next() {
+        while let Some((time_ms, ev)) = self.sim.next() {
             let id = ev.session();
-            if self.sessions[id].record.error.is_some() {
-                continue; // poisoned session: drop its remaining events
+            let budget = self.config.budget;
+            {
+                let s = &mut self.sessions[id];
+                if s.done {
+                    continue; // stale event of an already-finished session
+                }
+                s.pending = s.pending.saturating_sub(1);
+                s.last_event_ms = time_ms;
+                let elapsed = time_ms.saturating_sub(s.record.start_ms);
+                if s.events >= budget.max_events || elapsed > budget.max_virtual_ms {
+                    // Checked *before* dispatch and *before* counting the
+                    // event, so a terminated session never exceeds either
+                    // limit.
+                    s.record.termination = SessionOutcome::BudgetExhausted {
+                        virtual_ms: elapsed,
+                        events: s.events,
+                    };
+                    s.stats.budget_exhausted += 1;
+                    self.finish_session(id);
+                    continue;
+                }
+                s.events += 1;
             }
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.dispatch(ev);
             }));
-            if let Err(payload) = result {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "panic".to_string());
-                self.sessions[id].record.error = Some(msg);
-                self.faults.contained_panics += 1;
+            match result {
+                Ok(()) => {
+                    if self.sessions[id].pending == 0 {
+                        self.finish_session(id);
+                    }
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic".to_string());
+                    self.sessions[id].record.error = Some(msg);
+                    self.sessions[id].stats.contained_panics += 1;
+                    self.finish_session(id);
+                }
             }
         }
-        self.faults.client_retries = self
-            .sessions
-            .iter()
-            .filter_map(|s| s.record.outcome.as_ref())
-            .map(|o| u64::from(o.retries))
-            .sum();
+        // The queue is empty, so every session's `pending` hit zero and
+        // was finished above; this sweep only matters for engines run
+        // with zero events (added sessions but a pre-drained clock).
+        for id in 0..self.sessions.len() {
+            if !self.sessions[id].done {
+                self.finish_session(id);
+            }
+        }
+        if let Some(w) = self.journal.as_mut() {
+            let _ = w.sync();
+        }
+        let mut faults = self.replay_faults;
+        let mut events = self.replay_events;
+        let mut virtual_ms = self.replay_virtual_ms;
+        for s in &self.sessions {
+            faults.merge(&s.stats);
+            events += s.events;
+            virtual_ms = virtual_ms.max(s.last_event_ms);
+        }
         let stats = EngineStats {
-            sessions: self.sessions.len(),
-            events: self.sim.dispatched,
+            sessions: self.replay_records.len() + self.sessions.len(),
+            events,
             queries_logged: self.log.records.len() as u64,
-            virtual_ms: self.sim.now_ms(),
-            faults: self.faults,
+            virtual_ms,
+            faults,
         };
         self.log.sort_canonical();
+        let mut records = self.replay_records;
+        records.extend(self.sessions.into_iter().map(|s| s.record));
         EngineOutput {
             log: self.log,
-            records: self.sessions.into_iter().map(|s| s.record).collect(),
+            records,
             stats,
         }
+    }
+
+    /// Mark session `id` finished: fold its retries into its fault
+    /// counters, journal it as one frame, and move its buffered queries
+    /// into the shard log. Fires the deterministic
+    /// `crash_after_sessions` injection once the completion count
+    /// (replayed + live) reaches the configured N — *after* the N-th
+    /// frame is durably journaled, so a resumed run replays exactly N
+    /// sessions and sails past the trigger.
+    fn finish_session(&mut self, id: usize) {
+        let s = &mut self.sessions[id];
+        if s.done {
+            return;
+        }
+        s.done = true;
+        if let Some(outcome) = &s.record.outcome {
+            s.stats.client_retries += u64::from(outcome.retries);
+        }
+        let frame = JournalFrame {
+            record: s.record.clone(),
+            queries: std::mem::take(&mut s.queries),
+            faults: s.stats,
+            events: s.events,
+            end_ms: s.last_event_ms,
+        };
+        if let Some(w) = self.journal.as_mut() {
+            if let Err(e) = w.append(&frame) {
+                // Losing durability mid-campaign is a shard-fatal fault:
+                // better a supervised restart than a journal silently
+                // missing sessions.
+                panic!("journal append failed: {e}");
+            }
+        }
+        self.log.records.extend(frame.queries);
+        self.completed += 1;
+        let crash_after = self.config.faults.crash_after_sessions;
+        if crash_after > 0 && self.completed == crash_after {
+            if let Some(w) = self.journal.as_mut() {
+                let _ = w.sync();
+            }
+            panic!("fault injection: shard crash after {crash_after} completed sessions");
+        }
+    }
+
+    /// Schedule `ev` after `delay_ms`, counting it against its session's
+    /// pending-event balance (completion is `pending == 0`).
+    fn sched(&mut self, delay_ms: u64, ev: Ev) {
+        self.sessions[ev.session()].pending += 1;
+        self.sim.schedule(delay_ms, ev);
+    }
+
+    /// Absolute-time variant of [`SessionEngine::sched`].
+    fn sched_at(&mut self, time_ms: u64, ev: Ev) {
+        self.sessions[ev.session()].pending += 1;
+        self.sim.schedule_at(time_ms, ev);
     }
 
     fn one_way_client(&self, id: usize) -> u64 {
@@ -236,10 +407,14 @@ impl<'a> SessionEngine<'a> {
                 self.handle_mta_outputs(id, outputs);
             }
             Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6) => {
-                // Log with attribution (§4.5).
+                // Log with attribution (§4.5). Buffered on the session
+                // (not the shard log) so a completed session journals as
+                // one self-contained frame; the buffers concatenate into
+                // the shard log at completion and a stable canonical
+                // sort restores the global order.
                 if let Ok(msg) = mailval_dns::Message::from_bytes(&bytes) {
                     if let Some(q) = msg.question() {
-                        self.log.push(QueryRecord {
+                        let record = QueryRecord {
                             time_ms: self.sim.now_ms(),
                             session: self.sessions[id].record.session_id,
                             qname: q.name.clone(),
@@ -247,7 +422,8 @@ impl<'a> SessionEngine<'a> {
                             transport,
                             via_ipv6,
                             attribution: self.server.authority().attribute(&q.name),
-                        });
+                        };
+                        self.sessions[id].queries.push(record);
                     }
                 }
                 if let Some(reply) = self.server.handle(&bytes, transport, via_ipv6) {
@@ -263,40 +439,32 @@ impl<'a> SessionEngine<'a> {
                     };
                     match fate {
                         DatagramFate::Drop => {
-                            self.faults.dns_dropped += 1;
+                            self.sessions[id].stats.dns_dropped += 1;
                             // The armed DnsTimeout will fire the retry.
                         }
                         DatagramFate::Truncate => {
-                            self.faults.dns_truncated += 1;
+                            self.sessions[id].stats.dns_truncated += 1;
                             if let Some(mangled) = mailval_dns::truncate_response(&bytes) {
                                 bytes = mangled;
                             }
-                            self.sim
-                                .schedule(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
+                            self.sched(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
                         }
                         DatagramFate::Duplicate { gap_ms } => {
-                            self.faults.dns_duplicated += 1;
-                            self.sim.schedule(
-                                base,
-                                Ev::DnsReturn(id, core_id, bytes.clone(), via_ipv6),
-                            );
+                            self.sessions[id].stats.dns_duplicated += 1;
+                            self.sched(base, Ev::DnsReturn(id, core_id, bytes.clone(), via_ipv6));
                             // The copy arrives after the original; the
                             // resolver sees it as Idle (lookup settled).
-                            self.sim.schedule(
-                                base + gap_ms,
-                                Ev::DnsReturn(id, core_id, bytes, via_ipv6),
-                            );
+                            self.sched(base + gap_ms, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
                         }
                         DatagramFate::Delay { extra_ms } => {
-                            self.faults.dns_delayed += 1;
-                            self.sim.schedule(
+                            self.sessions[id].stats.dns_delayed += 1;
+                            self.sched(
                                 base + extra_ms,
                                 Ev::DnsReturn(id, core_id, bytes, via_ipv6),
                             );
                         }
                         DatagramFate::Deliver => {
-                            self.sim
-                                .schedule(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
+                            self.sched(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
                         }
                     }
                 }
@@ -358,20 +526,20 @@ impl<'a> SessionEngine<'a> {
                     let delay = self.one_way_client(id) + stall;
                     match self.conn_fault(id) {
                         ConnFault::Reset => {
-                            self.faults.conn_resets += 1;
-                            self.sim.schedule(delay, Ev::ConnReset(id));
+                            self.sessions[id].stats.conn_resets += 1;
+                            self.sched(delay, Ev::ConnReset(id));
                         }
                         ConnFault::Stall { extra_ms } => {
-                            self.faults.conn_stalls += 1;
-                            self.sim.schedule(delay + extra_ms, Ev::ToClient(id, text));
+                            self.sessions[id].stats.conn_stalls += 1;
+                            self.sched(delay + extra_ms, Ev::ToClient(id, text));
                         }
                         ConnFault::Deliver => {
-                            self.sim.schedule(delay, Ev::ToClient(id, text));
+                            self.sched(delay, Ev::ToClient(id, text));
                         }
                     }
                 }
                 MtaOutput::Stall { delay_ms } => {
-                    self.faults.mta_stalls += 1;
+                    self.sessions[id].stats.mta_stalls += 1;
                     self.sessions[id].stall_credit_ms += delay_ms;
                 }
                 MtaOutput::Resolve { qid, name, rtype } => {
@@ -380,7 +548,7 @@ impl<'a> SessionEngine<'a> {
                     self.handle_resolver_event(id, event);
                 }
                 MtaOutput::SetTimer { token, delay_ms } => {
-                    self.sim.schedule(delay_ms, Ev::MtaTimer(id, token));
+                    self.sched(delay_ms, Ev::MtaTimer(id, token));
                 }
                 MtaOutput::Close => {
                     // Propagate the server-initiated disconnect to the
@@ -388,13 +556,13 @@ impl<'a> SessionEngine<'a> {
                     // sorts after, any final reply emitted in the same
                     // output batch).
                     let delay = self.one_way_client(id);
-                    self.sim.schedule(delay, Ev::ServerClosed(id));
+                    self.sched(delay, Ev::ServerClosed(id));
                 }
                 MtaOutput::Event(MtaEvent::MessageAccepted) => {
                     self.sessions[id].record.delivery_time_ms = Some(self.sim.now_ms());
                 }
                 MtaOutput::Event(MtaEvent::TempFailed) => {
-                    self.faults.tempfails += 1;
+                    self.sessions[id].stats.tempfails += 1;
                 }
                 MtaOutput::Event(_) => {}
             }
@@ -405,10 +573,9 @@ impl<'a> SessionEngine<'a> {
         match event {
             ResolverEvent::Finished { qid, outcome } => {
                 if matches!(outcome, ResolveOutcome::Timeout) {
-                    self.faults.dns_timeouts += 1;
+                    self.sessions[id].stats.dns_timeouts += 1;
                 }
-                self.sim
-                    .schedule(self.config.local_hop_ms, Ev::MtaDns(id, qid, outcome));
+                self.sched(self.config.local_hop_ms, Ev::MtaDns(id, qid, outcome));
             }
             ResolverEvent::Send(UpstreamSend {
                 core_id,
@@ -421,8 +588,7 @@ impl<'a> SessionEngine<'a> {
                 // The attempt timeout is ALWAYS armed, whatever happens
                 // to the datagram: a dropped query must trip
                 // `ResolverCore::on_timeout`'s retry machinery.
-                self.sim
-                    .schedule(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
+                self.sched(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
                 // Query-side faults (UDP only; queries can't truncate).
                 let fate = if transport == Transport::Udp {
                     self.datagram_fate(id, false)
@@ -431,29 +597,28 @@ impl<'a> SessionEngine<'a> {
                 };
                 match fate {
                     DatagramFate::Drop => {
-                        self.faults.dns_dropped += 1;
+                        self.sessions[id].stats.dns_dropped += 1;
                     }
                     DatagramFate::Duplicate { gap_ms } => {
-                        self.faults.dns_duplicated += 1;
-                        self.sim.schedule(
+                        self.sessions[id].stats.dns_duplicated += 1;
+                        self.sched(
                             rtt,
                             Ev::DnsArrive(id, core_id, bytes.clone(), transport, via_ipv6),
                         );
-                        self.sim.schedule(
+                        self.sched(
                             rtt + gap_ms,
                             Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6),
                         );
                     }
                     DatagramFate::Delay { extra_ms } => {
-                        self.faults.dns_delayed += 1;
-                        self.sim.schedule(
+                        self.sessions[id].stats.dns_delayed += 1;
+                        self.sched(
                             rtt + extra_ms,
                             Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6),
                         );
                     }
                     DatagramFate::Deliver | DatagramFate::Truncate => {
-                        self.sim
-                            .schedule(rtt, Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6));
+                        self.sched(rtt, Ev::DnsArrive(id, core_id, bytes, transport, via_ipv6));
                     }
                 }
             }
@@ -468,21 +633,21 @@ impl<'a> SessionEngine<'a> {
                 let text = String::from_utf8_lossy(&bytes).into_owned();
                 match self.conn_fault(id) {
                     ConnFault::Reset => {
-                        self.faults.conn_resets += 1;
-                        self.sim.schedule(delay, Ev::ConnReset(id));
+                        self.sessions[id].stats.conn_resets += 1;
+                        self.sched(delay, Ev::ConnReset(id));
                     }
                     ConnFault::Stall { extra_ms } => {
-                        self.faults.conn_stalls += 1;
-                        self.sim.schedule(delay + extra_ms, Ev::ToMta(id, text));
+                        self.sessions[id].stats.conn_stalls += 1;
+                        self.sched(delay + extra_ms, Ev::ToMta(id, text));
                     }
                     ConnFault::Deliver => {
-                        self.sim.schedule(delay, Ev::ToMta(id, text));
+                        self.sched(delay, Ev::ToMta(id, text));
                     }
                 }
             }
             ClientAction::Pause(0) => {}
             ClientAction::Pause(ms) => {
-                self.sim.schedule(ms, Ev::ClientPauseDone(id));
+                self.sched(ms, Ev::ClientPauseDone(id));
             }
             ClientAction::Close(outcome) => {
                 self.sessions[id].record.outcome = Some(*outcome);

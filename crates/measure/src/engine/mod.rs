@@ -18,6 +18,6 @@ mod driver;
 mod event;
 mod session;
 
-pub use driver::{EngineConfig, EngineOutput, EngineStats, SessionEngine};
+pub use driver::{EngineConfig, EngineOutput, EngineStats, SessionBudget, SessionEngine};
 pub use event::Ev;
-pub use session::{LiveSession, SessionRecord};
+pub use session::{LiveSession, SessionOutcome, SessionRecord};

@@ -308,6 +308,7 @@ mod tests {
                 latency: LatencyModel::default(),
                 shards: 1,
                 faults: mailval_simnet::FaultConfig::default(),
+                ..CampaignConfig::default()
             },
             &pop,
             &profiles,

@@ -1,0 +1,897 @@
+//! Durable, append-only session journals for crash/resume campaigns.
+//!
+//! The paper's measurement ran for nine months (§4, §6); at that
+//! horizon the apparatus must survive process death without losing
+//! completed work. Each shard of a campaign appends one **frame** per
+//! completed session to its own journal file:
+//!
+//! ```text
+//! file   := magic frames*
+//! magic  := "MVALJNL1"                      (8 bytes)
+//! frame  := len:u32le crc:u32le payload     (crc = CRC-32/IEEE of payload)
+//! ```
+//!
+//! The payload is a self-contained binary encoding of everything the
+//! merged [`crate::campaign::CampaignResult`] needs from that session:
+//! the [`SessionRecord`], the session's query-log entries, its fault
+//! counters, its dispatched-event count and its final virtual time. On
+//! resume, [`replay`] walks the file, drops the first frame whose
+//! length, checksum or payload fails to verify **and everything after
+//! it** (a torn tail is re-run, never trusted), and the engine skips
+//! the surviving sessions — producing output byte-identical to an
+//! uninterrupted run.
+//!
+//! Durability discipline: every append is flushed to the file (a
+//! crashed *process* loses at most nothing), and the file is fsync'd
+//! every [`JournalWriter`] `fsync_every` frames (a crashed *machine*
+//! loses at most the unsynced suffix, which replay then re-runs).
+
+use crate::apparatus::{Attribution, QueryLog, QueryRecord};
+use crate::engine::{EngineOutput, EngineStats, SessionOutcome, SessionRecord};
+use mailval_dns::rr::RecordType;
+use mailval_dns::server::Transport;
+use mailval_dns::Name;
+use mailval_simnet::FaultStats;
+use mailval_smtp::client::{ClientOutcome, Phase};
+use mailval_smtp::reply::Reply;
+use mailval_smtp::EmailAddress;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a mailval journal, version 1.
+pub const MAGIC: [u8; 8] = *b"MVALJNL1";
+/// Frames synced to disk between fsyncs, by default.
+pub const DEFAULT_FSYNC_EVERY: u64 = 64;
+/// Upper bound on one frame's payload length; anything larger in a
+/// length prefix is treated as tail corruption, not an allocation.
+const MAX_FRAME_LEN: u32 = 64 << 20;
+const HEADER_LEN: u64 = MAGIC.len() as u64;
+
+/// CRC-32 (IEEE 802.3, reflected, the zlib/`cksum -o3` polynomial) of
+/// `data`. Bitwise, no table: journal frames are small and few.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One journal frame: the durable remains of one completed session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalFrame {
+    /// The completed session's record.
+    pub record: SessionRecord,
+    /// Query-log entries the session's resolver generated, in dispatch
+    /// order (re-sorted canonically at merge time).
+    pub queries: Vec<QueryRecord>,
+    /// The session's fault counters.
+    pub faults: FaultStats,
+    /// Events dispatched to the session.
+    pub events: u64,
+    /// Virtual time of the session's last event, ms.
+    pub end_ms: u64,
+}
+
+/// Why a frame payload failed to decode. Replay treats any of these as
+/// tail corruption (drop the frame and everything after it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Payload ended early.
+    Truncated,
+    /// Payload has bytes left over after the frame decoded.
+    Trailing,
+    /// An enum tag byte was out of range.
+    BadTag,
+    /// A string was not valid UTF-8.
+    BadString,
+    /// A DNS name failed to re-parse.
+    BadName,
+    /// A test id not present in [`crate::policies::ALL_TESTS`].
+    UnknownTest,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            FrameError::Truncated => "frame payload truncated",
+            FrameError::Trailing => "frame payload has trailing bytes",
+            FrameError::BadTag => "bad enum tag",
+            FrameError::BadString => "invalid UTF-8 string",
+            FrameError::BadName => "unparseable DNS name",
+            FrameError::UnknownTest => "unknown test id",
+        };
+        write!(f, "{what}")
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn boolean(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn size(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn opt<T>(&mut self, v: Option<&T>, mut put: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(inner) => {
+                self.u8(1);
+                put(self, inner);
+            }
+        }
+    }
+}
+
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.data.len() {
+            return Err(FrameError::Truncated);
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+    fn boolean(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(FrameError::BadTag),
+        }
+    }
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn size(&mut self) -> Result<usize, FrameError> {
+        usize::try_from(self.u64()?).map_err(|_| FrameError::Truncated)
+    }
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadString)
+    }
+    fn opt<T>(
+        &mut self,
+        mut get: impl FnMut(&mut Self) -> Result<T, FrameError>,
+    ) -> Result<Option<T>, FrameError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(get(self)?)),
+            _ => Err(FrameError::BadTag),
+        }
+    }
+    fn finished(&self) -> Result<(), FrameError> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Trailing)
+        }
+    }
+}
+
+fn phase_to_u8(p: Phase) -> u8 {
+    match p {
+        Phase::Greeting => 0,
+        Phase::Helo => 1,
+        Phase::Mail => 2,
+        Phase::Rcpt => 3,
+        Phase::Data => 4,
+        Phase::Message => 5,
+        Phase::Quit => 6,
+    }
+}
+
+fn phase_from_u8(v: u8) -> Result<Phase, FrameError> {
+    Ok(match v {
+        0 => Phase::Greeting,
+        1 => Phase::Helo,
+        2 => Phase::Mail,
+        3 => Phase::Rcpt,
+        4 => Phase::Data,
+        5 => Phase::Message,
+        6 => Phase::Quit,
+        _ => return Err(FrameError::BadTag),
+    })
+}
+
+fn put_name(enc: &mut Enc, name: &Name) {
+    enc.str(&name.to_string());
+}
+
+fn get_name(dec: &mut Dec<'_>) -> Result<Name, FrameError> {
+    Name::parse(&dec.str()?).map_err(|_| FrameError::BadName)
+}
+
+fn put_reply(enc: &mut Enc, reply: &Reply) {
+    enc.u16(reply.code);
+    enc.u32(reply.lines.len() as u32);
+    for line in &reply.lines {
+        enc.str(line);
+    }
+}
+
+fn get_reply(dec: &mut Dec<'_>) -> Result<Reply, FrameError> {
+    let code = dec.u16()?;
+    let n = dec.u32()? as usize;
+    let mut lines = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        lines.push(dec.str()?);
+    }
+    Ok(Reply { code, lines })
+}
+
+fn put_address(enc: &mut Enc, addr: &EmailAddress) {
+    enc.str(&addr.local);
+    put_name(enc, &addr.domain);
+}
+
+fn get_address(dec: &mut Dec<'_>) -> Result<EmailAddress, FrameError> {
+    let local = dec.str()?;
+    let domain = get_name(dec)?;
+    Ok(EmailAddress::new(&local, domain))
+}
+
+fn put_outcome(enc: &mut Enc, o: &ClientOutcome) {
+    enc.u8(phase_to_u8(o.phase_reached));
+    enc.opt(o.accepted_rcpt.as_ref(), put_address);
+    enc.boolean(o.delivered);
+    enc.opt(o.rejection.as_ref(), |e, (phase, reply)| {
+        e.u8(phase_to_u8(*phase));
+        put_reply(e, reply);
+    });
+    enc.u32(o.retries);
+    enc.u32(o.transcript.len() as u32);
+    for (phase, reply) in &o.transcript {
+        enc.u8(phase_to_u8(*phase));
+        put_reply(enc, reply);
+    }
+}
+
+fn get_outcome(dec: &mut Dec<'_>) -> Result<ClientOutcome, FrameError> {
+    let phase_reached = phase_from_u8(dec.u8()?)?;
+    let accepted_rcpt = dec.opt(get_address)?;
+    let delivered = dec.boolean()?;
+    let rejection = dec.opt(|d| {
+        let phase = phase_from_u8(d.u8()?)?;
+        let reply = get_reply(d)?;
+        Ok((phase, reply))
+    })?;
+    let retries = dec.u32()?;
+    let n = dec.u32()? as usize;
+    let mut transcript = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let phase = phase_from_u8(dec.u8()?)?;
+        transcript.push((phase, get_reply(dec)?));
+    }
+    Ok(ClientOutcome {
+        phase_reached,
+        accepted_rcpt,
+        delivered,
+        rejection,
+        retries,
+        transcript,
+    })
+}
+
+fn put_record(enc: &mut Enc, r: &SessionRecord) {
+    enc.size(r.session_id);
+    enc.size(r.host_index);
+    enc.size(r.domain_index);
+    enc.opt(r.testid.as_ref(), |e, t| e.str(t));
+    enc.u64(r.start_ms);
+    enc.opt(r.outcome.as_ref(), put_outcome);
+    enc.opt(r.delivery_time_ms.as_ref(), |e, &t| e.u64(t));
+    enc.boolean(r.closed_by_server);
+    enc.opt(r.error.as_ref(), |e, s| e.str(s));
+    match r.termination {
+        SessionOutcome::Completed => enc.u8(0),
+        SessionOutcome::BudgetExhausted { virtual_ms, events } => {
+            enc.u8(1);
+            enc.u64(virtual_ms);
+            enc.u64(events);
+        }
+    }
+}
+
+fn get_record(dec: &mut Dec<'_>) -> Result<SessionRecord, FrameError> {
+    let session_id = dec.size()?;
+    let host_index = dec.size()?;
+    let domain_index = dec.size()?;
+    let testid = match dec.opt(|d| d.str())? {
+        None => None,
+        Some(id) => Some(
+            crate::policies::test_by_id(&id)
+                .ok_or(FrameError::UnknownTest)?
+                .id,
+        ),
+    };
+    let start_ms = dec.u64()?;
+    let outcome = dec.opt(get_outcome)?;
+    let delivery_time_ms = dec.opt(|d| d.u64())?;
+    let closed_by_server = dec.boolean()?;
+    let error = dec.opt(|d| d.str())?;
+    let termination = match dec.u8()? {
+        0 => SessionOutcome::Completed,
+        1 => SessionOutcome::BudgetExhausted {
+            virtual_ms: dec.u64()?,
+            events: dec.u64()?,
+        },
+        _ => return Err(FrameError::BadTag),
+    };
+    Ok(SessionRecord {
+        session_id,
+        host_index,
+        domain_index,
+        testid,
+        start_ms,
+        outcome,
+        delivery_time_ms,
+        closed_by_server,
+        error,
+        termination,
+    })
+}
+
+fn put_query(enc: &mut Enc, q: &QueryRecord) {
+    enc.u64(q.time_ms);
+    enc.size(q.session);
+    put_name(enc, &q.qname);
+    enc.u16(q.qtype.code());
+    enc.u8(match q.transport {
+        Transport::Udp => 0,
+        Transport::Tcp => 1,
+    });
+    enc.boolean(q.via_ipv6);
+    enc.opt(q.attribution.as_ref(), |e, a| {
+        e.opt(a.testid.as_ref(), |e, s| e.str(s));
+        e.opt(a.host_index.as_ref(), |e, &v| e.size(v));
+        e.opt(a.domain_index.as_ref(), |e, &v| e.size(v));
+        e.u32(a.path.len() as u32);
+        for label in &a.path {
+            e.str(label);
+        }
+    });
+}
+
+fn get_query(dec: &mut Dec<'_>) -> Result<QueryRecord, FrameError> {
+    let time_ms = dec.u64()?;
+    let session = dec.size()?;
+    let qname = get_name(dec)?;
+    let qtype = RecordType::from_code(dec.u16()?);
+    let transport = match dec.u8()? {
+        0 => Transport::Udp,
+        1 => Transport::Tcp,
+        _ => return Err(FrameError::BadTag),
+    };
+    let via_ipv6 = dec.boolean()?;
+    let attribution = dec.opt(|d| {
+        let testid = d.opt(|d| d.str())?;
+        let host_index = d.opt(|d| d.size())?;
+        let domain_index = d.opt(|d| d.size())?;
+        let n = d.u32()? as usize;
+        let mut path = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            path.push(d.str()?);
+        }
+        Ok(Attribution {
+            testid,
+            host_index,
+            domain_index,
+            path,
+        })
+    })?;
+    Ok(QueryRecord {
+        time_ms,
+        session,
+        qname,
+        qtype,
+        transport,
+        via_ipv6,
+        attribution,
+    })
+}
+
+fn put_faults(enc: &mut Enc, f: &FaultStats) {
+    for v in [
+        f.dns_dropped,
+        f.dns_duplicated,
+        f.dns_delayed,
+        f.dns_truncated,
+        f.dns_timeouts,
+        f.conn_resets,
+        f.conn_stalls,
+        f.mta_stalls,
+        f.tempfails,
+        f.client_retries,
+        f.contained_panics,
+        f.budget_exhausted,
+    ] {
+        enc.u64(v);
+    }
+}
+
+fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
+    Ok(FaultStats {
+        dns_dropped: dec.u64()?,
+        dns_duplicated: dec.u64()?,
+        dns_delayed: dec.u64()?,
+        dns_truncated: dec.u64()?,
+        dns_timeouts: dec.u64()?,
+        conn_resets: dec.u64()?,
+        conn_stalls: dec.u64()?,
+        mta_stalls: dec.u64()?,
+        tempfails: dec.u64()?,
+        client_retries: dec.u64()?,
+        contained_panics: dec.u64()?,
+        budget_exhausted: dec.u64()?,
+    })
+}
+
+/// Serialize one frame's payload (length/checksum framing excluded).
+pub fn encode_frame(frame: &JournalFrame) -> Vec<u8> {
+    let mut enc = Enc::default();
+    put_record(&mut enc, &frame.record);
+    enc.u32(frame.queries.len() as u32);
+    for q in &frame.queries {
+        put_query(&mut enc, q);
+    }
+    put_faults(&mut enc, &frame.faults);
+    enc.u64(frame.events);
+    enc.u64(frame.end_ms);
+    enc.0
+}
+
+/// Deserialize one frame payload; the whole payload must be consumed.
+pub fn decode_frame(payload: &[u8]) -> Result<JournalFrame, FrameError> {
+    let mut dec = Dec::new(payload);
+    let record = get_record(&mut dec)?;
+    let n = dec.u32()? as usize;
+    let mut queries = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        queries.push(get_query(&mut dec)?);
+    }
+    let faults = get_faults(&mut dec)?;
+    let events = dec.u64()?;
+    let end_ms = dec.u64()?;
+    dec.finished()?;
+    Ok(JournalFrame {
+        record,
+        queries,
+        faults,
+        events,
+        end_ms,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends checksummed frames to a journal file.
+///
+/// Every append is written through to the file immediately (a process
+/// crash after `append` returns loses nothing); `sync_data` is invoked
+/// every `fsync_every` appends (and on [`JournalWriter::sync`]) to
+/// bound what an OS crash can lose.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    fsync_every: u64,
+    appended_since_sync: u64,
+}
+
+impl JournalWriter {
+    /// Create (or reset) the journal at `path`: the file is truncated
+    /// to an empty journal containing only the magic header.
+    pub fn create(path: &Path) -> io::Result<JournalWriter> {
+        JournalWriter::open_append(path, 0, DEFAULT_FSYNC_EVERY)
+    }
+
+    /// Open `path` for appending after a [`replay`] established that
+    /// its first `valid_len` bytes hold intact frames. The file is
+    /// truncated to that prefix (a torn tail must not survive — the
+    /// sessions it held are re-run and re-journaled), or initialized
+    /// with the magic header when no valid prefix exists.
+    pub fn open_append(path: &Path, valid_len: u64, fsync_every: u64) -> io::Result<JournalWriter> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if valid_len < HEADER_LEN {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&MAGIC)?;
+        } else {
+            file.set_len(valid_len)?;
+            file.seek(SeekFrom::Start(valid_len))?;
+        }
+        Ok(JournalWriter {
+            file,
+            fsync_every,
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Append one frame: `[len][crc32][payload]`, written in a single
+    /// `write_all`, flushed through to the file.
+    pub fn append(&mut self, frame: &JournalFrame) -> io::Result<()> {
+        let payload = encode_frame(frame);
+        let mut bytes = Vec::with_capacity(8 + payload.len());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        self.file.write_all(&bytes)?;
+        self.appended_since_sync += 1;
+        if self.fsync_every > 0 && self.appended_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force the journal to stable storage (`fdatasync`).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.appended_since_sync = 0;
+        self.file.sync_data()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// The verified contents of one shard's journal.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Intact frames, in append order, deduplicated by session id (the
+    /// first occurrence wins; later duplicates can only come from a
+    /// writer that crashed between append and supervisor restart
+    /// bookkeeping, and re-ran the session identically).
+    pub frames: Vec<JournalFrame>,
+    /// Byte length of the verified prefix (header + intact frames).
+    /// [`JournalWriter::open_append`] truncates to this before resuming.
+    pub valid_len: u64,
+    /// Bytes dropped behind the verified prefix (torn/corrupt tail).
+    pub dropped_bytes: u64,
+}
+
+impl Replay {
+    /// Session ids whose frames survived verification; the engine skips
+    /// these on resume.
+    pub fn completed_ids(&self) -> HashSet<usize> {
+        self.frames.iter().map(|f| f.record.session_id).collect()
+    }
+
+    /// Reconstruct a shard's [`EngineOutput`] from its journal alone —
+    /// the salvage path when a shard exhausts its restart budget and
+    /// the journaled prefix is all that survives of it.
+    pub fn into_engine_output(self) -> EngineOutput {
+        let mut log = QueryLog::new();
+        let mut records = Vec::with_capacity(self.frames.len());
+        let mut faults = FaultStats::default();
+        let mut events = 0u64;
+        let mut virtual_ms = 0u64;
+        for frame in self.frames {
+            events += frame.events;
+            faults.merge(&frame.faults);
+            virtual_ms = virtual_ms.max(frame.end_ms);
+            log.records.extend(frame.queries);
+            records.push(frame.record);
+        }
+        log.sort_canonical();
+        let stats = EngineStats {
+            sessions: records.len(),
+            events,
+            queries_logged: log.records.len() as u64,
+            virtual_ms,
+            faults,
+        };
+        EngineOutput {
+            log,
+            records,
+            stats,
+        }
+    }
+}
+
+/// Read and verify a journal. Never fails: a missing file, a bad
+/// header, or a torn/corrupt tail all just shorten the verified prefix
+/// (the sessions behind it will be re-run). Corruption is detected by
+/// the per-frame CRC-32, a length prefix running past the end of file
+/// (or past [`MAX_FRAME_LEN`]), or a payload that does not decode.
+pub fn replay(path: &Path) -> Replay {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(_) => return Replay::default(),
+    };
+    if data.len() < HEADER_LEN as usize || data[..HEADER_LEN as usize] != MAGIC {
+        return Replay {
+            frames: Vec::new(),
+            valid_len: 0,
+            dropped_bytes: data.len() as u64,
+        };
+    }
+    let mut frames = Vec::new();
+    let mut seen = HashSet::new();
+    let mut pos = HEADER_LEN as usize;
+    while let Some(header) = data.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4"));
+        if len > MAX_FRAME_LEN {
+            break;
+        }
+        let Some(payload) = data.get(pos + 8..pos + 8 + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(frame) = decode_frame(payload) else {
+            break;
+        };
+        if seen.insert(frame.record.session_id) {
+            frames.push(frame);
+        }
+        pos += 8 + len as usize;
+    }
+    Replay {
+        frames,
+        valid_len: pos as u64,
+        dropped_bytes: (data.len() - pos) as u64,
+    }
+}
+
+/// The canonical journal path for shard `shard` under `dir`.
+pub fn shard_journal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.jrnl"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame(session_id: usize) -> JournalFrame {
+        let name = Name::parse("t01.m5.spf.dns-lab.org").unwrap();
+        let reply = Reply::multiline(451, vec!["greylisted,".into(), "try later".into()]);
+        let outcome = ClientOutcome {
+            phase_reached: Phase::Rcpt,
+            accepted_rcpt: Some(EmailAddress::new(
+                "operator",
+                Name::parse("example.org").unwrap(),
+            )),
+            delivered: false,
+            rejection: Some((Phase::Rcpt, reply.clone())),
+            retries: 2,
+            transcript: vec![
+                (Phase::Greeting, Reply::greeting("mx.test")),
+                (Phase::Rcpt, reply),
+            ],
+        };
+        JournalFrame {
+            record: SessionRecord {
+                session_id,
+                host_index: 5,
+                domain_index: 7,
+                testid: Some(crate::policies::ALL_TESTS[0].id),
+                start_ms: 35,
+                outcome: Some(outcome),
+                delivery_time_ms: Some(90_000),
+                closed_by_server: true,
+                error: Some("contained: poisoned MTA profile".into()),
+                termination: SessionOutcome::BudgetExhausted {
+                    virtual_ms: 604_800_001,
+                    events: 17,
+                },
+            },
+            queries: vec![QueryRecord {
+                time_ms: 120,
+                session: session_id,
+                qname: name,
+                qtype: RecordType::Txt,
+                transport: Transport::Tcp,
+                via_ipv6: true,
+                attribution: Some(Attribution {
+                    testid: Some("t01".into()),
+                    host_index: Some(5),
+                    domain_index: None,
+                    path: vec!["l2".into(), "l1".into()],
+                }),
+            }],
+            faults: FaultStats {
+                dns_dropped: 3,
+                tempfails: 1,
+                budget_exhausted: 1,
+                ..Default::default()
+            },
+            events: 17,
+            end_ms: 604_800_036,
+        }
+    }
+
+    fn temp_journal(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mailval-journal-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}.jrnl"))
+    }
+
+    #[test]
+    fn frame_payload_roundtrips() {
+        let frame = sample_frame(42);
+        let payload = encode_frame(&frame);
+        assert_eq!(decode_frame(&payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn frame_decode_rejects_any_truncation() {
+        let payload = encode_frame(&sample_frame(1));
+        for cut in 0..payload.len() {
+            assert!(decode_frame(&payload[..cut]).is_err(), "cut={cut}");
+        }
+        let mut extended = payload;
+        extended.push(0);
+        assert_eq!(decode_frame(&extended), Err(FrameError::Trailing));
+    }
+
+    #[test]
+    fn write_then_replay_roundtrips() {
+        let path = temp_journal("roundtrip");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for id in 0..5 {
+            w.append(&sample_frame(id)).unwrap();
+        }
+        w.sync().unwrap();
+        let replayed = replay(&path);
+        assert_eq!(replayed.frames.len(), 5);
+        assert_eq!(replayed.dropped_bytes, 0);
+        assert_eq!(replayed.valid_len, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(replayed.frames[3], sample_frame(3));
+        assert_eq!(replayed.completed_ids(), (0..5).collect::<HashSet<usize>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_is_dropped_not_fatal() {
+        let path = temp_journal("corrupt-tail");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for id in 0..4 {
+            w.append(&sample_frame(id)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Flip one byte inside the last frame's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let replayed = replay(&path);
+        assert_eq!(replayed.frames.len(), 3, "corrupt last frame dropped");
+        assert!(replayed.dropped_bytes > 0);
+        // Resume writing after the valid prefix: the torn tail is gone.
+        let valid_len = replayed.valid_len;
+        let mut w = JournalWriter::open_append(&path, valid_len, 1).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), valid_len);
+        w.append(&sample_frame(99)).unwrap();
+        let ids = replay(&path).completed_ids();
+        assert_eq!(ids, HashSet::from([0, 1, 2, 99]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_dropped() {
+        let path = temp_journal("torn");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for id in 0..3 {
+            w.append(&sample_frame(id)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop the file mid-way through the last frame.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let replayed = replay(&path);
+        assert_eq!(replayed.frames.len(), 2);
+        assert!(replayed.dropped_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_means_empty_journal() {
+        let path = temp_journal("bad-magic");
+        std::fs::write(&path, b"NOTAJRNLgarbage").unwrap();
+        let replayed = replay(&path);
+        assert!(replayed.frames.is_empty());
+        assert_eq!(replayed.valid_len, 0);
+        // open_append rewrites a fresh header over it.
+        drop(JournalWriter::open_append(&path, 0, 16).unwrap());
+        assert_eq!(std::fs::read(&path).unwrap(), MAGIC);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_journal() {
+        let replayed = replay(Path::new("/nonexistent/journal.jrnl"));
+        assert!(replayed.frames.is_empty());
+        assert_eq!(replayed.valid_len, 0);
+    }
+
+    #[test]
+    fn salvage_reconstructs_engine_output() {
+        let frames = vec![sample_frame(3), sample_frame(1)];
+        let replayed = Replay {
+            frames,
+            valid_len: 0,
+            dropped_bytes: 0,
+        };
+        let out = replayed.into_engine_output();
+        assert_eq!(out.stats.sessions, 2);
+        assert_eq!(out.stats.events, 34);
+        assert_eq!(out.stats.queries_logged, 2);
+        assert_eq!(out.stats.virtual_ms, 604_800_036);
+        assert_eq!(out.stats.faults.dns_dropped, 6);
+        assert_eq!(out.records.len(), 2);
+        // The salvaged log is canonical: sorted by (time_ms, session).
+        assert_eq!(out.log.records[0].session, 1);
+        assert_eq!(out.log.records[1].session, 3);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 test vectors ("check" values).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+}

@@ -26,7 +26,11 @@
 //! * [`campaign`] — orchestration of the three campaigns: NotifyEmail
 //!   (real deliveries, Exim-like client), NotifyMX and TwoWeekMX (probe
 //!   client with 15 s sleeps, aborted before DATA), fanned out over
-//!   shard worker threads against the one shared authority.
+//!   shard worker threads against the one shared authority, supervised
+//!   with bounded shard restarts and a wall-clock deadline.
+//! * [`journal`] — durable per-shard session journals: append-only,
+//!   checksummed frames that let an interrupted campaign resume with
+//!   byte-identical output instead of restarting from zero.
 //! * [`analysis`] — classification of raw observations into the paper's
 //!   tables: validation combos (Table 4), validating counts and deciles
 //!   (Table 5), providers (Table 6), Alexa tiers (Table 7), SPF-vs-
@@ -44,6 +48,7 @@ pub mod apparatus;
 pub mod campaign;
 pub mod engine;
 pub mod fingerprint;
+pub mod journal;
 pub mod names;
 pub mod policies;
 pub mod report;
@@ -52,9 +57,10 @@ pub mod shard;
 pub use apparatus::{Attribution, QueryLog, QueryRecord, SynthesizingAuthority};
 pub use campaign::{
     drift_profiles, run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
-    CampaignResult,
+    CampaignResult, SupervisorConfig,
 };
-pub use engine::{EngineConfig, SessionEngine, SessionRecord};
+pub use engine::{EngineConfig, SessionBudget, SessionEngine, SessionOutcome, SessionRecord};
+pub use journal::{JournalFrame, JournalWriter, Replay};
 pub use names::NameScheme;
 pub use policies::{TestPolicyId, ALL_TESTS};
 pub use shard::ShardStats;

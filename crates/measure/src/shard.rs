@@ -38,11 +38,15 @@ pub struct ShardStats {
     pub wall_ms: f64,
     /// Injected-fault and recovery counters for this shard's sessions.
     pub faults: FaultStats,
+    /// Times the supervisor restarted this shard after a crash (0 for
+    /// an undisturbed run).
+    pub restarts: u32,
 }
 
 impl ShardStats {
-    /// Combine engine counters with the runner's wall-clock timing.
-    pub fn new(shard: usize, stats: EngineStats, wall_ms: f64) -> ShardStats {
+    /// Combine engine counters with the runner's wall-clock timing and
+    /// the supervisor's restart count.
+    pub fn new(shard: usize, stats: EngineStats, wall_ms: f64, restarts: u32) -> ShardStats {
         ShardStats {
             shard,
             sessions: stats.sessions,
@@ -51,6 +55,7 @@ impl ShardStats {
             virtual_ms: stats.virtual_ms,
             wall_ms,
             faults: stats.faults,
+            restarts,
         }
     }
 }
@@ -116,6 +121,7 @@ mod tests {
             delivery_time_ms: None,
             closed_by_server: false,
             error: None,
+            termination: crate::engine::SessionOutcome::Completed,
         };
         let merged =
             merge_session_records(vec![vec![rec(0), rec(2), rec(4)], vec![rec(1), rec(3)]]);

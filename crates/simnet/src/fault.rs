@@ -50,6 +50,15 @@ pub struct FaultConfig {
     pub conn_stall_ms: u64,
     /// Seed mixed into every fate decision (fork of the campaign seed).
     pub seed: u64,
+    /// Deterministic *shard-level* crash injection (supervisor testing):
+    /// when nonzero, the engine panics immediately after durably
+    /// journaling its N-th completed session. Unlike the per-session
+    /// faults above this is not contained by the engine — it kills the
+    /// whole shard, which is the point: the campaign supervisor must
+    /// restart the shard from its journal. Replayed sessions count
+    /// toward N, so a resumed shard that has already completed N
+    /// sessions runs to the end instead of crash-looping.
+    pub crash_after_sessions: u64,
 }
 
 /// The fate of one UDP datagram crossing the virtual wire.
@@ -129,6 +138,9 @@ pub struct FaultStats {
     pub client_retries: u64,
     /// Session panics contained by the engine (`catch_unwind`).
     pub contained_panics: u64,
+    /// Sessions terminated for exceeding their virtual-time or
+    /// dispatched-event budget (`SessionOutcome::BudgetExhausted`).
+    pub budget_exhausted: u64,
 }
 
 impl FaultStats {
@@ -145,6 +157,7 @@ impl FaultStats {
         self.tempfails += other.tempfails;
         self.client_retries += other.client_retries;
         self.contained_panics += other.contained_panics;
+        self.budget_exhausted += other.budget_exhausted;
     }
 
     /// True when any wire-level fault fired (injection diagnostics).
@@ -341,6 +354,7 @@ mod tests {
             conn_stall_probability: 0.1,
             conn_stall_ms: 500,
             seed: 9,
+            ..Default::default()
         };
         let plan = FaultPlan::new(config, lossy(0.1));
 

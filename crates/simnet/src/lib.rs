@@ -33,5 +33,5 @@ pub mod sim;
 pub use fault::{ConnFault, DatagramFate, FaultConfig, FaultCursor, FaultPlan, FaultStats};
 pub use net::LatencyModel;
 pub use rng::SimRng;
-pub use shard::{run_shards, ShardTiming};
+pub use shard::{run_shards, run_shards_catch, ShardTiming};
 pub use sim::Simulator;

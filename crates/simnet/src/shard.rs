@@ -33,9 +33,30 @@ where
     O: Send,
     F: Fn(usize, I) -> O + Sync,
 {
+    run_shards_catch(inputs, work)
+        .into_iter()
+        .map(|(result, timing)| match result {
+            Ok(output) => (output, timing),
+            Err(msg) => panic!("shard worker panicked: {msg}"),
+        })
+        .collect()
+}
+
+/// Like [`run_shards`], but a panicking worker is *caught* and surfaced
+/// as an `Err` carrying the panic payload's message instead of taking
+/// the caller down. Supervisors use this to restart individual shards
+/// (e.g. from a journal) while the surviving shards' outputs stand.
+/// `ShardTiming` covers the time up to the panic for failed workers.
+pub fn run_shards_catch<I, O, F>(inputs: Vec<I>, work: F) -> Vec<(Result<O, String>, ShardTiming)>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
     let timed = |shard: usize, input: I, work: &F| {
         let started = std::time::Instant::now();
-        let output = work(shard, input);
+        let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(shard, input)))
+            .map_err(|payload| panic_message(payload.as_ref()));
         let timing = ShardTiming {
             shard,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -58,9 +79,19 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| h.join().expect("shard worker double-panicked"))
             .collect()
     })
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` payloads cover `panic!`; anything else becomes `"panic"`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic".to_string())
 }
 
 #[cfg(test)]
@@ -95,5 +126,29 @@ mod tests {
     fn empty_input_is_empty_output() {
         let out: Vec<(u8, ShardTiming)> = run_shards(Vec::<u8>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn catch_surfaces_one_panic_without_killing_the_rest() {
+        let out = run_shards_catch(vec![0u32, 1, 2, 3], |_, v| {
+            if v == 2 {
+                panic!("shard {v} exploded");
+            }
+            v * 10
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].0, Ok(0));
+        assert_eq!(out[1].0, Ok(10));
+        assert_eq!(out[2].0, Err("shard 2 exploded".to_string()));
+        assert_eq!(out[3].0, Ok(30));
+        for (i, (_, t)) in out.iter().enumerate() {
+            assert_eq!(t.shard, i);
+        }
+    }
+
+    #[test]
+    fn catch_works_on_the_inline_single_shard_path() {
+        let out = run_shards_catch(vec![()], |_, ()| -> u8 { panic!("inline boom") });
+        assert_eq!(out[0].0, Err("inline boom".to_string()));
     }
 }

@@ -113,6 +113,15 @@ impl fmt::Display for Reply {
     }
 }
 
+/// Maximum accepted reply-line length, bytes, excluding CRLF (RFC 5321
+/// §4.5.3.1.5 sets the reply-line limit at 512 octets *including* CRLF;
+/// we allow the full 512 after stripping it, a hair permissive).
+pub const MAX_REPLY_LINE_LEN: usize = 512;
+/// Maximum continuation lines accepted in one multiline reply. The RFC
+/// sets no bound; real EHLO responses stay in the tens, and without a
+/// cap a hostile server can grow the parser's buffer without limit.
+pub const MAX_REPLY_LINES: usize = 64;
+
 /// Incremental parser assembling (possibly multiline) replies from lines.
 #[derive(Debug, Default)]
 pub struct ReplyParser {
@@ -127,6 +136,10 @@ pub enum ReplyParseError {
     BadFormat,
     /// Continuation line code differs from the first line's code.
     CodeMismatch,
+    /// Line longer than [`MAX_REPLY_LINE_LEN`] bytes.
+    LineTooLong,
+    /// More than [`MAX_REPLY_LINES`] lines in one multiline reply.
+    TooManyLines,
 }
 
 impl fmt::Display for ReplyParseError {
@@ -134,6 +147,12 @@ impl fmt::Display for ReplyParseError {
         match self {
             ReplyParseError::BadFormat => write!(f, "malformed reply line"),
             ReplyParseError::CodeMismatch => write!(f, "continuation code mismatch"),
+            ReplyParseError::LineTooLong => {
+                write!(f, "reply line over {MAX_REPLY_LINE_LEN} bytes")
+            }
+            ReplyParseError::TooManyLines => {
+                write!(f, "multiline reply over {MAX_REPLY_LINES} lines")
+            }
         }
     }
 }
@@ -148,27 +167,40 @@ impl ReplyParser {
 
     /// Feed one line (without CRLF). Returns `Some(reply)` when a complete
     /// reply has been assembled.
+    ///
+    /// Any error discards the partially-assembled reply and resets the
+    /// parser — in particular the [`ReplyParseError::LineTooLong`] and
+    /// [`ReplyParseError::TooManyLines`] limits, which exist so a
+    /// hostile peer cannot grow this buffer without bound.
     pub fn push_line(&mut self, line: &str) -> Result<Option<Reply>, ReplyParseError> {
         let line = line.trim_end_matches(['\r', '\n']);
         if line.len() < 3 {
-            return Err(ReplyParseError::BadFormat);
+            return Err(self.fail(ReplyParseError::BadFormat));
         }
-        let code: u16 = line[..3].parse().map_err(|_| ReplyParseError::BadFormat)?;
+        if line.len() > MAX_REPLY_LINE_LEN {
+            return Err(self.fail(ReplyParseError::LineTooLong));
+        }
+        let code: u16 = line[..3]
+            .parse()
+            .map_err(|_| self.fail(ReplyParseError::BadFormat))?;
         if !(200..=599).contains(&code) && !(100..200).contains(&code) {
-            return Err(ReplyParseError::BadFormat);
+            return Err(self.fail(ReplyParseError::BadFormat));
         }
         if let Some(expected) = self.code {
             if code != expected {
-                return Err(ReplyParseError::CodeMismatch);
+                return Err(self.fail(ReplyParseError::CodeMismatch));
             }
         } else {
             self.code = Some(code);
+        }
+        if self.lines.len() >= MAX_REPLY_LINES {
+            return Err(self.fail(ReplyParseError::TooManyLines));
         }
         let (is_final, text) = match line.as_bytes().get(3) {
             None => (true, ""),
             Some(b' ') => (true, &line[4..]),
             Some(b'-') => (false, &line[4..]),
-            Some(_) => return Err(ReplyParseError::BadFormat),
+            Some(_) => return Err(self.fail(ReplyParseError::BadFormat)),
         };
         self.lines.push(text.to_string());
         if is_final {
@@ -181,6 +213,14 @@ impl ReplyParser {
         } else {
             Ok(None)
         }
+    }
+
+    /// Reset the in-progress reply and pass the error through (frees any
+    /// buffered lines so errors cannot be used to pin memory).
+    fn fail(&mut self, err: ReplyParseError) -> ReplyParseError {
+        self.code = None;
+        self.lines = Vec::new();
+        err
     }
 }
 
@@ -257,5 +297,46 @@ mod tests {
     fn text_join_for_matching() {
         let r = Reply::multiline(554, vec!["rejected:".into(), "listed on spam RBL".into()]);
         assert!(r.text().to_ascii_lowercase().contains("spam"));
+    }
+
+    #[test]
+    fn parser_caps_line_length() {
+        let mut p = ReplyParser::new();
+        // Exactly at the limit: accepted.
+        let max_text = "x".repeat(MAX_REPLY_LINE_LEN - 4);
+        let ok = p.push_line(&format!("250 {max_text}")).unwrap().unwrap();
+        assert_eq!(ok.lines[0].len(), MAX_REPLY_LINE_LEN - 4);
+        // One byte over: rejected, not truncated.
+        let over = format!("250 {}x", max_text);
+        assert_eq!(p.push_line(&over), Err(ReplyParseError::LineTooLong));
+        // The parser recovered and accepts a fresh reply.
+        assert_eq!(p.push_line("250 OK").unwrap(), Some(Reply::ok()));
+    }
+
+    #[test]
+    fn parser_caps_continuation_lines() {
+        // A hostile server streaming endless `250-` continuations must
+        // hit the cap instead of growing memory without bound.
+        let mut p = ReplyParser::new();
+        for i in 0..MAX_REPLY_LINES {
+            assert_eq!(p.push_line(&format!("250-line {i}")).unwrap(), None);
+        }
+        assert_eq!(
+            p.push_line("250-one too many"),
+            Err(ReplyParseError::TooManyLines)
+        );
+        // Error path resets the parser: the buffered lines are gone and a
+        // complete reply parses from scratch.
+        assert_eq!(p.push_line("220 fresh").unwrap().unwrap().code, 220);
+    }
+
+    #[test]
+    fn parser_accepts_full_multiline_at_cap() {
+        let mut p = ReplyParser::new();
+        for i in 0..MAX_REPLY_LINES - 1 {
+            assert_eq!(p.push_line(&format!("250-line {i}")).unwrap(), None);
+        }
+        let r = p.push_line("250 final").unwrap().unwrap();
+        assert_eq!(r.lines.len(), MAX_REPLY_LINES);
     }
 }

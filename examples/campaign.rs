@@ -43,6 +43,7 @@ fn main() {
         latency: LatencyModel::default(),
         shards: 4,
         faults: mailval::simnet::FaultConfig::default(),
+        ..CampaignConfig::default()
     };
 
     println!(

@@ -8,8 +8,9 @@
 #
 # Usage:
 #   scripts/verify.sh           # the full gate (fmt, clippy, build,
-#                               # tests, chaos determinism)
+#                               # tests, chaos + resume determinism)
 #   scripts/verify.sh --chaos   # only the chaos determinism stage
+#   scripts/verify.sh --resume  # only the kill-and-resume stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,9 +25,25 @@ chaos() {
   cargo test -q --test chaos_determinism
 }
 
+resume() {
+  # Supervision and durability: shards that crash mid-run (deterministic
+  # crash_after_sessions injection) must restart from their journals and
+  # merge byte-identically to an uninterrupted run for shards = 1/2/4/8,
+  # with and without the chaos plan; corrupted journal tails are re-run,
+  # not fatal; and session budgets terminate runaways within bounds.
+  echo "== tier-1: kill-and-resume determinism (cargo test --test resume_determinism) =="
+  cargo test -q --test resume_determinism
+}
+
 if [[ "${1:-}" == "--chaos" ]]; then
   chaos
   echo "verify --chaos: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--resume" ]]; then
+  resume
+  echo "verify --resume: OK"
   exit 0
 fi
 
@@ -43,5 +60,6 @@ echo "== tier-1: cargo test -q =="
 cargo test -q
 
 chaos
+resume
 
 echo "verify: OK"

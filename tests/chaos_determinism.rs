@@ -26,6 +26,7 @@ fn chaos_faults() -> FaultConfig {
         conn_stall_probability: 0.05,
         conn_stall_ms: 200,
         seed: 0xC0FFEE,
+        ..Default::default()
     }
 }
 
@@ -42,6 +43,7 @@ fn chaos_config(shards: usize) -> CampaignConfig {
         latency,
         shards,
         faults: chaos_faults(),
+        ..CampaignConfig::default()
     }
 }
 

@@ -24,6 +24,7 @@ fn config(kind: CampaignKind, tests: Vec<&'static str>, seed: u64) -> CampaignCo
         latency: LatencyModel::default(),
         shards: 1,
         faults: mailval::simnet::FaultConfig::default(),
+        ..CampaignConfig::default()
     }
 }
 

@@ -74,8 +74,35 @@ proptest! {
     }
 
     #[test]
-    fn dns_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+    fn dns_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
         let _ = Message::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn dns_decoder_never_panics_on_bit_flipped_encodings(
+        id in any::<u16>(),
+        qname in name_strategy(),
+        answers in proptest::collection::vec(record_strategy(), 0..6),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..8),
+    ) {
+        // Near-valid inputs reach deeper decoder paths than uniform
+        // noise: start from our own encoding of a valid message and
+        // flip a handful of bits. Decoding may fail, but must never
+        // panic — and whatever *does* decode must re-encode without
+        // panicking through the fallible encoder.
+        let mut bytes = {
+            let mut msg = Message::query(id, qname, RecordType::Txt);
+            msg.is_response = true;
+            msg.answers = answers;
+            msg.to_bytes()
+        };
+        for (pos, bit) in flips {
+            let idx = pos as usize % bytes.len();
+            bytes[idx] ^= 1 << bit;
+        }
+        if let Ok(decoded) = Message::from_bytes(&bytes) {
+            let _ = decoded.try_to_bytes();
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn run(
             latency: LatencyModel::default(),
             shards,
             faults: mailval::simnet::FaultConfig::default(),
+            ..CampaignConfig::default()
         },
         pop,
         &profiles,
