@@ -1,16 +1,20 @@
-//! Reproduce Figure 2: the distribution of tSPF − tEmail in the
-//! NotifyEmail experiment (when the SPF policy query arrived relative to
-//! message delivery).
+//! Figure 2: the distribution of tSPF − tEmail in the NotifyEmail
+//! experiment (when the SPF policy query arrived relative to message
+//! delivery).
 
-use mailval_bench::{campaign, prepare};
-use mailval_datasets::DatasetKind;
+use crate::{CampaignRequest, Runner};
 use mailval_measure::analysis::spf_timing;
-use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{pct, render_table};
+use std::fmt::Write;
 
-fn main() {
-    let prepared = prepare(DatasetKind::NotifyEmail);
-    let result = campaign(&prepared, CampaignKind::NotifyEmail, vec![]);
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::NotifyEmail]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::NotifyEmail);
     let timing = spf_timing(&result);
 
     let labels = [
@@ -31,7 +35,9 @@ fn main() {
             vec![label.to_string(), format!("{count}"), pct(share), bar]
         })
         .collect();
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             &format!(
@@ -41,13 +47,19 @@ fn main() {
             &["diff (s)", "domains", "share", ""],
             &rows
         )
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "negative (SPF before delivery): paper 83%, measured {}",
         pct(timing.negative_fraction)
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "within ±30 s:                  paper 91%, measured {}",
         pct(timing.within_30s_fraction)
-    );
+    )
+    .unwrap();
+    out
 }

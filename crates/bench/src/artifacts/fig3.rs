@@ -1,19 +1,28 @@
-//! Reproduce the §7.1 / Figure 3 result: serial vs parallel DNS lookups
-//! during SPF validation, inferred from the order of queries induced by
-//! test policy t01.
+//! Figure 3 / §7.1: serial vs parallel DNS lookups during SPF
+//! validation, inferred from the order of queries induced by test
+//! policy t01.
 
-use mailval_bench::{campaign, prepare};
-use mailval_datasets::DatasetKind;
+use crate::{CampaignRequest, Runner};
 use mailval_measure::analysis::serial_vs_parallel;
-use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, render_table};
+use std::fmt::Write;
 
-fn main() {
-    let prepared = prepare(DatasetKind::TwoWeekMx);
-    let result = campaign(&prepared, CampaignKind::TwoWeekMx, vec!["t01"]);
+/// The probe set this analysis classifies with.
+const TESTS: &[&str] = &["t01"];
+
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::TwoWeek(TESTS)]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::TwoWeek(TESTS));
     let sp = serial_vs_parallel(&result.log);
 
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             "Figure 3 / §7.1 — serial vs parallel SPF lookups",
@@ -36,5 +45,7 @@ fn main() {
                 ],
             ]
         )
-    );
+    )
+    .unwrap();
+    out
 }

@@ -1,15 +1,22 @@
-//! Reproduce Figures 4 & 5: the 46-lookup stress policy and the CDF of
-//! per-MTA DNS query counts / elapsed-time lower bounds.
+//! Figures 4 & 5: the 46-lookup stress policy and the CDF of per-MTA
+//! DNS query counts / elapsed-time lower bounds.
 
-use mailval_bench::{campaign, prepare};
-use mailval_datasets::DatasetKind;
+use crate::{CampaignRequest, Runner};
 use mailval_measure::analysis::lookup_limits;
-use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, pct, render_table};
+use std::fmt::Write;
 
-fn main() {
-    let prepared = prepare(DatasetKind::TwoWeekMx);
-    let result = campaign(&prepared, CampaignKind::TwoWeekMx, vec!["t02"]);
+/// The stress policy that induces up to 46 lookups.
+const TESTS: &[&str] = &["t02"];
+
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::TwoWeek(TESTS)]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::TwoWeek(TESTS));
     let limits = lookup_limits(&result.log);
     let n = limits.points.len();
 
@@ -26,7 +33,9 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             &format!("Figure 5 — CDF over {n} MTAs that evaluated the stress policy"),
@@ -37,8 +46,10 @@ fn main() {
             ],
             &rows
         )
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "{}",
         render_table(
             "Key fractions",
@@ -56,5 +67,7 @@ fn main() {
                 ],
             ]
         )
-    );
+    )
+    .unwrap();
+    out
 }

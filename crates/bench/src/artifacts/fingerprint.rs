@@ -1,18 +1,24 @@
-//! The §8 future-work extension: fingerprint SPF validator
-//! implementations by their behavior vectors across the test battery.
+//! §8 future-work extension: fingerprint SPF validator implementations
+//! by their behavior vectors across the test battery.
 
-use mailval_bench::{campaign, prepare};
-use mailval_datasets::DatasetKind;
-use mailval_measure::campaign::CampaignKind;
+use crate::{CampaignRequest, Runner};
 use mailval_measure::fingerprint::{behavior_vectors, classify, summarize};
 use mailval_measure::report::render_table;
+use std::fmt::Write;
 
-fn main() {
-    let prepared = prepare(DatasetKind::TwoWeekMx);
-    let tests = vec![
-        "t01", "t02", "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10",
-    ];
-    let result = campaign(&prepared, CampaignKind::TwoWeekMx, tests);
+/// The full fingerprinting battery.
+const TESTS: &[&str] = &[
+    "t01", "t02", "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10",
+];
+
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::TwoWeek(TESTS)]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::TwoWeek(TESTS));
     let vectors = behavior_vectors(&result.log);
     let classes = classify(&vectors);
     let summary = summarize(&classes);
@@ -48,7 +54,9 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             &format!(
@@ -58,5 +66,7 @@ fn main() {
             &["#", "MTAs", "behavior vector"],
             &rows
         )
-    );
+    )
+    .unwrap();
+    out
 }

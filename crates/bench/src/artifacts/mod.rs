@@ -1,0 +1,145 @@
+//! The artifact registry: every table and figure of the paper as an
+//! analysis module.
+//!
+//! Each module exposes two functions: `needs()` declares the campaigns
+//! the artifact is derived from (as [`CampaignRequest`]s), and
+//! `render()` produces the artifact text from a [`Runner`], which
+//! serves each campaign from its memo, the content-addressed store, or
+//! a fresh simulation — in that order. The CLI resolves the union of
+//! the needs first, so a batch like `fig2 table4 table5` simulates the
+//! shared NotifyEmail campaign exactly once.
+
+use crate::{CampaignRequest, Runner};
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fingerprint;
+pub mod sec7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+/// One renderable artifact: a name for the CLI, a title for `--list`,
+/// the campaigns it needs and the renderer itself.
+pub struct Artifact {
+    /// CLI name (`mailval-artifacts <name>`).
+    pub name: &'static str,
+    /// Human-readable one-liner for `--list`.
+    pub title: &'static str,
+    /// The campaigns this artifact is derived from. Population-only
+    /// artifacts return an empty list.
+    pub needs: fn() -> Vec<CampaignRequest>,
+    /// Render the artifact text (stdout-bound) from a runner.
+    pub render: fn(&mut Runner) -> String,
+}
+
+/// Every artifact, in paper order.
+pub const ALL: &[Artifact] = &[
+    Artifact {
+        name: "table1",
+        title: "Table 1 — top TLDs per dataset",
+        needs: table1::needs,
+        render: table1::render,
+    },
+    Artifact {
+        name: "table2",
+        title: "Table 2 — dataset sizes (domains, IPv4/IPv6 MTAs)",
+        needs: table2::needs,
+        render: table2::render,
+    },
+    Artifact {
+        name: "table3",
+        title: "Table 3 — top ASes per dataset",
+        needs: table3::needs,
+        render: table3::render,
+    },
+    Artifact {
+        name: "table4",
+        title: "Table 4 — SPF x DKIM x DMARC validation combinations",
+        needs: table4::needs,
+        render: table4::render,
+    },
+    Artifact {
+        name: "table5",
+        title: "Table 5 — SPF-validating domains and MTAs, deciles, §6.2",
+        needs: table5::needs,
+        render: table5::render,
+    },
+    Artifact {
+        name: "table6",
+        title: "Table 6 — popular provider validation status",
+        needs: table6::needs,
+        render: table6::render,
+    },
+    Artifact {
+        name: "table7",
+        title: "Table 7 — validation by Alexa membership",
+        needs: table7::needs,
+        render: table7::render,
+    },
+    Artifact {
+        name: "fig2",
+        title: "Figure 2 — tSPF − tEmail distribution (NotifyEmail)",
+        needs: fig2::needs,
+        render: fig2::render,
+    },
+    Artifact {
+        name: "fig3",
+        title: "Figure 3 / §7.1 — serial vs parallel SPF lookups",
+        needs: fig3::needs,
+        render: fig3::render,
+    },
+    Artifact {
+        name: "fig5",
+        title: "Figure 5 — lookup-limit CDF under the 46-query stress policy",
+        needs: fig5::needs,
+        render: fig5::render,
+    },
+    Artifact {
+        name: "sec7",
+        title: "§7.3 — SPF validation behavior battery",
+        needs: sec7::needs,
+        render: sec7::render,
+    },
+    Artifact {
+        name: "fingerprint",
+        title: "§8 extension — validator behavior fingerprints",
+        needs: fingerprint::needs,
+        render: fingerprint::render,
+    },
+];
+
+/// Look an artifact up by CLI name.
+pub fn by_name(name: &str) -> Option<&'static Artifact> {
+    ALL.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for a in ALL {
+            assert!(seen.insert(a.name), "duplicate artifact name {}", a.name);
+            assert!(by_name(a.name).is_some());
+        }
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn shared_campaigns_are_declared_identically() {
+        // fig2, table4 and table7 all derive from the same NotifyEmail
+        // campaign; the store only serves them from one entry if their
+        // declared requests are equal.
+        assert_eq!((fig2::needs)(), (table4::needs)());
+        assert_eq!((fig2::needs)(), (table7::needs)());
+        assert!((table5::needs)().contains(&CampaignRequest::NotifyEmail));
+    }
+}

@@ -1,0 +1,49 @@
+//! §7.3 behavior battery: HELO checking, syntax-error tolerance,
+//! void-lookup limits, the forbidden mx fallback, multiple-record
+//! handling, TCP fallback, IPv6-only retrieval and the per-mx
+//! address-lookup limit.
+
+use crate::{CampaignRequest, Runner};
+use mailval_measure::analysis::behavior_battery;
+use mailval_measure::report::{pct, render_table};
+use std::fmt::Write;
+
+/// The §7.3 behavior test policies.
+const TESTS: &[&str] = &[
+    "t03", "t04", "t05", "t06", "t07", "t08", "t09", "t10", "t11",
+];
+
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::TwoWeek(TESTS)]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::TwoWeek(TESTS));
+    let stats = behavior_battery(&result.log);
+
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.testid.to_string(),
+                s.behavior.to_string(),
+                pct(s.paper_fraction),
+                format!("{} ({}/{})", pct(s.fraction()), s.exhibited, s.evaluated),
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}",
+        render_table(
+            "§7.3 — SPF validation behaviors",
+            &["test", "behavior", "paper", "measured"],
+            &rows
+        )
+    )
+    .unwrap();
+    out
+}

@@ -1,12 +1,20 @@
-//! Reproduce Table 1: the ten most prevalent TLDs in each dataset.
+//! Table 1: the ten most prevalent TLDs in each dataset.
 
-use mailval_bench::population;
+use crate::{CampaignRequest, Runner};
 use mailval_datasets::tld::{empirical_top_tlds, NOTIFY_EMAIL_TOP_TLDS, TWO_WEEK_MX_TOP_TLDS};
 use mailval_datasets::DatasetKind;
 use mailval_measure::report::{pct, render_table};
 use std::collections::HashSet;
+use std::fmt::Write;
 
-fn main() {
+/// Population-only artifact: needs no campaign.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let mut out = String::new();
     for (kind, name, paper) in [
         (
             DatasetKind::NotifyEmail,
@@ -15,7 +23,8 @@ fn main() {
         ),
         (DatasetKind::TwoWeekMx, "TwoWeekMX", TWO_WEEK_MX_TOP_TLDS),
     ] {
-        let pop = population(kind);
+        let prepared = runner.prepared(kind);
+        let pop = &prepared.pop;
         let tlds: Vec<String> = pop.domains.iter().map(|d| d.tld.clone()).collect();
         let measured = empirical_top_tlds(&tlds, 10);
         let distinct: HashSet<&String> = tlds.iter().collect();
@@ -35,7 +44,8 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        writeln!(
+            out,
             "{}",
             render_table(
                 &format!(
@@ -46,6 +56,8 @@ fn main() {
                 &["#", "paper TLD", "paper %", "measured TLD", "measured %"],
                 &rows
             )
-        );
+        )
+        .unwrap();
     }
+    out
 }

@@ -1,12 +1,21 @@
-//! Reproduce Table 2: dataset sizes (domains, IPv4/IPv6 MTA addresses).
+//! Table 2: dataset sizes (domains, IPv4/IPv6 MTA addresses).
 
-use mailval_bench::population;
+use crate::{CampaignRequest, Runner};
 use mailval_datasets::DatasetKind;
 use mailval_measure::report::render_table;
+use std::fmt::Write;
 
-fn main() {
-    let notify = population(DatasetKind::NotifyEmail);
-    let twoweek = population(DatasetKind::TwoWeekMx);
+/// Population-only artifact: needs no campaign.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let notify_prepared = runner.prepared(DatasetKind::NotifyEmail);
+    let twoweek_prepared = runner.prepared(DatasetKind::TwoWeekMx);
+    let notify = &notify_prepared.pop;
+    let twoweek = &twoweek_prepared.pop;
 
     // NotifyEmail: first-responsive MTA per domain.
     let ne_first = notify.first_host_indices();
@@ -52,7 +61,9 @@ fn main() {
             format!("471 / {tw_v6}"),
         ],
     ];
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             "Table 2 — datasets (each cell: paper / measured)",
@@ -65,9 +76,13 @@ fn main() {
             ],
             &rows
         )
-    );
-    println!(
+    )
+    .unwrap();
+    writeln!(
+        out,
         "note: run at MAILVAL_SCALE={} — paper columns are full-scale counts",
-        mailval_bench::scale()
-    );
+        runner.env().scale
+    )
+    .unwrap();
+    out
 }

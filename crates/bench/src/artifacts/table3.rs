@@ -1,13 +1,21 @@
-//! Reproduce Table 3: the ten most prevalent ASes per dataset (counted
-//! once per domain with an MTA in that AS).
+//! Table 3: the ten most prevalent ASes per dataset (counted once per
+//! domain with an MTA in that AS).
 
-use mailval_bench::population;
+use crate::{CampaignRequest, Runner};
 use mailval_datasets::asn::{NOTIFY_EMAIL_TOP_ASES, TWO_WEEK_MX_TOP_ASES};
 use mailval_datasets::DatasetKind;
 use mailval_measure::report::{pct, render_table};
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write;
 
-fn main() {
+/// Population-only artifact: needs no campaign.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let mut out = String::new();
     for (kind, name, paper) in [
         (
             DatasetKind::NotifyEmail,
@@ -16,7 +24,8 @@ fn main() {
         ),
         (DatasetKind::TwoWeekMx, "TwoWeekMX", TWO_WEEK_MX_TOP_ASES),
     ] {
-        let pop = population(kind);
+        let prepared = runner.prepared(kind);
+        let pop = &prepared.pop;
         // Count each AS once per domain having an MTA in it (the paper's
         // counting rule).
         let mut counts: HashMap<u32, (String, usize)> = HashMap::new();
@@ -57,7 +66,8 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
+        writeln!(
+            out,
             "{}",
             render_table(
                 &format!(
@@ -72,6 +82,8 @@ fn main() {
                 &["#", "paper AS", "paper %", "measured AS", "measured %"],
                 &rows
             )
-        );
+        )
+        .unwrap();
     }
+    out
 }

@@ -1,16 +1,21 @@
-//! Reproduce Table 4: SPF × DKIM × DMARC validation combinations over
-//! the NotifyEmail domains, plus the §6.1 marginals and partial-SPF
-//! stats.
+//! Table 4: SPF × DKIM × DMARC validation combinations over the
+//! NotifyEmail domains, plus the §6.1 marginals and partial-SPF stats.
 
-use mailval_bench::{campaign, prepare};
+use crate::{CampaignRequest, Runner};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::{notify_email_flags, partial_spf_stats, table4};
-use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, render_table};
+use std::fmt::Write;
 
-fn main() {
-    let prepared = prepare(DatasetKind::NotifyEmail);
-    let result = campaign(&prepared, CampaignKind::NotifyEmail, vec![]);
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::NotifyEmail]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::NotifyEmail);
+    let prepared = runner.prepared(DatasetKind::NotifyEmail);
     let flags = notify_email_flags(&result, prepared.pop.domains.len());
     let rows_measured = table4(&flags);
     let total = prepared.pop.domains.len();
@@ -39,14 +44,17 @@ fn main() {
             ]
         })
         .collect();
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             &format!("Table 4 — validation combinations over {total} NotifyEmail domains"),
             &["SPF DKIM DMARC", "paper", "measured"],
             &rows
         )
-    );
+    )
+    .unwrap();
 
     let spf: usize = rows_measured
         .iter()
@@ -63,7 +71,8 @@ fn main() {
         .filter(|r| r.combo.2)
         .map(|r| r.count)
         .sum();
-    println!(
+    writeln!(
+        out,
         "{}",
         render_table(
             "§6.1 marginals",
@@ -86,10 +95,12 @@ fn main() {
                 ],
             ]
         )
-    );
+    )
+    .unwrap();
 
     let partial = partial_spf_stats(&flags);
-    println!(
+    writeln!(
+        out,
         "{}",
         render_table(
             "§6.1 partial SPF validators",
@@ -112,5 +123,7 @@ fn main() {
                 ],
             ]
         )
-    );
+    )
+    .unwrap();
+    out
 }

@@ -1,35 +1,36 @@
-//! Reproduce Table 5: SPF-validating domains and MTAs in all three
-//! experiments, the TwoWeekMX deciles, and the §6.2 NotifyEmail-vs-
-//! NotifyMX consistency statistics.
+//! Table 5: SPF-validating domains and MTAs in all three experiments,
+//! the TwoWeekMX deciles, and the §6.2 NotifyEmail-vs-NotifyMX
+//! consistency statistics.
 
-use mailval_bench::{campaign, prepare};
+use crate::{CampaignRequest, Runner, TABLE5_PROBES};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::{
     consistency, decile_counts, notify_validating_counts, probe_validating_counts,
 };
-use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, pct, render_table};
+use std::fmt::Write;
 
-fn main() {
-    // NotifyEmail + NotifyMX share one population and one profile set
-    // (the §6.2 comparison depends on it).
-    let mut notify = prepare(DatasetKind::NotifyEmail);
-    let email_run = campaign(&notify, CampaignKind::NotifyEmail, vec![]);
-    // A compact representative test set suffices for "issued at least
-    // one SPF query" classification.
-    let probe_tests = vec!["t01", "t06", "t12"];
-    // Nine months pass between the campaigns (§4.2): a small fraction of
-    // operators change configuration in the meantime.
-    notify.profiles = mailval_measure::campaign::drift_profiles(
-        &notify.pop,
-        &notify.profiles,
-        0.05,
-        mailval_bench::seed(),
-    );
-    let mx_run = campaign(&notify, CampaignKind::NotifyMx, probe_tests.clone());
+/// Campaigns this artifact is derived from: the NotifyEmail delivery
+/// campaign, the drifted NotifyMX probe (§4.2: nine months pass between
+/// the two, so a small fraction of operators change configuration), and
+/// a TwoWeekMX probe over [`TABLE5_PROBES`].
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![
+        CampaignRequest::NotifyEmail,
+        CampaignRequest::NotifyMxDrifted,
+        CampaignRequest::TwoWeek(TABLE5_PROBES),
+    ]
+}
 
-    let twoweek = prepare(DatasetKind::TwoWeekMx);
-    let tw_run = campaign(&twoweek, CampaignKind::TwoWeekMx, probe_tests);
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    // NotifyEmail + NotifyMX share one population and one base profile
+    // set (the §6.2 comparison depends on it).
+    let email_run = runner.campaign(&CampaignRequest::NotifyEmail);
+    let mx_run = runner.campaign(&CampaignRequest::NotifyMxDrifted);
+    let tw_run = runner.campaign(&CampaignRequest::TwoWeek(TABLE5_PROBES));
+    let notify = runner.prepared(DatasetKind::NotifyEmail);
+    let twoweek = runner.prepared(DatasetKind::TwoWeekMx);
 
     let ne = notify_validating_counts(&email_run, &notify.pop);
     let nm = probe_validating_counts(&mx_run, &notify.pop);
@@ -74,14 +75,17 @@ fn main() {
             format!("{} dom; {} MTA", pct(d.domain_rate()), pct(d.mta_rate())),
         ]);
     }
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             "Table 5 — SPF-validating domains and MTAs",
             &["experiment", "paper", "measured"],
             &rows
         )
-    );
+    )
+    .unwrap();
 
     // Decile variability.
     let dom_rates: Vec<f64> = deciles.iter().map(|d| d.domain_rate()).collect();
@@ -90,15 +94,18 @@ fn main() {
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
     };
-    println!(
+    writeln!(
+        out,
         "decile stddev: paper 1.7% (domains) / 1.8% (MTAs); measured {} / {}\n",
         pct(stddev(&dom_rates)),
         pct(stddev(&mta_rates)),
-    );
+    )
+    .unwrap();
 
     // §6.2 consistency.
     let stats = consistency(&email_run, &mx_run, &notify.pop);
-    println!(
+    writeln!(
+        out,
         "{}",
         render_table(
             "§6.2 — NotifyEmail vs NotifyMX consistency",
@@ -126,5 +133,7 @@ fn main() {
                 ],
             ]
         )
-    );
+    )
+    .unwrap();
+    out
 }

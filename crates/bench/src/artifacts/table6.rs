@@ -1,0 +1,50 @@
+//! Table 6: SPF/DKIM/DMARC validation status of the 19 popular mail
+//! providers, observed by running the NotifyEmail pipeline against the
+//! provider mini-population.
+
+use crate::{CampaignRequest, Runner};
+use mailval_datasets::providers::PROVIDERS;
+use mailval_measure::analysis::notify_email_flags;
+use mailval_measure::report::render_table;
+use std::fmt::Write;
+
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::Providers]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::Providers);
+    let providers = runner.providers();
+    let flags = notify_email_flags(&result, providers.0.domains.len());
+    let mark = |b: bool| if b { "v" } else { "x" }.to_string();
+    let rows: Vec<Vec<String>> = PROVIDERS
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let f = flags[i];
+            vec![
+                p.domain.to_string(),
+                format!("{} {} {}", mark(p.spf), mark(p.dkim), mark(p.dmarc)),
+                format!("{} {} {}", mark(f.spf), mark(f.dkim), mark(f.dmarc)),
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}",
+        render_table(
+            "Table 6 — popular providers (SPF DKIM DMARC)",
+            &["domain", "paper", "measured"],
+            &rows
+        )
+    )
+    .unwrap();
+    let spf = flags.iter().filter(|f| f.spf).count();
+    let full = flags.iter().filter(|f| f.spf && f.dkim && f.dmarc).count();
+    writeln!(out, "SPF-validating: paper 16/19 (84%), measured {spf}/19").unwrap();
+    writeln!(out, "all three:      paper 13/19 (68%), measured {full}/19").unwrap();
+    out
+}

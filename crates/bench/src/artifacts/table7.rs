@@ -1,15 +1,21 @@
-//! Reproduce Table 7: validation rates of NotifyEmail domains by Alexa
-//! membership (all / top 1M / top 1K).
+//! Table 7: validation rates of NotifyEmail domains by Alexa membership
+//! (all / top 1M / top 1K).
 
-use mailval_bench::{campaign, prepare};
+use crate::{CampaignRequest, Runner};
 use mailval_datasets::DatasetKind;
 use mailval_measure::analysis::{alexa_breakdown, notify_email_flags};
-use mailval_measure::campaign::CampaignKind;
 use mailval_measure::report::{count_pct, render_table};
+use std::fmt::Write;
 
-fn main() {
-    let prepared = prepare(DatasetKind::NotifyEmail);
-    let result = campaign(&prepared, CampaignKind::NotifyEmail, vec![]);
+/// Campaigns this artifact is derived from.
+pub fn needs() -> Vec<CampaignRequest> {
+    vec![CampaignRequest::NotifyEmail]
+}
+
+/// Render the artifact text.
+pub fn render(runner: &mut Runner) -> String {
+    let result = runner.campaign(&CampaignRequest::NotifyEmail);
+    let prepared = runner.prepared(DatasetKind::NotifyEmail);
     let flags = notify_email_flags(&result, prepared.pop.domains.len());
     let (all, top1m, top1k) = alexa_breakdown(&flags, &prepared.pop);
 
@@ -36,12 +42,16 @@ fn main() {
             format!("79% / {}", count_pct(top1k.dmarc, top1k.total)),
         ],
     ];
-    println!(
+    let mut out = String::new();
+    writeln!(
+        out,
         "{}",
         render_table(
             "Table 7 — validation by Alexa membership (each cell: paper / measured)",
             &["subset", "domains", "SPF", "DKIM", "DMARC"],
             &rows
         )
-    );
+    )
+    .unwrap();
+    out
 }

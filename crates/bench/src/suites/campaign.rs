@@ -1,14 +1,14 @@
 //! Campaign throughput baseline: run the NotifyEmail campaign over a
 //! ~2,000-domain population at shards = 1, 2, 4, 8 and record
-//! sessions/second plus the per-shard counters, as JSON (hand-rolled —
-//! offline builds have no serde) to `results/BENCH_campaign.json` or
-//! the path given as the first argument.
+//! sessions/second plus the per-shard counters, as JSON to
+//! `results/BENCH_campaign.json` or the given path.
 //!
-//! The merged output is identical for every shard count — this binary
+//! The merged output is identical for every shard count — this suite
 //! asserts that — so the only thing that varies is wall-clock time.
 
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
 use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_measure::progress;
 use mailval_simnet::LatencyModel;
 use std::time::Instant;
 
@@ -25,19 +25,19 @@ struct Run {
     shard_wall_ms: Vec<f64>,
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/BENCH_campaign.json".to_string());
-    let seed = mailval_bench::seed();
+/// Run the suite, writing the JSON report to `out_path` (default
+/// `results/BENCH_campaign.json`).
+pub fn run(out_path: Option<String>) {
+    let out_path = out_path.unwrap_or_else(|| "results/BENCH_campaign.json".to_string());
+    let seed = crate::seed();
     let pop = Population::generate(&PopulationConfig {
         kind: DatasetKind::NotifyEmail,
         scale: SCALE,
         seed,
     });
     let profiles = sample_host_profiles(&pop, seed);
-    eprintln!(
-        "[bench_campaign] NotifyEmail, {} domains / {} hosts, seed {seed}",
+    progress!(
+        "bench-campaign: NotifyEmail, {} domains / {} hosts, seed {seed}",
         pop.domains.len(),
         pop.hosts.len()
     );
@@ -78,16 +78,18 @@ fn main() {
             sessions_per_s: result.sessions.len() as f64 / wall_s,
             shard_wall_ms: result.shard_stats.iter().map(|s| s.wall_ms).collect(),
         };
-        eprintln!(
-            "[bench_campaign] shards={:<2} {:>8.3}s wall  {:>10.0} sessions/s",
-            run.shards, run.wall_s, run.sessions_per_s
+        progress!(
+            "bench-campaign: shards={:<2} {:>8.3}s wall  {:>10.0} sessions/s",
+            run.shards,
+            run.wall_s,
+            run.sessions_per_s
         );
         runs.push(run);
     }
 
     let json = render_json(&pop, seed, &runs);
     std::fs::write(&out_path, &json).expect("write result file");
-    eprintln!("[bench_campaign] wrote {out_path}");
+    progress!("bench-campaign: wrote {out_path}");
 }
 
 fn render_json(pop: &Population, seed: u64, runs: &[Run]) -> String {

@@ -1,9 +1,8 @@
-//! Fault-sweep benchmark: run the NotifyEmail campaign under the chaos
+//! Fault-sweep suite: run the NotifyEmail campaign under the chaos
 //! fault plan at datagram loss rates {0, 0.01, 0.05, 0.20} and record
 //! throughput, the outcome mix (delivered / rejected / dead) and the
-//! injected-fault counters, as JSON (hand-rolled — offline builds have
-//! no serde) to `results/BENCH_chaos.json` or the path given as the
-//! first argument.
+//! injected-fault counters, as JSON to `results/BENCH_chaos.json` or
+//! the given path.
 //!
 //! Non-loss faults (duplication, reordering, truncation, connection
 //! resets and stalls) stay fixed across the sweep so the loss axis is
@@ -11,6 +10,7 @@
 
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
 use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_measure::progress;
 use mailval_simnet::{FaultConfig, FaultStats, LatencyModel};
 use std::time::Instant;
 
@@ -33,20 +33,20 @@ struct Run {
     faults: FaultStats,
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/BENCH_chaos.json".to_string());
-    let seed = mailval_bench::seed();
-    let shards = mailval_bench::shards();
+/// Run the suite, writing the JSON report to `out_path` (default
+/// `results/BENCH_chaos.json`).
+pub fn run(out_path: Option<String>) {
+    let out_path = out_path.unwrap_or_else(|| "results/BENCH_chaos.json".to_string());
+    let seed = crate::seed();
+    let shards = crate::shards();
     let pop = Population::generate(&PopulationConfig {
         kind: DatasetKind::NotifyEmail,
         scale: SCALE,
         seed,
     });
     let profiles = sample_host_profiles(&pop, seed);
-    eprintln!(
-        "[bench_chaos] NotifyEmail, {} domains / {} hosts, seed {seed}, {shards} shard(s)",
+    progress!(
+        "bench-chaos: NotifyEmail, {} domains / {} hosts, seed {seed}, {shards} shard(s)",
         pop.domains.len(),
         pop.hosts.len()
     );
@@ -107,17 +107,22 @@ fn main() {
             sessions_per_s: result.sessions.len() as f64 / wall_s,
             faults: result.faults,
         };
-        eprintln!(
-            "[bench_chaos] loss={:<4} {:>7.3}s wall  {:>8.0} sessions/s  \
+        progress!(
+            "bench-chaos: loss={:<4} {:>7.3}s wall  {:>8.0} sessions/s  \
              delivered {} / rejected {} / dead {}",
-            run.loss, run.wall_s, run.sessions_per_s, run.delivered, run.rejected, run.dead
+            run.loss,
+            run.wall_s,
+            run.sessions_per_s,
+            run.delivered,
+            run.rejected,
+            run.dead
         );
         runs.push(run);
     }
 
     let json = render_json(&pop, seed, shards, &runs);
     std::fs::write(&out_path, &json).expect("write result file");
-    eprintln!("[bench_chaos] wrote {out_path}");
+    progress!("bench-chaos: wrote {out_path}");
 }
 
 fn render_json(pop: &Population, seed: u64, shards: usize, runs: &[Run]) -> String {

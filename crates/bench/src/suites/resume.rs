@@ -1,9 +1,8 @@
-//! Journal-overhead benchmark: run the 2,000-domain NotifyEmail
-//! campaign with journaling off (baseline), on at the default fsync
-//! interval, and on across an fsync-interval sweep {1, 16, 64, 256};
-//! record wall-clock per configuration and the overhead relative to
-//! baseline, as JSON (hand-rolled — offline builds have no serde) to
-//! `results/BENCH_resume.json` or the path given as the first argument.
+//! Journal-overhead suite: run the 2,000-domain NotifyEmail campaign
+//! with journaling off (baseline), on at the default fsync interval,
+//! and on across an fsync-interval sweep {1, 16, 64, 256}; record
+//! wall-clock per configuration and the overhead relative to baseline,
+//! as JSON to `results/BENCH_resume.json` or the given path.
 //!
 //! The robustness budget for the journal is **≤ 10% wall-clock
 //! overhead at the default fsync interval**; the report carries a
@@ -12,7 +11,7 @@
 
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
 use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
-use mailval_measure::journal;
+use mailval_measure::{journal, progress};
 use std::time::Instant;
 
 /// ~2,000 of the paper's 26,695 NotifyEmail domains.
@@ -39,20 +38,20 @@ struct Run {
     overhead: Option<f64>,
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/BENCH_resume.json".to_string());
-    let seed = mailval_bench::seed();
-    let shards = mailval_bench::shards();
+/// Run the suite, writing the JSON report to `out_path` (default
+/// `results/BENCH_resume.json`).
+pub fn run(out_path: Option<String>) {
+    let out_path = out_path.unwrap_or_else(|| "results/BENCH_resume.json".to_string());
+    let seed = crate::seed();
+    let shards = crate::shards();
     let pop = Population::generate(&PopulationConfig {
         kind: DatasetKind::NotifyEmail,
         scale: SCALE,
         seed,
     });
     let profiles = sample_host_profiles(&pop, seed);
-    eprintln!(
-        "[bench_resume] NotifyEmail, {} domains / {} hosts, seed {seed}, {shards} shard(s)",
+    progress!(
+        "bench-resume: NotifyEmail, {} domains / {} hosts, seed {seed}, {shards} shard(s)",
         pop.domains.len(),
         pop.hosts.len()
     );
@@ -110,8 +109,8 @@ fn main() {
         .find(|r| r.fsync_every == Some(journal::DEFAULT_FSYNC_EVERY))
         .expect("default-interval run present");
     let default_overhead = default_run.overhead.unwrap_or(0.0);
-    eprintln!(
-        "[bench_resume] default-interval overhead {:.1}% (budget {:.0}%): {}",
+    progress!(
+        "bench-resume: default-interval overhead {:.1}% (budget {:.0}%): {}",
         default_overhead * 100.0,
         OVERHEAD_BUDGET * 100.0,
         if default_overhead <= OVERHEAD_BUDGET {
@@ -123,7 +122,7 @@ fn main() {
 
     let json = render_json(&pop, seed, shards, &runs);
     std::fs::write(&out_path, &json).expect("write result file");
-    eprintln!("[bench_resume] wrote {out_path}");
+    progress!("bench-resume: wrote {out_path}");
 }
 
 fn time_run(
@@ -162,9 +161,11 @@ fn time_run(
         journal_bytes,
         overhead: None,
     };
-    eprintln!(
-        "[bench_resume] {label:<36} {:>7.3}s wall  {:>8.0} sessions/s  {} journal bytes",
-        run.wall_s, run.sessions_per_s, run.journal_bytes
+    progress!(
+        "bench-resume: {label:<36} {:>7.3}s wall  {:>8.0} sessions/s  {} journal bytes",
+        run.wall_s,
+        run.sessions_per_s,
+        run.journal_bytes
     );
     run
 }

@@ -1,0 +1,165 @@
+//! End-to-end "run once, analyze many" guarantees of the artifact
+//! pipeline: a batch of artifacts sharing a campaign simulates it
+//! exactly once, a warm store serves the whole suite with zero
+//! simulations, and re-rendering from a warm store is byte-identical.
+
+use mailval_bench::artifacts::{by_name, ALL};
+use mailval_bench::{CampaignRequest, Env, Runner};
+use mailval_measure::store::{CampaignStore, StoreStatus};
+use std::path::PathBuf;
+
+/// A tiny but non-trivial environment: two shards so the merge path is
+/// exercised, ~100 domains so campaigns finish in test time.
+fn tiny_env() -> Env {
+    Env {
+        scale: 0.004,
+        seed: 2021,
+        shards: 2,
+    }
+}
+
+fn temp_store(tag: &str) -> (PathBuf, CampaignStore) {
+    let dir = std::env::temp_dir().join(format!(
+        "mailval-artifact-store-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    (dir.clone(), CampaignStore::new(dir))
+}
+
+fn render_names(runner: &mut Runner, names: &[&str]) -> String {
+    let mut out = String::new();
+    // Phase 1, as the CLI does it: resolve the union of needs first.
+    let mut needed: Vec<CampaignRequest> = Vec::new();
+    for name in names {
+        let artifact = by_name(name).expect("known artifact");
+        for req in (artifact.needs)() {
+            if !needed.contains(&req) {
+                needed.push(req);
+            }
+        }
+    }
+    for req in &needed {
+        runner.campaign(req);
+    }
+    for name in names {
+        let artifact = by_name(name).expect("known artifact");
+        out.push_str(&(artifact.render)(runner));
+    }
+    out
+}
+
+#[test]
+fn shared_campaign_is_simulated_exactly_once() {
+    let (dir, store) = temp_store("shared");
+    let mut runner = Runner::new(tiny_env(), Some(store));
+
+    // fig2, table4 and table5 all need the NotifyEmail campaign; the
+    // batch must resolve it once.
+    let text = render_names(&mut runner, &["fig2", "table4", "table5"]);
+    assert!(!text.is_empty());
+
+    let notify_resolutions: Vec<&StoreStatus> = runner
+        .history
+        .iter()
+        .filter(|(req, _)| *req == CampaignRequest::NotifyEmail)
+        .map(|(_, status)| status)
+        .collect();
+    assert_eq!(
+        notify_resolutions.len(),
+        1,
+        "NotifyEmail resolved more than once: {:?}",
+        runner.history
+    );
+    assert!(
+        matches!(notify_resolutions[0], StoreStatus::Miss(_)),
+        "cold store should be a miss, got {:?}",
+        notify_resolutions[0]
+    );
+    // Three campaigns total: NotifyEmail, NotifyMxDrifted, TwoWeek.
+    assert_eq!(runner.history.len(), 3);
+    assert_eq!(runner.simulated(), 3);
+    assert_eq!(runner.store_hits(), 0);
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn warm_store_renders_full_suite_with_zero_simulations() {
+    let (dir, store) = temp_store("warm");
+    let all_names: Vec<&str> = ALL.iter().map(|a| a.name).collect();
+
+    // Cold run: everything simulates and persists.
+    let mut cold = Runner::new(tiny_env(), Some(store));
+    let cold_text = render_names(&mut cold, &all_names);
+    assert!(cold.simulated() > 0);
+    assert_eq!(cold.store_hits(), 0);
+
+    // Warm run in a fresh process-equivalent (new runner, same store):
+    // zero simulations, byte-identical text.
+    let mut warm = Runner::new(tiny_env(), Some(CampaignStore::new(dir.clone())));
+    let warm_text = render_names(&mut warm, &all_names);
+    assert_eq!(
+        warm.simulated(),
+        0,
+        "warm store should serve every campaign: {:?}",
+        warm.history
+    );
+    assert_eq!(warm.store_hits(), cold.simulated());
+    assert_eq!(cold_text, warm_text, "warm re-render diverged");
+
+    // And once more, to rule out the warm pass itself mutating state.
+    let mut warm2 = Runner::new(tiny_env(), Some(CampaignStore::new(dir.clone())));
+    let warm2_text = render_names(&mut warm2, &all_names);
+    assert_eq!(warm2.simulated(), 0);
+    assert_eq!(cold_text, warm2_text);
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn store_off_always_simulates() {
+    let mut runner = Runner::new(tiny_env(), None);
+    runner.campaign(&CampaignRequest::Providers);
+    assert_eq!(runner.history.len(), 1);
+    assert!(matches!(runner.history[0].1, StoreStatus::Off));
+    assert_eq!(runner.simulated(), 1);
+    // Memoized re-request resolves nothing new.
+    runner.campaign(&CampaignRequest::Providers);
+    assert_eq!(runner.history.len(), 1);
+}
+
+#[test]
+fn changing_any_knob_misses_the_warm_store() {
+    let (dir, store) = temp_store("knobs");
+    let mut base = Runner::new(tiny_env(), Some(store));
+    base.campaign(&CampaignRequest::Providers);
+    assert_eq!(base.simulated(), 1);
+
+    // Same env, fresh runner: hit.
+    let mut same = Runner::new(tiny_env(), Some(CampaignStore::new(dir.clone())));
+    same.campaign(&CampaignRequest::Providers);
+    assert_eq!(same.store_hits(), 1);
+
+    // Different seed and different scale: both must re-run.
+    for env in [
+        Env {
+            seed: 2022,
+            ..tiny_env()
+        },
+        Env {
+            scale: 0.005,
+            ..tiny_env()
+        },
+    ] {
+        let mut changed = Runner::new(env, Some(CampaignStore::new(dir.clone())));
+        changed.campaign(&CampaignRequest::Providers);
+        assert_eq!(
+            changed.simulated(),
+            1,
+            "changed knob must invalidate: {env:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(dir);
+}

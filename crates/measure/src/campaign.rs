@@ -170,6 +170,7 @@ const CLIENT_RETRY_BUDGET: u32 = 2;
 const CLIENT_RETRY_BACKOFF_MS: u64 = 30_000;
 
 /// Everything a campaign produced.
+#[derive(Debug)]
 pub struct CampaignResult {
     /// The apparatus query log, in canonical `(time_ms, session)` order.
     pub log: QueryLog,
@@ -474,6 +475,84 @@ pub fn run_campaign(
         shard_stats,
         partial,
     }
+}
+
+/// Run a campaign through the content-addressed store: serve the
+/// result from disk when an intact entry exists for the spec's key,
+/// otherwise simulate via [`run_campaign`] and persist the result for
+/// the next caller. All progress goes through [`crate::progress!`] and
+/// carries the content hash, so every run is attributable in logs.
+///
+/// Any load failure — missing entry, torn tail, checksum mismatch,
+/// stale key — falls back to a clean re-run; the store can only ever
+/// cost a simulation, never serve wrong data.
+pub fn run_campaign_stored(
+    spec: &crate::store::KeySpec<'_>,
+    pop: &Population,
+    profiles: &[MtaProfile],
+    store: Option<&crate::store::CampaignStore>,
+) -> (CampaignResult, crate::store::StoreStatus) {
+    use crate::store::{StoreError, StoreStatus};
+
+    let config = spec.config;
+    let key = spec.key();
+    let status = match store {
+        None => StoreStatus::Off,
+        Some(store) => match store.load(&key) {
+            Ok(result) => {
+                crate::progress!(
+                    "campaign {} key={} store=hit: {} sessions, {} queries served from {}",
+                    key.label,
+                    key.short_hex(),
+                    result.sessions.len(),
+                    result.log.records.len(),
+                    store.path_for(&key).display()
+                );
+                return (result, StoreStatus::Hit);
+            }
+            Err(StoreError::Missing) => StoreStatus::Miss("cold".to_string()),
+            Err(e) => StoreStatus::Miss(e.to_string()),
+        },
+    };
+
+    crate::progress!(
+        "campaign {} key={} store={}: running over {} domains / {} hosts on {} shard(s) ...",
+        key.label,
+        key.short_hex(),
+        crate::progress::store_status(&status),
+        pop.domains.len(),
+        pop.hosts.len(),
+        config.shards.max(1)
+    );
+    let start = std::time::Instant::now();
+    let result = run_campaign(config, pop, profiles);
+    crate::progress!(
+        "campaign {} key={} done: {} sessions, {} queries logged, {} events, {:.1}s wall",
+        key.label,
+        key.short_hex(),
+        result.sessions.len(),
+        result.log.records.len(),
+        result.events,
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(store) = store {
+        match store.save(&key, &result) {
+            Ok(path) => crate::progress!(
+                "campaign {} key={} persisted to {}",
+                key.label,
+                key.short_hex(),
+                path.display()
+            ),
+            // A failed save degrades to store-off behavior; the result
+            // in hand is still correct.
+            Err(e) => crate::progress!(
+                "campaign {} key={} could not be persisted: {e}",
+                key.label,
+                key.short_hex()
+            ),
+        }
+    }
+    (result, status)
 }
 
 /// Build the full session list in deterministic campaign order and

@@ -117,33 +117,38 @@ impl std::error::Error for FrameError {}
 // Binary codec
 // ---------------------------------------------------------------------------
 
+/// Little-endian byte encoder shared by the journal frames and the
+/// campaign store ([`crate::store`]), so both speak one codec.
 #[derive(Default)]
-struct Enc(Vec<u8>);
+pub(crate) struct Enc(pub(crate) Vec<u8>);
 
 impl Enc {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn boolean(&mut self, v: bool) {
+    pub(crate) fn boolean(&mut self, v: bool) {
         self.u8(u8::from(v));
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn size(&mut self, v: usize) {
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    pub(crate) fn size(&mut self, v: usize) {
         self.u64(v as u64);
     }
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.0.extend_from_slice(s.as_bytes());
     }
-    fn opt<T>(&mut self, v: Option<&T>, mut put: impl FnMut(&mut Self, &T)) {
+    pub(crate) fn opt<T>(&mut self, v: Option<&T>, mut put: impl FnMut(&mut Self, &T)) {
         match v {
             None => self.u8(0),
             Some(inner) => {
@@ -154,13 +159,15 @@ impl Enc {
     }
 }
 
-struct Dec<'a> {
+/// Decoding counterpart of [`Enc`]; every read is bounds-checked and
+/// corruption surfaces as a [`FrameError`], never a panic.
+pub(crate) struct Dec<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
         Dec { data, pos: 0 }
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
@@ -172,29 +179,32 @@ impl<'a> Dec<'a> {
         self.pos = end;
         Ok(out)
     }
-    fn u8(&mut self) -> Result<u8, FrameError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, FrameError> {
         Ok(self.take(1)?[0])
     }
-    fn boolean(&mut self) -> Result<bool, FrameError> {
+    pub(crate) fn boolean(&mut self) -> Result<bool, FrameError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             _ => Err(FrameError::BadTag),
         }
     }
-    fn u16(&mut self) -> Result<u16, FrameError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, FrameError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
     }
-    fn u32(&mut self) -> Result<u32, FrameError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, FrameError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
-    fn u64(&mut self) -> Result<u64, FrameError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, FrameError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
-    fn size(&mut self) -> Result<usize, FrameError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    pub(crate) fn size(&mut self) -> Result<usize, FrameError> {
         usize::try_from(self.u64()?).map_err(|_| FrameError::Truncated)
     }
-    fn str(&mut self) -> Result<String, FrameError> {
+    pub(crate) fn str(&mut self) -> Result<String, FrameError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadString)
@@ -209,7 +219,7 @@ impl<'a> Dec<'a> {
             _ => Err(FrameError::BadTag),
         }
     }
-    fn finished(&self) -> Result<(), FrameError> {
+    pub(crate) fn finished(&self) -> Result<(), FrameError> {
         if self.pos == self.data.len() {
             Ok(())
         } else {
@@ -322,7 +332,7 @@ fn get_outcome(dec: &mut Dec<'_>) -> Result<ClientOutcome, FrameError> {
     })
 }
 
-fn put_record(enc: &mut Enc, r: &SessionRecord) {
+pub(crate) fn put_record(enc: &mut Enc, r: &SessionRecord) {
     enc.size(r.session_id);
     enc.size(r.host_index);
     enc.size(r.domain_index);
@@ -342,7 +352,7 @@ fn put_record(enc: &mut Enc, r: &SessionRecord) {
     }
 }
 
-fn get_record(dec: &mut Dec<'_>) -> Result<SessionRecord, FrameError> {
+pub(crate) fn get_record(dec: &mut Dec<'_>) -> Result<SessionRecord, FrameError> {
     let session_id = dec.size()?;
     let host_index = dec.size()?;
     let domain_index = dec.size()?;
@@ -381,7 +391,7 @@ fn get_record(dec: &mut Dec<'_>) -> Result<SessionRecord, FrameError> {
     })
 }
 
-fn put_query(enc: &mut Enc, q: &QueryRecord) {
+pub(crate) fn put_query(enc: &mut Enc, q: &QueryRecord) {
     enc.u64(q.time_ms);
     enc.size(q.session);
     put_name(enc, &q.qname);
@@ -402,7 +412,7 @@ fn put_query(enc: &mut Enc, q: &QueryRecord) {
     });
 }
 
-fn get_query(dec: &mut Dec<'_>) -> Result<QueryRecord, FrameError> {
+pub(crate) fn get_query(dec: &mut Dec<'_>) -> Result<QueryRecord, FrameError> {
     let time_ms = dec.u64()?;
     let session = dec.size()?;
     let qname = get_name(dec)?;
@@ -440,7 +450,7 @@ fn get_query(dec: &mut Dec<'_>) -> Result<QueryRecord, FrameError> {
     })
 }
 
-fn put_faults(enc: &mut Enc, f: &FaultStats) {
+pub(crate) fn put_faults(enc: &mut Enc, f: &FaultStats) {
     for v in [
         f.dns_dropped,
         f.dns_duplicated,
@@ -459,7 +469,7 @@ fn put_faults(enc: &mut Enc, f: &FaultStats) {
     }
 }
 
-fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
+pub(crate) fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
     Ok(FaultStats {
         dns_dropped: dec.u64()?,
         dns_duplicated: dec.u64()?,

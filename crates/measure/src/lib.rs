@@ -31,6 +31,12 @@
 //! * [`journal`] — durable per-shard session journals: append-only,
 //!   checksummed frames that let an interrupted campaign resume with
 //!   byte-identical output instead of restarting from zero.
+//! * [`store`] — the content-addressed campaign result store: completed
+//!   [`CampaignResult`]s serialized with the journal's framing, keyed
+//!   by a hash of every result-determining knob, so analyses re-render
+//!   from disk instead of re-simulating (run once, analyze many).
+//! * [`progress`] — the single `[mailval]` stderr progress channel;
+//!   campaign lines carry the content hash and store hit/miss status.
 //! * [`analysis`] — classification of raw observations into the paper's
 //!   tables: validation combos (Table 4), validating counts and deciles
 //!   (Table 5), providers (Table 6), Alexa tiers (Table 7), SPF-vs-
@@ -51,16 +57,19 @@ pub mod fingerprint;
 pub mod journal;
 pub mod names;
 pub mod policies;
+pub mod progress;
 pub mod report;
 pub mod shard;
+pub mod store;
 
 pub use apparatus::{Attribution, QueryLog, QueryRecord, SynthesizingAuthority};
 pub use campaign::{
-    drift_profiles, run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
-    CampaignResult, SupervisorConfig,
+    drift_profiles, run_campaign, run_campaign_stored, sample_host_profiles, CampaignConfig,
+    CampaignKind, CampaignResult, SupervisorConfig,
 };
 pub use engine::{EngineConfig, SessionBudget, SessionEngine, SessionOutcome, SessionRecord};
 pub use journal::{JournalFrame, JournalWriter, Replay};
 pub use names::NameScheme;
 pub use policies::{TestPolicyId, ALL_TESTS};
 pub use shard::ShardStats;
+pub use store::{CampaignKey, CampaignStore, KeySpec, StoreError, StoreStatus};

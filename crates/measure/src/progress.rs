@@ -1,0 +1,37 @@
+//! The one place `[mailval]` progress lines come from.
+//!
+//! Every long-running stage of the pipeline — campaign simulation,
+//! store hits and misses, artifact rendering — reports through
+//! [`progress!`] so runs are attributable in logs: one prefix, one
+//! stream (stderr), and campaign lines always carry the content hash
+//! that names the work. Artifact *output* goes to stdout; everything
+//! here is diagnostics and never mixes with it.
+
+use std::fmt;
+
+/// Emit one `[mailval]` line to stderr. Prefer the [`crate::progress!`]
+/// macro, which formats in place.
+pub fn emit(args: fmt::Arguments<'_>) {
+    eprintln!("[mailval] {args}");
+}
+
+/// Format and emit one `[mailval]` progress line to stderr.
+///
+/// ```
+/// mailval_measure::progress!("rendering {} artifact(s)", 3);
+/// ```
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress::emit(format_args!($($arg)*))
+    };
+}
+
+/// Render a [`crate::store::StoreStatus`] for a progress line.
+pub fn store_status(status: &crate::store::StoreStatus) -> String {
+    match status {
+        crate::store::StoreStatus::Hit => "hit".to_string(),
+        crate::store::StoreStatus::Miss(reason) => format!("miss({reason})"),
+        crate::store::StoreStatus::Off => "off".to_string(),
+    }
+}

@@ -7,10 +7,12 @@
 # Cargo.toml), and CARGO_NET_OFFLINE pins cargo to what is vendored.
 #
 # Usage:
-#   scripts/verify.sh           # the full gate (fmt, clippy, build,
-#                               # tests, chaos + resume determinism)
-#   scripts/verify.sh --chaos   # only the chaos determinism stage
-#   scripts/verify.sh --resume  # only the kill-and-resume stage
+#   scripts/verify.sh              # the full gate (fmt, clippy, build,
+#                                  # tests, chaos + resume determinism,
+#                                  # warm-store artifact determinism)
+#   scripts/verify.sh --chaos      # only the chaos determinism stage
+#   scripts/verify.sh --resume     # only the kill-and-resume stage
+#   scripts/verify.sh --artifacts  # only the artifact-store stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +37,36 @@ resume() {
   cargo test -q --test resume_determinism
 }
 
+artifacts() {
+  # Campaign-store determinism: a cold `--all` populates the content-
+  # addressed store; two warm re-renders must simulate zero campaigns
+  # (asserted via the CLI's accounting line) and produce byte-identical
+  # artifact text. Small scale, fixed seed/shards so the key is stable.
+  echo "== artifacts: warm-store render-twice (mailval-artifacts --all) =="
+  cargo build --release -p mailval-bench --bin mailval-artifacts
+  local bin=target/release/mailval-artifacts
+  local dir
+  dir=$(mktemp -d)
+  trap 'rm -rf "$dir"' RETURN
+  local -a env=(MAILVAL_SCALE=0.01 MAILVAL_SEED=2021 MAILVAL_SHARDS=2)
+  env "${env[@]}" "$bin" --store "$dir/store" --all \
+    >"$dir/cold.txt" 2>"$dir/cold.err"
+  for pass in warm1 warm2; do
+    env "${env[@]}" "$bin" --store "$dir/store" --all \
+      >"$dir/$pass.txt" 2>"$dir/$pass.err"
+    grep -q "simulated=0" "$dir/$pass.err" || {
+      echo "artifacts: $pass pass re-simulated campaigns:" >&2
+      grep "campaigns:" "$dir/$pass.err" >&2 || true
+      return 1
+    }
+    cmp "$dir/cold.txt" "$dir/$pass.txt" || {
+      echo "artifacts: $pass render diverged from cold render" >&2
+      return 1
+    }
+  done
+  echo "artifacts: zero warm simulations, byte-identical renders"
+}
+
 if [[ "${1:-}" == "--chaos" ]]; then
   chaos
   echo "verify --chaos: OK"
@@ -44,6 +76,12 @@ fi
 if [[ "${1:-}" == "--resume" ]]; then
   resume
   echo "verify --resume: OK"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--artifacts" ]]; then
+  artifacts
+  echo "verify --artifacts: OK"
   exit 0
 fi
 
@@ -61,5 +99,6 @@ cargo test -q
 
 chaos
 resume
+artifacts
 
 echo "verify: OK"
