@@ -24,7 +24,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: mailval-artifacts [OPTIONS] ARTIFACT...
-       mailval-artifacts bench-campaign|bench-chaos|bench-resume [OUT.json]
+       mailval-artifacts bench-campaign|bench-chaos|bench-resume|bench-hostile [OUT.json]
+       mailval-artifacts fuzz [FRAMES]
 
 Render the paper's tables and figures. Campaigns are simulated at most
 once per store: results land in a content-addressed store and later
@@ -57,6 +58,14 @@ fn main() -> ExitCode {
             }
             "bench-resume" => {
                 suites::resume::run(out);
+                return ExitCode::SUCCESS;
+            }
+            "bench-hostile" => {
+                suites::hostile::run(out);
+                return ExitCode::SUCCESS;
+            }
+            "fuzz" => {
+                suites::hostile::fuzz(out);
                 return ExitCode::SUCCESS;
             }
             _ => {}

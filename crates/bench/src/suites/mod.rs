@@ -1,10 +1,12 @@
 //! The performance suites behind the `bench-*` CLI subcommands:
 //! campaign throughput ([`campaign`]), the chaos fault sweep
-//! ([`chaos`]) and the journal-overhead budget ([`resume`]). Each
+//! ([`chaos`]), the journal-overhead budget ([`resume`]) and the
+//! hostile-payload sweep plus fuzz harness ([`hostile`]). Each bench
 //! writes a hand-rolled JSON report (offline builds have no serde) to
 //! `results/BENCH_*.json` or an explicit output path, and reports
 //! progress through the unified `[mailval]` channel.
 
 pub mod campaign;
 pub mod chaos;
+pub mod hostile;
 pub mod resume;

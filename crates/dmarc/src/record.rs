@@ -88,10 +88,14 @@ fn parse_policy(v: &str) -> Result<DmarcPolicy, DmarcParseError> {
     }
 }
 
-/// Quick check whether a TXT string is a DMARC record.
+/// Quick check whether a TXT string is a DMARC record. Byte-indexed
+/// (`t.len() >= 8` counts bytes), so the slice must be too: hostile
+/// TXT rdata can put a multibyte char across the 8-byte boundary.
 pub fn looks_like_dmarc(txt: &str) -> bool {
     let t = txt.trim_start();
-    t.len() >= 8 && t[..8].eq_ignore_ascii_case("v=DMARC1")
+    t.as_bytes()
+        .get(..8)
+        .is_some_and(|p| p.eq_ignore_ascii_case(b"v=DMARC1"))
 }
 
 impl DmarcRecord {
@@ -275,5 +279,15 @@ mod tests {
     fn detection() {
         assert!(looks_like_dmarc("v=DMARC1; p=none"));
         assert!(!looks_like_dmarc("v=spf1 -all"));
+    }
+
+    #[test]
+    fn detection_survives_multibyte_garbage() {
+        // Hostile TXT rdata arrives lossy-decoded, so U+FFFD (3 bytes)
+        // can straddle the 8-byte prefix; this used to panic on a char
+        // boundary. The short-but-multibyte case must not panic either.
+        assert!(!looks_like_dmarc("v=DMAR\u{fffd}H; p=reject"));
+        assert!(!looks_like_dmarc("\u{fffd}\u{fffd}\u{fffd}"));
+        assert!(looks_like_dmarc("v=DMARC1\u{fffd}garbage"));
     }
 }

@@ -18,7 +18,7 @@ use crate::message::Message;
 use crate::name::Name;
 use crate::rr::{Record, RecordType};
 use crate::server::Transport;
-use crate::wire::Rcode;
+use crate::wire::{Rcode, WireError};
 use std::collections::HashMap;
 
 /// Final outcome of one lookup.
@@ -126,6 +126,11 @@ pub struct ResolverCore {
     next_id: u16,
     /// Count of upstream queries emitted (diagnostics).
     pub upstream_queries: u64,
+    /// Wire-decode failures observed on upstream responses, in arrival
+    /// order. Each failed decode fails the lookup closed (SERVFAIL);
+    /// the embedder drains this with [`ResolverCore::take_wire_errors`]
+    /// to classify the hostile input it just survived.
+    wire_errors: Vec<WireError>,
 }
 
 impl ResolverCore {
@@ -137,7 +142,13 @@ impl ResolverCore {
             pending: HashMap::new(),
             next_id: 1,
             upstream_queries: 0,
+            wire_errors: Vec::new(),
         }
+    }
+
+    /// Drain the wire-decode failures recorded since the last call.
+    pub fn take_wire_errors(&mut self) -> Vec<WireError> {
+        std::mem::take(&mut self.wire_errors)
     }
 
     /// The configuration.
@@ -192,8 +203,13 @@ impl ResolverCore {
         };
         let msg = match Message::from_bytes(bytes) {
             Ok(m) if m.is_response && m.id == id => m,
-            _ => {
-                // Garbled or mismatched: treat like SERVFAIL from upstream.
+            decoded => {
+                // Garbled or mismatched: fail the lookup closed (treat
+                // like SERVFAIL from upstream). Undecodable bytes are
+                // additionally recorded for hostile-input classification.
+                if let Err(e) = decoded {
+                    self.wire_errors.push(e);
+                }
                 let pending = self.pending.remove(&id).expect("checked above");
                 return Step::Done(self.finish(
                     pending.name,
@@ -464,6 +480,38 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(core.upstream_queries, 2);
+    }
+
+    #[test]
+    fn garbled_response_fails_closed_and_is_classified() {
+        // Hostile-input regression: undecodable response bytes must end
+        // the lookup with SERVFAIL (never a panic, never a hang) and
+        // leave the WireError behind for classification.
+        let mut core = ResolverCore::new(ResolverConfig::default());
+        let Begin::Send(out) = core.begin(n("hostile.test"), RecordType::A, 0) else {
+            panic!()
+        };
+        let full = respond_with_a(&out, [192, 0, 2, 9], 120);
+        let garbled = &full[..full.len() / 2];
+        match core.on_response(out.id, garbled, 5) {
+            Step::Done(ResolveOutcome::ServFail) => {}
+            other => panic!("{other:?}"),
+        }
+        let errors = core.take_wire_errors();
+        assert_eq!(errors.len(), 1);
+        assert!(core.take_wire_errors().is_empty(), "drain must reset");
+        // A well-formed response with a mismatched id also fails closed,
+        // but is not a wire error.
+        let Begin::Send(out) = core.begin(n("mismatch.test"), RecordType::A, 10) else {
+            panic!()
+        };
+        let mut resp = respond_with_a(&out, [192, 0, 2, 9], 120);
+        resp[0] ^= 0xFF; // flip the id
+        match core.on_response(out.id, &resp, 15) {
+            Step::Done(ResolveOutcome::ServFail) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(core.take_wire_errors().is_empty());
     }
 
     #[test]

@@ -495,10 +495,15 @@ pub fn decode_message(data: &[u8]) -> Result<Message, WireError> {
         recursion_desired: flags & 0x0100 != 0,
         recursion_available: flags & 0x0080 != 0,
         rcode: Rcode::from_code(flags as u8),
-        questions: Vec::with_capacity(qd),
-        answers: Vec::with_capacity(an.min(64)),
-        authorities: Vec::with_capacity(ns.min(64)),
-        additionals: Vec::with_capacity(ar.min(64)),
+        // Pre-allocation is capped by what the remaining bytes could
+        // possibly hold (a question is ≥ 5 bytes, a record ≥ 11), so a
+        // header lying about its counts can never allocate past the
+        // datagram itself; the parse loops below still fail with
+        // `Truncated` when the promised entries run out of bytes.
+        questions: Vec::with_capacity(qd.min(data.len().saturating_sub(12) / 5)),
+        answers: Vec::with_capacity(an.min(64).min(data.len().saturating_sub(12) / 11)),
+        authorities: Vec::with_capacity(ns.min(64).min(data.len().saturating_sub(12) / 11)),
+        additionals: Vec::with_capacity(ar.min(64).min(data.len().saturating_sub(12) / 11)),
     };
     for _ in 0..qd {
         msg.questions.push(dec.get_question()?);
@@ -623,6 +628,97 @@ mod tests {
         let bytes = encode_message(&sample_message()).unwrap();
         for cut in 0..bytes.len() {
             assert!(decode_message(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    /// Every encoded form this module can produce, for sweep tests.
+    fn encoded_corpus() -> Vec<Vec<u8>> {
+        let query = sample_message();
+        let mut all_rdata = Message::response_to(&query, Rcode::NoError);
+        all_rdata.answers = vec![
+            Record::new(n("a.example"), 300, RData::A("192.0.2.1".parse().unwrap())),
+            Record::new(
+                n("a.example"),
+                300,
+                RData::Aaaa("2001:db8::1".parse().unwrap()),
+            ),
+            Record::new(
+                n("a.example"),
+                300,
+                RData::Mx {
+                    preference: 10,
+                    exchange: n("mx1.a.example"),
+                },
+            ),
+            Record::new(n("a.example"), 60, RData::txt_from_str(&"t".repeat(300))),
+            Record::new(n("alias.example"), 60, RData::Cname(n("a.example"))),
+            Record::new(n("a.example"), 60, RData::Ns(n("ns1.a.example"))),
+            Record::new(n("1.2.0.192.in-addr.arpa"), 60, RData::Ptr(n("a.example"))),
+        ];
+        all_rdata.authorities = vec![Record::new(
+            n("example"),
+            3600,
+            RData::Soa(SoaData {
+                mname: n("ns1.example"),
+                rname: n("hostmaster.example"),
+                serial: 2021120701,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        )];
+        let mut compressed = Message::response_to(&query, Rcode::NoError);
+        let name = n("really.quite.long.domain.name.example.com");
+        for i in 0..10 {
+            compressed.answers.push(Record::new(
+                name.clone(),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, i)),
+            ));
+        }
+        [query, all_rdata, compressed]
+            .iter()
+            .map(|m| encode_message(m).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_truncation_sweep_over_corpus() {
+        // Hostile-input regression: every strict prefix of every encoded
+        // test message must decode to a WireError — never a panic, and
+        // (via the capped pre-allocation in `decode_message`) never an
+        // allocation past the prefix itself.
+        for (i, bytes) in encoded_corpus().iter().enumerate() {
+            assert!(decode_message(bytes).is_ok(), "corpus[{i}] must decode");
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_message(&bytes[..cut]).is_err(),
+                    "corpus[{i}] cut={cut} accepted a truncated frame"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lying_header_counts_never_overallocate() {
+        // A 12-byte header promising 65,535 entries per section: the
+        // decoder must fail with Truncated, and its pre-allocation is
+        // bounded by the remaining buffer (here zero), not the counts.
+        let mut bytes = vec![0u8; 12];
+        for pos in [4, 6, 8, 10] {
+            bytes[pos] = 0xFF;
+            bytes[pos + 1] = 0xFF;
+        }
+        assert_eq!(decode_message(&bytes), Err(WireError::Truncated));
+        // Same lie atop an otherwise valid message: still a clean error.
+        for original in encoded_corpus() {
+            let mut lied = original.clone();
+            for pos in [4, 6, 8, 10] {
+                lied[pos] = 0xFF;
+                lied[pos + 1] = 0xFF;
+            }
+            assert!(decode_message(&lied).is_err());
         }
     }
 

@@ -35,7 +35,9 @@ use mailval_dns::Name;
 use mailval_mta::actor::{ConnContext, MtaActor};
 use mailval_mta::profile::MtaProfile;
 use mailval_mta::resolver::ResolverActor;
-use mailval_simnet::{run_shards_catch, FaultConfig, FaultStats, LatencyModel, SimRng};
+use mailval_simnet::{
+    run_shards_catch, FaultConfig, FaultStats, LatencyModel, PayloadConfig, SimRng,
+};
 use mailval_smtp::client::{probe_usernames, ClientConfig, ClientSession};
 use mailval_smtp::mail::MailMessage;
 use mailval_smtp::EmailAddress;
@@ -75,6 +77,11 @@ pub struct CampaignConfig {
     /// default injects nothing; the merged output stays byte-identical
     /// for every shard count either way.
     pub faults: FaultConfig,
+    /// Hostile-peer payload mutation (structure-aware corruption of DNS
+    /// responses and SMTP replies). The default mutates nothing; like
+    /// `faults`, the merged output stays byte-identical for every shard
+    /// count and across kill-and-resume.
+    pub payload: PayloadConfig,
     /// Number of parallel shards (0 and 1 both mean single-threaded).
     /// The merged output is byte-identical for every value.
     pub shards: usize,
@@ -106,6 +113,7 @@ impl Default for CampaignConfig {
             probe_pause_ms: 15_000,
             latency: LatencyModel::default(),
             faults: FaultConfig::default(),
+            payload: PayloadConfig::default(),
             shards: 1,
             journal_dir: None,
             resume: false,
@@ -318,6 +326,7 @@ pub fn run_campaign(
     let engine_config = EngineConfig {
         latency: config.latency.clone(),
         faults: config.faults.clone(),
+        payload: config.payload.clone(),
         client_ip,
         auth_ip,
         local_hop_ms: 1,
@@ -692,6 +701,7 @@ fn make_session(
 ) -> LiveSession {
     let host = &pop.hosts[host_index];
     let profile = profiles[host_index].clone();
+    let hostile_dns = profile.hostile_dns;
     let resolver = ResolverActor::new(
         profile.resolver.clone(),
         profile.ipv6_capable,
@@ -706,7 +716,9 @@ fn make_session(
             recipients_guessed: guessed,
         },
     );
-    LiveSession::new(record, client, mta, resolver, IpAddr::V4(host.ipv4))
+    let mut session = LiveSession::new(record, client, mta, resolver, IpAddr::V4(host.ipv4));
+    session.set_hostile_dns(hostile_dns);
+    session
 }
 
 /// Build the signed notification message (§4.3.1: "the content was in

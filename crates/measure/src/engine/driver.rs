@@ -11,7 +11,8 @@ use mailval_dns::server::{ServerCore, Transport};
 use mailval_mta::actor::{MtaEvent, MtaInput, MtaOutput};
 use mailval_mta::resolver::{ResolverEvent, UpstreamSend};
 use mailval_simnet::{
-    ConnFault, DatagramFate, FaultConfig, FaultPlan, FaultStats, LatencyModel, Simulator,
+    ConnFault, DatagramFate, DnsMutation, FaultConfig, FaultPlan, FaultStats, LatencyModel,
+    MalformedClass, PayloadConfig, PayloadPlan, Simulator,
 };
 use mailval_smtp::client::ClientAction;
 use std::net::IpAddr;
@@ -52,6 +53,10 @@ pub struct EngineConfig {
     /// Fault-injection knobs; the default injects nothing. Combined with
     /// `latency.loss_probability` (the loss oracle) into a [`FaultPlan`].
     pub faults: FaultConfig,
+    /// Hostile-peer payload mutation knobs; the default mutates nothing.
+    /// Decisions are keyed by (seed, session id, payload cursor), so
+    /// like the fault plan they are shard- and resume-invariant.
+    pub payload: PayloadConfig,
     /// The probe client's source address.
     pub client_ip: IpAddr,
     /// The authoritative server's address.
@@ -106,6 +111,7 @@ pub struct SessionEngine<'a> {
     log: QueryLog,
     config: EngineConfig,
     plan: FaultPlan,
+    payload: PayloadPlan,
     /// Journal receiving one frame per completed session, when the
     /// campaign runs with durability enabled.
     journal: Option<JournalWriter>,
@@ -134,6 +140,7 @@ impl<'a> SessionEngine<'a> {
         clock: Simulator<Ev>,
     ) -> Self {
         let plan = FaultPlan::new(config.faults.clone(), config.latency.clone());
+        let payload = PayloadPlan::new(config.payload.clone());
         SessionEngine {
             sim: clock,
             sessions: Vec::new(),
@@ -141,6 +148,7 @@ impl<'a> SessionEngine<'a> {
             log: QueryLog::new(),
             config,
             plan,
+            payload,
             journal: None,
             replay_records: Vec::new(),
             replay_faults: FaultStats::default(),
@@ -225,7 +233,15 @@ impl<'a> SessionEngine<'a> {
             }));
             match result {
                 Ok(()) => {
-                    if self.sessions[id].pending == 0 {
+                    // A hostile-input termination ends the session at the
+                    // rejection even while later events are still queued
+                    // (they drain as stale).
+                    let finished = {
+                        let s = &self.sessions[id];
+                        s.pending == 0
+                            || matches!(s.record.termination, SessionOutcome::HostileInput { .. })
+                    };
+                    if finished {
                         self.finish_session(id);
                     }
                 }
@@ -362,6 +378,42 @@ impl<'a> SessionEngine<'a> {
         self.plan.conn_fault(sid, &mut session.faults)
     }
 
+    /// Maybe mutate the next DNS response payload of session `id` in
+    /// place (keyed like the fate decisions: campaign-global session id
+    /// plus the session's payload cursor). Content-level kinds (SPF
+    /// cycle, CNAME self-chain; only offered when the session's profile
+    /// is `hostile_dns`) are synthesized here from the response's own
+    /// question — the plan itself never sees domain names.
+    fn mutate_dns_payload(&mut self, id: usize, bytes: &mut Vec<u8>) {
+        let session = &mut self.sessions[id];
+        let sid = session.record.session_id as u64;
+        let hostile = session.hostile_dns;
+        if let Some(kind) = self
+            .payload
+            .mutate_dns(sid, &mut session.faults, bytes, hostile)
+        {
+            session.stats.dns_payload_mutations += 1;
+            if matches!(kind, DnsMutation::SpfCycle | DnsMutation::CnameChain) {
+                if let Some(replacement) = crate::hostile::synthesize_hostile_dns(bytes, kind) {
+                    *bytes = replacement;
+                }
+            }
+        }
+    }
+
+    /// Maybe mutate the next SMTP reply payload of session `id` in place.
+    fn mutate_smtp_payload(&mut self, id: usize, text: &mut String) {
+        let session = &mut self.sessions[id];
+        let sid = session.record.session_id as u64;
+        if self
+            .payload
+            .mutate_smtp(sid, &mut session.faults, text)
+            .is_some()
+        {
+            session.stats.smtp_payload_mutations += 1;
+        }
+    }
+
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Start(id) => {
@@ -382,6 +434,7 @@ impl<'a> SessionEngine<'a> {
             }
             Ev::ToClient(id, text) => {
                 let mut actions = Vec::new();
+                let mut rejected = false;
                 {
                     let session = &mut self.sessions[id];
                     for line in text.split_inclusive("\r\n") {
@@ -389,10 +442,35 @@ impl<'a> SessionEngine<'a> {
                         if line.is_empty() {
                             continue;
                         }
-                        if let Ok(Some(reply)) = session.parser.push_line(line) {
-                            actions.push(session.client.on_reply(reply));
+                        match session.parser.push_line(line) {
+                            Ok(Some(reply)) => actions.push(session.client.on_reply(reply)),
+                            Ok(None) => {}
+                            Err(e) => {
+                                // The probe client fails closed on a
+                                // reply its parser refuses: classify the
+                                // rejection, settle the outcome, and end
+                                // the session here (a measurement probe
+                                // has no business guessing at garbage).
+                                let class = crate::hostile::classify_reply(&e);
+                                session.stats.malformed.record(class);
+                                session.stats.hostile_inputs += 1;
+                                session.record.termination = SessionOutcome::HostileInput { class };
+                                if session.record.outcome.is_none() {
+                                    session.record.outcome = Some(session.client.on_disconnect());
+                                }
+                                rejected = true;
+                                break;
+                            }
                         }
                     }
+                }
+                if rejected {
+                    // The client hangs up; the MTA observes the
+                    // disconnect. Anything it schedules drains as stale
+                    // once the session is finished below.
+                    let outputs = self.sessions[id].mta.handle(MtaInput::Disconnected);
+                    self.handle_mta_outputs(id, outputs);
+                    return;
                 }
                 for action in actions {
                     self.handle_client_action(id, action);
@@ -430,6 +508,12 @@ impl<'a> SessionEngine<'a> {
                     let rtt = self.one_way_auth(id);
                     let base = reply.delay_ms + rtt;
                     let mut bytes = reply.bytes;
+                    // Hostile-peer payload mutation happens at the
+                    // *server* (before the network decides the
+                    // datagram's fate), so it applies on TCP too: a
+                    // hostile peer is not bound by transport
+                    // reliability.
+                    self.mutate_dns_payload(id, &mut bytes);
                     // Response-side faults (UDP only; TCP is reliable,
                     // and only responses can be meaningfully truncated).
                     let fate = if transport == Transport::Udp {
@@ -474,6 +558,14 @@ impl<'a> SessionEngine<'a> {
                 let event = self.sessions[id]
                     .resolver
                     .on_upstream_response(core_id, &bytes, via_ipv6, now);
+                // The resolver failed closed (ServFail) on anything its
+                // decoder rejected; classify those rejections. DNS-level
+                // garbage never ends a session — the dialogue continues
+                // on the failed lookup.
+                for e in self.sessions[id].resolver.take_wire_errors() {
+                    let class = crate::hostile::classify_wire(&e);
+                    self.sessions[id].stats.malformed.record(class);
+                }
                 self.handle_resolver_event(id, event);
             }
             Ev::DnsTimeout(id, core_id, via_ipv6) => {
@@ -519,7 +611,10 @@ impl<'a> SessionEngine<'a> {
     fn handle_mta_outputs(&mut self, id: usize, outputs: Vec<MtaOutput>) {
         for output in outputs {
             match output {
-                MtaOutput::Smtp(text) => {
+                MtaOutput::Smtp(mut text) => {
+                    // Hostile-peer reply mutation happens at the server,
+                    // before the network decides the segment's fate.
+                    self.mutate_smtp_payload(id, &mut text);
                     // Any stall the MTA declared in this batch delays the
                     // reply segment that follows it.
                     let stall = std::mem::take(&mut self.sessions[id].stall_credit_ms);
@@ -563,6 +658,26 @@ impl<'a> SessionEngine<'a> {
                 }
                 MtaOutput::Event(MtaEvent::TempFailed) => {
                     self.sessions[id].stats.tempfails += 1;
+                }
+                MtaOutput::Event(MtaEvent::SpfHostile {
+                    cycle_detected,
+                    lookups_exhausted,
+                }) => {
+                    // Classification only: the evaluator already failed
+                    // closed with a deterministic PermError and the
+                    // session continues. Counted only under an active
+                    // payload campaign (or a hostile zone) — the paper's
+                    // own probe policies deliberately exceed the lookup
+                    // limits, and those measurements are not attacks.
+                    if self.payload.is_active() || self.sessions[id].hostile_dns {
+                        let stats = &mut self.sessions[id].stats;
+                        if cycle_detected {
+                            stats.malformed.record(MalformedClass::SpfPolicyLoop);
+                        }
+                        if lookups_exhausted {
+                            stats.malformed.record(MalformedClass::SpfLookupExhausted);
+                        }
+                    }
                 }
                 MtaOutput::Event(_) => {}
             }

@@ -1,0 +1,138 @@
+//! Hostile-input classification and content synthesis.
+//!
+//! The payload fault layer ([`mailval_simnet::PayloadPlan`]) corrupts
+//! wire bytes; the *consumers* — the DNS wire decoder, the SMTP reply
+//! parser, the SPF evaluator — reject what they cannot parse. This
+//! module maps each typed rejection onto the campaign-level
+//! [`MalformedClass`] taxonomy (the injector never classifies: a
+//! mutation that happens to survive a parser is not a rejection), and
+//! synthesizes the content-level hostile answers (SPF include cycles,
+//! CNAME self-chains) that byte-level mutation cannot express.
+
+use mailval_dns::{Message, RData, Record, WireError};
+use mailval_simnet::{DnsMutation, MalformedClass};
+use mailval_smtp::reply::ReplyParseError;
+
+/// Classify a DNS wire-decode rejection.
+pub fn classify_wire(error: &WireError) -> MalformedClass {
+    match error {
+        WireError::Truncated => MalformedClass::DnsTruncatedFrame,
+        WireError::BadPointer => MalformedClass::DnsBadPointer,
+        WireError::BadLabel | WireError::NameTooLong | WireError::BadName => {
+            MalformedClass::DnsBadLabel
+        }
+        WireError::BadRdataLength | WireError::TxtTooLong => MalformedClass::DnsBadRdata,
+    }
+}
+
+/// Classify an SMTP reply-parse rejection.
+pub fn classify_reply(error: &ReplyParseError) -> MalformedClass {
+    match error {
+        ReplyParseError::BadFormat => MalformedClass::SmtpBadCode,
+        ReplyParseError::BadChar => MalformedClass::SmtpBadChar,
+        ReplyParseError::LineTooLong => MalformedClass::SmtpLineTooLong,
+        ReplyParseError::CodeMismatch | ReplyParseError::TooManyLines => {
+            MalformedClass::SmtpBadContinuation
+        }
+    }
+}
+
+/// Synthesize a content-level hostile replacement for a well-formed DNS
+/// response: the answer section is rewritten to a policy designed to
+/// trap a naive evaluator in unbounded recursion. Returns `None` (leave
+/// the response untouched) when the response does not decode or the
+/// replacement cannot be encoded — synthesis must never be able to
+/// break a session by itself.
+///
+/// * [`DnsMutation::SpfCycle`] — a TXT policy that includes the queried
+///   name itself (`v=spf1 include:<qname> -all`): a self-cycle the SPF
+///   evaluator must break with a deterministic `PermError`.
+/// * [`DnsMutation::CnameChain`] — a CNAME pointing the queried name
+///   back at itself, the classic alias loop.
+pub fn synthesize_hostile_dns(response: &[u8], kind: DnsMutation) -> Option<Vec<u8>> {
+    let mut msg = Message::from_bytes(response).ok()?;
+    let qname = msg.question()?.name.clone();
+    let answer = match kind {
+        DnsMutation::SpfCycle => Record::new(
+            qname.clone(),
+            60,
+            RData::txt_from_str(&format!("v=spf1 include:{qname} -all")),
+        ),
+        DnsMutation::CnameChain => Record::new(qname.clone(), 60, RData::Cname(qname)),
+        _ => return None,
+    };
+    msg.answers = vec![answer];
+    msg.authorities.clear();
+    msg.additionals.clear();
+    msg.try_to_bytes().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mailval_dns::{Name, Rcode, RecordType};
+
+    fn response(qname: &str) -> Vec<u8> {
+        let query = Message::query(7, Name::parse(qname).expect("valid"), RecordType::Txt);
+        Message::response_to(&query, Rcode::NoError).to_bytes()
+    }
+
+    #[test]
+    fn every_wire_error_maps_to_a_dns_class() {
+        use WireError::*;
+        for e in [
+            Truncated,
+            BadPointer,
+            BadLabel,
+            NameTooLong,
+            BadRdataLength,
+            BadName,
+            TxtTooLong,
+        ] {
+            let class = classify_wire(&e);
+            assert!(class.label().starts_with("dns_"), "{e:?} → {class:?}");
+        }
+    }
+
+    #[test]
+    fn every_reply_error_maps_to_an_smtp_class() {
+        use ReplyParseError::*;
+        for e in [BadFormat, CodeMismatch, LineTooLong, TooManyLines, BadChar] {
+            let class = classify_reply(&e);
+            assert!(class.label().starts_with("smtp_"), "{e:?} → {class:?}");
+        }
+    }
+
+    #[test]
+    fn spf_cycle_synthesis_points_back_at_the_qname() {
+        let bytes = response("victim.test");
+        let hostile = synthesize_hostile_dns(&bytes, DnsMutation::SpfCycle).expect("synthesized");
+        let msg = Message::from_bytes(&hostile).expect("well-formed");
+        assert_eq!(msg.answers.len(), 1);
+        let RData::Txt(chunks) = &msg.answers[0].rdata else {
+            panic!("expected TXT");
+        };
+        let text: Vec<u8> = chunks.concat();
+        let text = String::from_utf8(text).expect("utf8");
+        assert_eq!(text, "v=spf1 include:victim.test -all");
+    }
+
+    #[test]
+    fn cname_chain_synthesis_is_a_self_alias() {
+        let bytes = response("victim.test");
+        let hostile = synthesize_hostile_dns(&bytes, DnsMutation::CnameChain).expect("synthesized");
+        let msg = Message::from_bytes(&hostile).expect("well-formed");
+        assert_eq!(msg.answers.len(), 1);
+        let RData::Cname(target) = &msg.answers[0].rdata else {
+            panic!("expected CNAME");
+        };
+        assert_eq!(target, &msg.answers[0].name);
+    }
+
+    #[test]
+    fn synthesis_refuses_garbage_and_byte_level_kinds() {
+        assert!(synthesize_hostile_dns(&[0xFF; 5], DnsMutation::SpfCycle).is_none());
+        let bytes = response("victim.test");
+        assert!(synthesize_hostile_dns(&bytes, DnsMutation::BitFlip).is_none());
+    }
+}

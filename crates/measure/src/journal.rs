@@ -31,7 +31,7 @@ use crate::engine::{EngineOutput, EngineStats, SessionOutcome, SessionRecord};
 use mailval_dns::rr::RecordType;
 use mailval_dns::server::Transport;
 use mailval_dns::Name;
-use mailval_simnet::FaultStats;
+use mailval_simnet::{FaultStats, MalformedClass, MalformedStats};
 use mailval_smtp::client::{ClientOutcome, Phase};
 use mailval_smtp::reply::Reply;
 use mailval_smtp::EmailAddress;
@@ -349,6 +349,10 @@ pub(crate) fn put_record(enc: &mut Enc, r: &SessionRecord) {
             enc.u64(virtual_ms);
             enc.u64(events);
         }
+        SessionOutcome::HostileInput { class } => {
+            enc.u8(2);
+            enc.u8(class.index() as u8);
+        }
     }
 }
 
@@ -374,6 +378,9 @@ pub(crate) fn get_record(dec: &mut Dec<'_>) -> Result<SessionRecord, FrameError>
         1 => SessionOutcome::BudgetExhausted {
             virtual_ms: dec.u64()?,
             events: dec.u64()?,
+        },
+        2 => SessionOutcome::HostileInput {
+            class: MalformedClass::from_index(dec.u8()? as usize).ok_or(FrameError::BadTag)?,
         },
         _ => return Err(FrameError::BadTag),
     };
@@ -464,13 +471,21 @@ pub(crate) fn put_faults(enc: &mut Enc, f: &FaultStats) {
         f.client_retries,
         f.contained_panics,
         f.budget_exhausted,
+        f.dns_payload_mutations,
+        f.smtp_payload_mutations,
+        f.hostile_inputs,
     ] {
         enc.u64(v);
+    }
+    // The malformed-class counters follow in `MalformedClass::ALL`
+    // order; adding a class is a journal format change.
+    for (_, count) in f.malformed.iter() {
+        enc.u64(count);
     }
 }
 
 pub(crate) fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
-    Ok(FaultStats {
+    let mut stats = FaultStats {
         dns_dropped: dec.u64()?,
         dns_duplicated: dec.u64()?,
         dns_delayed: dec.u64()?,
@@ -483,7 +498,17 @@ pub(crate) fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
         client_retries: dec.u64()?,
         contained_panics: dec.u64()?,
         budget_exhausted: dec.u64()?,
-    })
+        dns_payload_mutations: dec.u64()?,
+        smtp_payload_mutations: dec.u64()?,
+        hostile_inputs: dec.u64()?,
+        malformed: MalformedStats::default(),
+    };
+    let mut counts = [0u64; MalformedClass::ALL.len()];
+    for c in &mut counts {
+        *c = dec.u64()?;
+    }
+    stats.malformed = MalformedStats::from_counts(counts);
+    Ok(stats)
 }
 
 /// Serialize one frame's payload (length/checksum framing excluded).
@@ -767,6 +792,22 @@ mod tests {
         }
     }
 
+    /// A frame ended by hostile input, with classified rejections —
+    /// exercises the payload-fault extensions of the codec.
+    fn hostile_frame(session_id: usize) -> JournalFrame {
+        let mut frame = sample_frame(session_id);
+        frame.record.termination = SessionOutcome::HostileInput {
+            class: MalformedClass::SmtpBadChar,
+        };
+        frame.faults.dns_payload_mutations = 4;
+        frame.faults.smtp_payload_mutations = 2;
+        frame.faults.hostile_inputs = 1;
+        frame.faults.malformed.record(MalformedClass::SmtpBadChar);
+        frame.faults.malformed.record(MalformedClass::DnsBadPointer);
+        frame.faults.malformed.record(MalformedClass::DnsBadPointer);
+        frame
+    }
+
     fn temp_journal(name: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("mailval-journal-tests-{}", std::process::id()));
@@ -779,6 +820,21 @@ mod tests {
         let frame = sample_frame(42);
         let payload = encode_frame(&frame);
         assert_eq!(decode_frame(&payload).unwrap(), frame);
+    }
+
+    #[test]
+    fn hostile_frame_payload_roundtrips() {
+        let frame = hostile_frame(43);
+        let payload = encode_frame(&frame);
+        let decoded = decode_frame(&payload).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(
+            decoded
+                .faults
+                .malformed
+                .count(MalformedClass::DnsBadPointer),
+            2
+        );
     }
 
     #[test]
@@ -833,6 +889,41 @@ mod tests {
         w.append(&sample_frame(99)).unwrap();
         let ids = replay(&path).completed_ids();
         assert_eq!(ids, HashSet::from([0, 1, 2, 99]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_single_byte_flip_salvages_cleanly() {
+        // Hostile-filesystem sweep: flip every byte of a small journal
+        // (magic, length prefixes, CRCs, payloads — including a
+        // HostileInput frame) one at a time. Every flip must replay as
+        // a clean salvage of some prefix of the original frames; none
+        // may panic, and no flipped frame may be served as valid data.
+        let path = temp_journal("flip-sweep");
+        let mut w = JournalWriter::create(&path).unwrap();
+        let originals = [sample_frame(0), hostile_frame(1), sample_frame(2)];
+        for frame in &originals {
+            w.append(frame).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let pristine = std::fs::read(&path).unwrap();
+        for pos in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0xff;
+            std::fs::write(&path, &bytes).unwrap();
+            let replayed = replay(&path);
+            assert!(
+                replayed.frames.len() <= originals.len(),
+                "flip at {pos} grew the journal"
+            );
+            // Whatever survived must be an exact prefix of the original
+            // frames: a flip can only shorten the salvage, never alter
+            // or reorder what is served.
+            for (got, want) in replayed.frames.iter().zip(&originals) {
+                assert_eq!(got, want, "flip at {pos} corrupted a served frame");
+            }
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -54,6 +54,7 @@ pub mod apparatus;
 pub mod campaign;
 pub mod engine;
 pub mod fingerprint;
+pub mod hostile;
 pub mod journal;
 pub mod names;
 pub mod policies;

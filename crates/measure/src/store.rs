@@ -40,7 +40,7 @@ use crate::campaign::{CampaignConfig, CampaignKind, CampaignResult};
 use crate::journal::{self, crc32, Dec, Enc, FrameError};
 use crate::shard::ShardStats;
 use mailval_crypto::sha256::sha256;
-use mailval_simnet::{FaultConfig, LatencyModel};
+use mailval_simnet::{FaultConfig, LatencyModel, PayloadConfig};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,8 +51,9 @@ pub const MAGIC: [u8; 8] = *b"MVALSTO1";
 /// journal's torn-tail heuristics keep working on huge campaigns).
 const CHUNK: usize = 4096;
 /// Domain-separation prefix mixed into every content hash; bump the
-/// version suffix when the key encoding changes shape.
-const KEY_DOMAIN: &[u8] = b"mailval-campaign-key-v1";
+/// version suffix when the key encoding changes shape (v2 added the
+/// hostile-payload knobs).
+const KEY_DOMAIN: &[u8] = b"mailval-campaign-key-v2";
 
 const TAG_HEADER: u8 = 0;
 const TAG_SESSIONS: u8 = 1;
@@ -107,6 +108,7 @@ impl KeySpec<'_> {
         enc.u64(c.probe_pause_ms);
         put_latency(&mut enc, &c.latency);
         put_fault_config(&mut enc, &c.faults);
+        put_payload_config(&mut enc, &c.payload);
         enc.size(c.shards);
         enc.u64(c.budget.max_virtual_ms);
         enc.u64(c.budget.max_events);
@@ -144,6 +146,12 @@ fn put_latency(enc: &mut Enc, l: &LatencyModel) {
     enc.u64(l.spread_ms);
     enc.f64(l.loss_probability);
     enc.u64(l.seed);
+}
+
+fn put_payload_config(enc: &mut Enc, p: &PayloadConfig) {
+    enc.f64(p.dns_corrupt_probability);
+    enc.f64(p.smtp_corrupt_probability);
+    enc.u64(p.seed);
 }
 
 fn put_fault_config(enc: &mut Enc, f: &FaultConfig) {
@@ -662,6 +670,31 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_is_rejected_never_a_panic() {
+        let (config, _pop, mut result) = tiny_result(59);
+        // Keep the entry small so the exhaustive byte sweep stays fast; the
+        // header counts are derived from the vectors at save time, so a
+        // truncated result is still a perfectly well-formed entry.
+        result.sessions.truncate(2);
+        result.log.records.truncate(2);
+        let store = temp_store("flipsweep");
+        let key = spec(&config, 59).key();
+        let path = store.save(&key, &result).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Exhaustive: a hostile byte anywhere in the entry must yield a clean
+        // error, never a panic and never a silently different result.
+        for at in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(store.load(&key).is_err(), "flip at {at} must be rejected");
+        }
+        std::fs::write(&path, &clean).unwrap();
+        assert!(store.load(&key).is_ok());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
     fn stale_key_is_rejected_at_load() {
         let (config, _pop, result) = tiny_result(59);
         let store = temp_store("stale");
@@ -764,6 +797,16 @@ mod tests {
         let mut c = base_config.clone();
         c.budget.max_events = 10;
         assert_ne!(changed(&c), base_hash, "session budget must invalidate");
+        // Hostile-payload knobs are result-determining.
+        let mut c = base_config.clone();
+        c.payload.dns_corrupt_probability = 0.1;
+        assert_ne!(changed(&c), base_hash, "dns payload knob must invalidate");
+        let mut c = base_config.clone();
+        c.payload.smtp_corrupt_probability = 0.1;
+        assert_ne!(changed(&c), base_hash, "smtp payload knob must invalidate");
+        let mut c = base_config.clone();
+        c.payload.seed = 99;
+        assert_ne!(changed(&c), base_hash, "payload seed must invalidate");
 
         // Durability knobs must NOT invalidate: they cannot change the
         // output, only how it survives crashes.

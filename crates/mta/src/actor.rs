@@ -19,7 +19,7 @@ use mailval_dns::Name;
 use mailval_smtp::mail::MailMessage;
 use mailval_smtp::reply::Reply;
 use mailval_smtp::server::{Action, Decision, PolicyQuery, Session};
-use mailval_spf::{EvalParams, EvalStep, SpfEvaluator, SpfResult};
+use mailval_spf::{EvalParams, EvalStep, SpfEvaluation, SpfEvaluator, SpfResult};
 use std::collections::HashMap;
 use std::net::IpAddr;
 
@@ -67,6 +67,15 @@ pub enum MtaEvent {
     MessageAccepted,
     /// An SPF evaluation concluded.
     SpfConcluded(SpfResult),
+    /// An SPF evaluation tripped a hostile-policy guard (include or
+    /// redirect cycle, or lookup-budget exhaustion). Emitted alongside
+    /// [`MtaEvent::SpfConcluded`] so the driver can classify the input.
+    SpfHostile {
+        /// An include/redirect cycle was detected and broken.
+        cycle_detected: bool,
+        /// A DNS-term or void-lookup budget was exhausted.
+        lookups_exhausted: bool,
+    },
     /// A DKIM verification concluded.
     DkimConcluded(bool),
     /// A DMARC evaluation concluded (pass?).
@@ -493,6 +502,7 @@ impl MtaActor {
     ) {
         match step {
             EvalStep::Done(done) => {
+                push_spf_hostile(&done, out);
                 if !helo_check {
                     self.spf_result = Some(done.result);
                     out.push(MtaOutput::Event(MtaEvent::SpfConcluded(done.result)));
@@ -622,6 +632,7 @@ impl MtaActor {
                 }
                 match evaluator.resume(vec![(question, outcome)]) {
                     EvalStep::Done(done) => {
+                        push_spf_hostile(&done, out);
                         if !helo_check {
                             self.spf_result = Some(done.result);
                             out.push(MtaOutput::Event(MtaEvent::SpfConcluded(done.result)));
@@ -722,6 +733,18 @@ impl MtaActor {
             }
             _ => {}
         }
+    }
+}
+
+/// Surface an evaluation's hostile-policy flags as a driver event (both
+/// HELO- and MAIL-identity checks: a malicious policy is hostile input
+/// regardless of which identity tripped it).
+fn push_spf_hostile(done: &SpfEvaluation, out: &mut Vec<MtaOutput>) {
+    if done.cycle_detected || done.lookups_exhausted {
+        out.push(MtaOutput::Event(MtaEvent::SpfHostile {
+            cycle_detected: done.cycle_detected,
+            lookups_exhausted: done.lookups_exhausted,
+        }));
     }
 }
 

@@ -70,6 +70,12 @@ impl ResolverActor {
         self.core.upstream_queries
     }
 
+    /// Drain the wire-decode errors recorded since the last call (the
+    /// embedder classifies them as hostile input).
+    pub fn take_wire_errors(&mut self) -> Vec<mailval_dns::WireError> {
+        self.core.take_wire_errors()
+    }
+
     fn needs_v6(&self, name: &Name) -> bool {
         self.v6_only_marker
             .as_ref()

@@ -98,17 +98,142 @@ pub enum ConnFault {
     },
 }
 
-/// Per-session fault cursors: how many datagrams / SMTP segments of the
-/// session have been adjudicated so far. Stored with the session so the
-/// index sequence is shard-invariant.
+/// Per-session fault cursors: how many datagrams / SMTP segments /
+/// payload mutations of the session have been adjudicated so far.
+/// Stored with the session so the index sequence is shard-invariant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCursor {
     datagrams: u64,
     segments: u64,
+    dns_payloads: u64,
+    smtp_payloads: u64,
 }
 
 const STREAM_DATAGRAM: u64 = 0xDA7A_6BAD;
 const STREAM_SEGMENT: u64 = 0x5E65_BAD5;
+const STREAM_DNS_PAYLOAD: u64 = 0xD05E_BAD1;
+const STREAM_SMTP_PAYLOAD: u64 = 0x53D7_BAD0;
+
+/// Classification of one rejected hostile input, assigned by the
+/// consumer that refused it (never by the injector): the DNS wire
+/// decoder, the SMTP reply parser, or the SPF evaluator. Every
+/// rejection of a mutated frame maps to exactly one class, so the sum
+/// of the [`MalformedStats`] counters equals the number of inputs the
+/// parsers failed closed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MalformedClass {
+    /// DNS frame ended mid-structure (header, name, or record).
+    DnsTruncatedFrame,
+    /// DNS compression pointer loop or forward pointer.
+    DnsBadPointer,
+    /// DNS label with an invalid tag, charset, or lying length.
+    DnsBadLabel,
+    /// DNS RDATA length inconsistent with its content.
+    DnsBadRdata,
+    /// SMTP reply line without a valid 3-digit code, or malformed
+    /// separator byte.
+    SmtpBadCode,
+    /// SMTP reply line containing an embedded NUL or bare CR.
+    SmtpBadChar,
+    /// SMTP reply line over the 512-byte cap.
+    SmtpLineTooLong,
+    /// SMTP multiline reply switching codes or exceeding the line cap.
+    SmtpBadContinuation,
+    /// SPF policy include/redirect cycle detected.
+    SpfPolicyLoop,
+    /// SPF lookup or void-lookup budget exhausted by a hostile policy.
+    SpfLookupExhausted,
+}
+
+impl MalformedClass {
+    /// Every class, in the canonical (serialization) order.
+    pub const ALL: [MalformedClass; 10] = [
+        MalformedClass::DnsTruncatedFrame,
+        MalformedClass::DnsBadPointer,
+        MalformedClass::DnsBadLabel,
+        MalformedClass::DnsBadRdata,
+        MalformedClass::SmtpBadCode,
+        MalformedClass::SmtpBadChar,
+        MalformedClass::SmtpLineTooLong,
+        MalformedClass::SmtpBadContinuation,
+        MalformedClass::SpfPolicyLoop,
+        MalformedClass::SpfLookupExhausted,
+    ];
+
+    /// Stable index into [`MalformedClass::ALL`] (also the journal and
+    /// store encoding of the class).
+    pub fn index(self) -> usize {
+        MalformedClass::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL")
+    }
+
+    /// Inverse of [`MalformedClass::index`].
+    pub fn from_index(index: usize) -> Option<MalformedClass> {
+        MalformedClass::ALL.get(index).copied()
+    }
+
+    /// Short snake_case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MalformedClass::DnsTruncatedFrame => "dns_truncated_frame",
+            MalformedClass::DnsBadPointer => "dns_bad_pointer",
+            MalformedClass::DnsBadLabel => "dns_bad_label",
+            MalformedClass::DnsBadRdata => "dns_bad_rdata",
+            MalformedClass::SmtpBadCode => "smtp_bad_code",
+            MalformedClass::SmtpBadChar => "smtp_bad_char",
+            MalformedClass::SmtpLineTooLong => "smtp_line_too_long",
+            MalformedClass::SmtpBadContinuation => "smtp_bad_continuation",
+            MalformedClass::SpfPolicyLoop => "spf_policy_loop",
+            MalformedClass::SpfLookupExhausted => "spf_lookup_exhausted",
+        }
+    }
+}
+
+/// Per-class counters of classified hostile-input rejections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MalformedStats {
+    counts: [u64; MalformedClass::ALL.len()],
+}
+
+impl MalformedStats {
+    /// Record one rejection of the given class.
+    pub fn record(&mut self, class: MalformedClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Rejections of one class.
+    pub fn count(&self, class: MalformedClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total rejections across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulate another block into this one.
+    pub fn merge(&mut self, other: &MalformedStats) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Rebuild from counters in [`MalformedClass::ALL`] order (the
+    /// journal/store decode path).
+    pub fn from_counts(counts: [u64; MalformedClass::ALL.len()]) -> MalformedStats {
+        MalformedStats { counts }
+    }
+
+    /// Iterate `(class, count)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (MalformedClass, u64)> + '_ {
+        MalformedClass::ALL
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(c, n)| (*c, *n))
+    }
+}
 
 /// Fault counters, aggregated across engines and shards. All fields are
 /// shard-count invariant (they count deterministic fate decisions and
@@ -141,6 +266,15 @@ pub struct FaultStats {
     /// Sessions terminated for exceeding their virtual-time or
     /// dispatched-event budget (`SessionOutcome::BudgetExhausted`).
     pub budget_exhausted: u64,
+    /// DNS response datagrams mutated in flight by the payload plan.
+    pub dns_payload_mutations: u64,
+    /// SMTP reply segments mutated in flight by the payload plan.
+    pub smtp_payload_mutations: u64,
+    /// Sessions terminated because the probe client received input it
+    /// refused to parse (`SessionOutcome::HostileInput`).
+    pub hostile_inputs: u64,
+    /// Classified hostile-input rejections, by taxonomy class.
+    pub malformed: MalformedStats,
 }
 
 impl FaultStats {
@@ -158,6 +292,10 @@ impl FaultStats {
         self.client_retries += other.client_retries;
         self.contained_panics += other.contained_panics;
         self.budget_exhausted += other.budget_exhausted;
+        self.dns_payload_mutations += other.dns_payload_mutations;
+        self.smtp_payload_mutations += other.smtp_payload_mutations;
+        self.hostile_inputs += other.hostile_inputs;
+        self.malformed.merge(&other.malformed);
     }
 
     /// True when any wire-level fault fired (injection diagnostics).
@@ -168,6 +306,8 @@ impl FaultStats {
             + self.dns_truncated
             + self.conn_resets
             + self.conn_stalls
+            + self.dns_payload_mutations
+            + self.smtp_payload_mutations
             > 0
     }
 }
@@ -282,6 +422,309 @@ impl FaultPlan {
             };
         }
         ConnFault::Deliver
+    }
+}
+
+/// Probabilities for hostile-peer payload mutation. The default is
+/// all-zero: a plan built from it never alters any bytes.
+#[derive(Debug, Clone, Default)]
+pub struct PayloadConfig {
+    /// Probability a DNS *response* datagram is structurally corrupted
+    /// before delivery.
+    pub dns_corrupt_probability: f64,
+    /// Probability an SMTP reply segment is corrupted before delivery.
+    pub smtp_corrupt_probability: f64,
+    /// Seed mixed into every mutation decision (fork of the campaign
+    /// seed, independent of the transport [`FaultConfig::seed`]).
+    pub seed: u64,
+}
+
+/// The structure-aware corruption applied to one DNS response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsMutation {
+    /// One random bit flipped.
+    BitFlip,
+    /// One random byte overwritten.
+    ByteSplice,
+    /// A compression pointer spliced in that points at itself.
+    PointerLoop,
+    /// A compression pointer spliced in that points forward.
+    ForwardPointer,
+    /// A label-length byte rewritten to lie about its extent.
+    LabelLie,
+    /// The datagram cut short at a random offset.
+    Truncation,
+    /// The answer count bumped with garbage bytes appended as the
+    /// phantom record.
+    Inflation,
+    /// A header section count rewritten to 0xFFFF.
+    CountLie,
+    /// Content-level: the answer replaced by a well-formed response
+    /// whose TXT rdata is an SPF policy that includes its own name
+    /// (hostile [`MalformedClass::SpfPolicyLoop`] bait). Only offered
+    /// when the peer's hostile knob is set; the embedder synthesizes
+    /// the bytes (it knows the query name).
+    SpfCycle,
+    /// Content-level: the answer replaced by a CNAME pointing back at
+    /// the queried name. Only offered when the peer's hostile knob is
+    /// set; the embedder synthesizes the bytes.
+    CnameChain,
+}
+
+/// The corruption applied to one SMTP reply segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmtpMutation {
+    /// The 3-digit code replaced with garbage characters.
+    GarbageCode,
+    /// The line inflated past the 512-byte reply-line cap.
+    OverlongLine,
+    /// A NUL byte embedded in the reply text.
+    EmbeddedNul,
+    /// A bare CR (no following LF) embedded in the reply text.
+    BareCr,
+    /// A continuation line's code switched mid-reply.
+    CodeSwitch,
+    /// The final line's separator flipped to `-`, promising
+    /// continuation lines that never come.
+    ContinuationAbuse,
+}
+
+/// A sealed hostile-peer payload plan. Like [`FaultPlan`], every
+/// decision is a pure function of `(plan seed, global session id,
+/// per-session payload cursor)` via the same [`mix`] hashing, so the
+/// mutation sequence each session observes is byte-identical across
+/// shard counts and journal-replay resumes.
+#[derive(Debug, Clone)]
+pub struct PayloadPlan {
+    config: PayloadConfig,
+    active: bool,
+}
+
+impl PayloadPlan {
+    /// Seal a plan from a config.
+    pub fn new(config: PayloadConfig) -> PayloadPlan {
+        let active = config.dns_corrupt_probability > 0.0 || config.smtp_corrupt_probability > 0.0;
+        PayloadPlan { config, active }
+    }
+
+    /// True when some mutation can ever fire (fast-path check).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn rng(&self, session: u64, stream: u64, index: u64) -> SimRng {
+        SimRng::new(mix(self.config.seed, session, stream, index))
+    }
+
+    /// Maybe corrupt one DNS response datagram of `session` in place.
+    /// `hostile_content` extends the mutation palette with the two
+    /// content-level kinds ([`DnsMutation::SpfCycle`],
+    /// [`DnsMutation::CnameChain`]); for those the bytes are left
+    /// untouched and the caller synthesizes the replacement (it knows
+    /// the query name). Returns the mutation applied, if any.
+    pub fn mutate_dns(
+        &self,
+        session: u64,
+        cursor: &mut FaultCursor,
+        bytes: &mut Vec<u8>,
+        hostile_content: bool,
+    ) -> Option<DnsMutation> {
+        if !self.active || bytes.is_empty() {
+            return None;
+        }
+        let index = cursor.dns_payloads;
+        cursor.dns_payloads += 1;
+        let mut rng = self.rng(session, STREAM_DNS_PAYLOAD, index);
+        if !rng.chance(self.config.dns_corrupt_probability) {
+            return None;
+        }
+        let palette: &[DnsMutation] = if hostile_content {
+            &[
+                DnsMutation::BitFlip,
+                DnsMutation::ByteSplice,
+                DnsMutation::PointerLoop,
+                DnsMutation::ForwardPointer,
+                DnsMutation::LabelLie,
+                DnsMutation::Truncation,
+                DnsMutation::Inflation,
+                DnsMutation::CountLie,
+                DnsMutation::SpfCycle,
+                DnsMutation::CnameChain,
+            ]
+        } else {
+            &[
+                DnsMutation::BitFlip,
+                DnsMutation::ByteSplice,
+                DnsMutation::PointerLoop,
+                DnsMutation::ForwardPointer,
+                DnsMutation::LabelLie,
+                DnsMutation::Truncation,
+                DnsMutation::Inflation,
+                DnsMutation::CountLie,
+            ]
+        };
+        let kind = *rng.pick(palette);
+        match kind {
+            DnsMutation::BitFlip => {
+                let pos = rng.next_below(bytes.len() as u64) as usize;
+                bytes[pos] ^= 1 << rng.next_below(8);
+            }
+            DnsMutation::ByteSplice => {
+                let pos = rng.next_below(bytes.len() as u64) as usize;
+                bytes[pos] = rng.next_u64() as u8;
+            }
+            DnsMutation::PointerLoop | DnsMutation::ForwardPointer => {
+                // Splice a 2-byte compression pointer somewhere past the
+                // 12-byte header. A self-pointer violates the strictly-
+                // backwards rule (a one-hop loop); a forward pointer
+                // targets bytes not yet parsed. Both must be rejected.
+                if bytes.len() < 15 {
+                    bytes.truncate(bytes.len().saturating_sub(1));
+                } else {
+                    let pos = 12 + rng.next_below((bytes.len() - 14) as u64) as usize;
+                    let target = match kind {
+                        DnsMutation::PointerLoop => pos as u64,
+                        _ => (bytes.len() as u64 - 1).min(0x3FFF),
+                    };
+                    bytes[pos] = 0xC0 | ((target >> 8) as u8 & 0x3F);
+                    bytes[pos + 1] = target as u8;
+                }
+            }
+            DnsMutation::LabelLie => {
+                // Rewrite one post-header byte to either a reserved
+                // label tag (0b01/0b10) or a 63-byte length the
+                // remaining buffer cannot satisfy.
+                if bytes.len() < 14 {
+                    bytes.truncate(bytes.len().saturating_sub(1));
+                } else {
+                    let pos = 12 + rng.next_below((bytes.len() - 13) as u64) as usize;
+                    bytes[pos] = if rng.chance(0.5) {
+                        0x40 | (rng.next_u64() as u8 & 0x3F)
+                    } else {
+                        0x3F
+                    };
+                }
+            }
+            DnsMutation::Truncation => {
+                let keep = rng.next_below(bytes.len() as u64) as usize;
+                bytes.truncate(keep);
+            }
+            DnsMutation::Inflation => {
+                // Promise one more answer record than exists, backed by
+                // garbage tail bytes the decoder must refuse.
+                if bytes.len() >= 8 {
+                    let an = u16::from_be_bytes([bytes[6], bytes[7]]).wrapping_add(1);
+                    bytes[6..8].copy_from_slice(&an.to_be_bytes());
+                }
+                let extra = 1 + rng.next_below(48);
+                for _ in 0..extra {
+                    bytes.push(rng.next_u64() as u8);
+                }
+            }
+            DnsMutation::CountLie => {
+                if bytes.len() >= 12 {
+                    let pos = 4 + 2 * rng.next_below(4) as usize;
+                    bytes[pos] = 0xFF;
+                    bytes[pos + 1] = 0xFF;
+                }
+            }
+            DnsMutation::SpfCycle | DnsMutation::CnameChain => {
+                // Content-level: the caller rebuilds the response.
+            }
+        }
+        Some(kind)
+    }
+
+    /// Maybe corrupt one SMTP reply segment of `session` in place.
+    /// Returns the mutation applied, if any.
+    pub fn mutate_smtp(
+        &self,
+        session: u64,
+        cursor: &mut FaultCursor,
+        text: &mut String,
+    ) -> Option<SmtpMutation> {
+        if !self.active || text.is_empty() {
+            return None;
+        }
+        let index = cursor.smtp_payloads;
+        cursor.smtp_payloads += 1;
+        let mut rng = self.rng(session, STREAM_SMTP_PAYLOAD, index);
+        if !rng.chance(self.config.smtp_corrupt_probability) {
+            return None;
+        }
+        const PALETTE: [SmtpMutation; 6] = [
+            SmtpMutation::GarbageCode,
+            SmtpMutation::OverlongLine,
+            SmtpMutation::EmbeddedNul,
+            SmtpMutation::BareCr,
+            SmtpMutation::CodeSwitch,
+            SmtpMutation::ContinuationAbuse,
+        ];
+        let kind = *rng.pick(&PALETTE);
+        // Work on the line starts so multiline replies can be attacked
+        // mid-dialogue; `text` may carry several CRLF-separated lines.
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(text.match_indices("\r\n").filter_map(|(i, _)| {
+                let next = i + 2;
+                (next < text.len()).then_some(next)
+            }))
+            .collect();
+        match kind {
+            SmtpMutation::GarbageCode => {
+                let start = *rng.pick(&line_starts);
+                let garbage = ["@#!", "abc", "9x9", "---"];
+                let g = *rng.pick(&garbage);
+                let end = (start + 3).min(text.len());
+                if text.is_char_boundary(start) && text.is_char_boundary(end) {
+                    text.replace_range(start..end, &g[..end - start]);
+                }
+            }
+            SmtpMutation::OverlongLine => {
+                let start = *rng.pick(&line_starts);
+                let eol = text[start..].find("\r\n").map_or(text.len(), |i| start + i);
+                text.insert_str(eol, &"x".repeat(600));
+            }
+            SmtpMutation::EmbeddedNul | SmtpMutation::BareCr => {
+                let ch = if kind == SmtpMutation::EmbeddedNul {
+                    '\0'
+                } else {
+                    '\r'
+                };
+                // Insert strictly inside a line (offset ≥ 4 from its
+                // start) so the CRLF framing itself stays intact and
+                // the parser sees the byte inside the reply text.
+                let start = *rng.pick(&line_starts);
+                let eol = text[start..].find("\r\n").map_or(text.len(), |i| start + i);
+                let pos = if eol > start + 4 {
+                    start + 4 + rng.next_below((eol - start - 4) as u64) as usize
+                } else {
+                    eol
+                };
+                if text.is_char_boundary(pos) {
+                    text.insert(pos, ch);
+                }
+            }
+            SmtpMutation::CodeSwitch => {
+                // Rewrite the code digits of one line to a different
+                // (valid) code: a mid-reply code switch on multiline
+                // replies, an out-of-protocol code jump otherwise.
+                let start = *rng.pick(&line_starts);
+                let codes = ["299", "388", "477", "566"];
+                let c = *rng.pick(&codes);
+                let end = (start + 3).min(text.len());
+                if text.is_char_boundary(start) && text.is_char_boundary(end) {
+                    text.replace_range(start..end, &c[..end - start]);
+                }
+            }
+            SmtpMutation::ContinuationAbuse => {
+                let start = *line_starts.last().expect("at least one line");
+                let sep = start + 3;
+                if sep < text.len() && text.as_bytes()[sep] == b' ' {
+                    text.replace_range(sep..=sep, "-");
+                }
+            }
+        }
+        Some(kind)
     }
 }
 
@@ -441,6 +884,138 @@ mod tests {
         }
         assert!(resets > 500, "resets={resets}");
         assert!(stalls > 300, "stalls={stalls}");
+    }
+
+    #[test]
+    fn default_payload_plan_is_inert() {
+        let plan = PayloadPlan::new(PayloadConfig::default());
+        assert!(!plan.is_active());
+        let mut cursor = FaultCursor::default();
+        let mut bytes = vec![1, 2, 3, 4];
+        let mut text = "250 OK".to_string();
+        for _ in 0..50 {
+            assert_eq!(plan.mutate_dns(7, &mut cursor, &mut bytes, true), None);
+            assert_eq!(plan.mutate_smtp(7, &mut cursor, &mut text), None);
+        }
+        assert_eq!(bytes, vec![1, 2, 3, 4]);
+        assert_eq!(text, "250 OK");
+    }
+
+    #[test]
+    fn payload_mutations_are_independent_of_consultation_order() {
+        // The same shard-determinism property as the transport plan:
+        // interleaving sessions must reproduce the back-to-back
+        // per-session mutation sequences, bytes included.
+        let plan = PayloadPlan::new(PayloadConfig {
+            dns_corrupt_probability: 0.5,
+            smtp_corrupt_probability: 0.5,
+            seed: 21,
+        });
+        let base_frame: Vec<u8> = (0..64u8).collect();
+        let run = |session: u64, cursor: &mut FaultCursor| -> (Vec<u8>, String) {
+            let mut bytes = base_frame.clone();
+            let mut text = "250-first\r\n250 done".to_string();
+            plan.mutate_dns(session, cursor, &mut bytes, true);
+            plan.mutate_smtp(session, cursor, &mut text);
+            (bytes, text)
+        };
+        let sequential: Vec<Vec<(Vec<u8>, String)>> = (0..3u64)
+            .map(|session| {
+                let mut cursor = FaultCursor::default();
+                (0..20).map(|_| run(session, &mut cursor)).collect()
+            })
+            .collect();
+        let mut cursors = [FaultCursor::default(); 3];
+        let mut interleaved = vec![Vec::new(), Vec::new(), Vec::new()];
+        for round in 0..20 {
+            for k in 0..3usize {
+                let session = (round + k) % 3;
+                interleaved[session].push(run(session as u64, &mut cursors[session]));
+            }
+        }
+        assert_eq!(sequential, interleaved);
+    }
+
+    #[test]
+    fn payload_mutations_fire_and_change_bytes() {
+        let plan = PayloadPlan::new(PayloadConfig {
+            dns_corrupt_probability: 1.0,
+            smtp_corrupt_probability: 1.0,
+            seed: 5,
+        });
+        assert!(plan.is_active());
+        let base: Vec<u8> = (0..48u8).collect();
+        let mut dns_changed = 0;
+        let mut smtp_changed = 0;
+        let mut content_kinds = 0;
+        for session in 0..40u64 {
+            let mut cursor = FaultCursor::default();
+            let mut bytes = base.clone();
+            let kind = plan
+                .mutate_dns(session, &mut cursor, &mut bytes, true)
+                .expect("p=1 must mutate");
+            match kind {
+                DnsMutation::SpfCycle | DnsMutation::CnameChain => content_kinds += 1,
+                _ => {
+                    assert_ne!(bytes, base, "{kind:?} left bytes untouched");
+                    dns_changed += 1;
+                }
+            }
+            let mut text = "250-greeting line here\r\n250 final line".to_string();
+            plan.mutate_smtp(session, &mut cursor, &mut text)
+                .expect("p=1 must mutate");
+            if text != "250-greeting line here\r\n250 final line" {
+                smtp_changed += 1;
+            }
+        }
+        assert!(dns_changed > 10, "dns_changed={dns_changed}");
+        assert!(content_kinds > 0, "content kinds never drawn");
+        assert!(smtp_changed > 20, "smtp_changed={smtp_changed}");
+    }
+
+    #[test]
+    fn content_mutations_gated_by_hostile_knob() {
+        let plan = PayloadPlan::new(PayloadConfig {
+            dns_corrupt_probability: 1.0,
+            smtp_corrupt_probability: 0.0,
+            seed: 6,
+        });
+        let base: Vec<u8> = (0..48u8).collect();
+        for session in 0..100u64 {
+            let mut cursor = FaultCursor::default();
+            let mut bytes = base.clone();
+            let kind = plan
+                .mutate_dns(session, &mut cursor, &mut bytes, false)
+                .expect("p=1 must mutate");
+            assert!(
+                !matches!(kind, DnsMutation::SpfCycle | DnsMutation::CnameChain),
+                "content kind without hostile knob"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_class_roundtrips_through_index() {
+        for (i, class) in MalformedClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(MalformedClass::from_index(i), Some(*class));
+            assert!(!class.label().is_empty());
+        }
+        assert_eq!(MalformedClass::from_index(MalformedClass::ALL.len()), None);
+    }
+
+    #[test]
+    fn malformed_stats_merge_and_total() {
+        let mut a = MalformedStats::default();
+        a.record(MalformedClass::DnsBadPointer);
+        a.record(MalformedClass::DnsBadPointer);
+        let mut b = MalformedStats::default();
+        b.record(MalformedClass::SmtpBadChar);
+        a.merge(&b);
+        assert_eq!(a.count(MalformedClass::DnsBadPointer), 2);
+        assert_eq!(a.count(MalformedClass::SmtpBadChar), 1);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.iter().map(|(_, n)| n).sum::<u64>(), 3);
     }
 
     #[test]

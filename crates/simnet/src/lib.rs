@@ -30,7 +30,10 @@ pub mod rng;
 pub mod shard;
 pub mod sim;
 
-pub use fault::{ConnFault, DatagramFate, FaultConfig, FaultCursor, FaultPlan, FaultStats};
+pub use fault::{
+    ConnFault, DatagramFate, DnsMutation, FaultConfig, FaultCursor, FaultPlan, FaultStats,
+    MalformedClass, MalformedStats, PayloadConfig, PayloadPlan, SmtpMutation,
+};
 pub use net::LatencyModel;
 pub use rng::SimRng;
 pub use shard::{run_shards, run_shards_catch, ShardTiming};

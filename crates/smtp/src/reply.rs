@@ -140,6 +140,9 @@ pub enum ReplyParseError {
     LineTooLong,
     /// More than [`MAX_REPLY_LINES`] lines in one multiline reply.
     TooManyLines,
+    /// Line containing an embedded NUL or a bare CR (a CR not part of
+    /// the stripped line terminator).
+    BadChar,
 }
 
 impl fmt::Display for ReplyParseError {
@@ -152,6 +155,9 @@ impl fmt::Display for ReplyParseError {
             }
             ReplyParseError::TooManyLines => {
                 write!(f, "multiline reply over {MAX_REPLY_LINES} lines")
+            }
+            ReplyParseError::BadChar => {
+                write!(f, "reply line contains NUL or bare CR")
             }
         }
     }
@@ -174,15 +180,24 @@ impl ReplyParser {
     /// hostile peer cannot grow this buffer without bound.
     pub fn push_line(&mut self, line: &str) -> Result<Option<Reply>, ReplyParseError> {
         let line = line.trim_end_matches(['\r', '\n']);
+        // Embedded NULs and bare CRs survive the terminator strip above;
+        // both are hostile framing games (header smuggling, log
+        // injection) and the reply is refused outright.
+        if line.bytes().any(|b| b == 0 || b == b'\r') {
+            return Err(self.fail(ReplyParseError::BadChar));
+        }
         if line.len() < 3 {
             return Err(self.fail(ReplyParseError::BadFormat));
         }
         if line.len() > MAX_REPLY_LINE_LEN {
             return Err(self.fail(ReplyParseError::LineTooLong));
         }
-        let code: u16 = line[..3]
-            .parse()
-            .map_err(|_| self.fail(ReplyParseError::BadFormat))?;
+        // Byte-sliced (`line.len()` counts bytes), so index with `get`:
+        // a multibyte char straddling byte 3 must be a parse error, not
+        // a char-boundary panic.
+        let Some(code) = line.get(..3).and_then(|c| c.parse::<u16>().ok()) else {
+            return Err(self.fail(ReplyParseError::BadFormat));
+        };
         if !(200..=599).contains(&code) && !(100..200).contains(&code) {
             return Err(self.fail(ReplyParseError::BadFormat));
         }
@@ -260,6 +275,22 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_code_prefix_is_bad_format_not_a_panic() {
+        // `len()` counts bytes, so a multibyte char straddling byte 3
+        // used to panic the code slice; it must be a clean BadFormat.
+        let mut p = ReplyParser::new();
+        assert_eq!(
+            p.push_line("2\u{fffd} hostile"),
+            Err(ReplyParseError::BadFormat)
+        );
+        assert_eq!(
+            p.push_line("\u{fffd}\u{fffd}"),
+            Err(ReplyParseError::BadFormat)
+        );
+        assert_eq!(p.push_line("250 OK").unwrap(), Some(Reply::new(250, "OK")));
+    }
+
+    #[test]
     fn code_classes() {
         assert!(Reply::new(250, "").is_positive());
         assert!(Reply::new(354, "").is_intermediate());
@@ -297,6 +328,62 @@ mod tests {
     fn text_join_for_matching() {
         let r = Reply::multiline(554, vec!["rejected:".into(), "listed on spam RBL".into()]);
         assert!(r.text().to_ascii_lowercase().contains("spam"));
+    }
+
+    #[test]
+    fn parser_rejects_nul_and_bare_cr() {
+        let mut p = ReplyParser::new();
+        assert_eq!(p.push_line("250 O\0K"), Err(ReplyParseError::BadChar));
+        assert_eq!(p.push_line("250 O\rK"), Err(ReplyParseError::BadChar));
+        assert_eq!(p.push_line("2\x005 OK"), Err(ReplyParseError::BadChar));
+        // A trailing CR is the stripped line terminator, not hostile.
+        assert_eq!(p.push_line("250 OK\r").unwrap(), Some(Reply::ok()));
+        // A bad char mid-multiline discards the buffered reply.
+        assert_eq!(p.push_line("250-first").unwrap(), None);
+        assert_eq!(p.push_line("250-b\0d"), Err(ReplyParseError::BadChar));
+        assert_eq!(p.push_line("220 fresh").unwrap().unwrap().code, 220);
+    }
+
+    #[test]
+    fn parser_rejects_garbage_bytes_exhaustively() {
+        // Every single-byte splice into the code position of a valid
+        // line must yield a clean error or a (different) valid reply —
+        // never a panic. Sweeps the full byte range.
+        for b in 0u8..=255 {
+            let mut line = b"250 hello".to_vec();
+            line[1] = b;
+            let mut p = ReplyParser::new();
+            if let Ok(s) = std::str::from_utf8(&line) {
+                let _ = p.push_line(s); // must not panic
+            }
+            // And spliced into the text region.
+            let mut line = b"250 hello".to_vec();
+            line[6] = b;
+            if let Ok(s) = std::str::from_utf8(&line) {
+                let _ = p.push_line(s);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_mixed_code_multiline() {
+        // A mid-dialogue code switch inside one multiline reply must
+        // drop the whole reply, whatever direction the switch goes.
+        for (first, second) in [
+            ("250-greeting", "550 switched"),
+            ("550-rejected", "250 switched"),
+            ("250-a", "251-b"),
+        ] {
+            let mut p = ReplyParser::new();
+            assert_eq!(p.push_line(first).unwrap(), None);
+            assert_eq!(
+                p.push_line(second),
+                Err(ReplyParseError::CodeMismatch),
+                "{first} then {second}"
+            );
+            // Parser must have recovered.
+            assert_eq!(p.push_line("250 OK").unwrap(), Some(Reply::ok()));
+        }
     }
 
     #[test]

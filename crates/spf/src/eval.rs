@@ -150,6 +150,12 @@ pub struct SpfEvaluation {
     pub matched_term: Option<String>,
     /// Human-readable error detail for temperror/permerror.
     pub error: Option<String>,
+    /// An include/redirect cycle was detected and broken (typed flag
+    /// for hostile-input classification).
+    pub cycle_detected: bool,
+    /// A DNS-term or void-lookup budget was exhausted (typed flag for
+    /// hostile-input classification).
+    pub lookups_exhausted: bool,
 }
 
 #[derive(Debug)]
@@ -219,6 +225,10 @@ struct Frame {
     /// Qualifier of the `include` that spawned this frame (None for the
     /// root / redirect continuations).
     on_pass_qualifier: Option<Qualifier>,
+    /// Domains this frame already occupied via `redirect=` hops. A
+    /// redirect targeting any of them (or the current domain) is a
+    /// cycle and permerrors instead of looping forever.
+    redirect_trail: Vec<Name>,
 }
 
 /// The resumable evaluator. Create one per `check_host()` invocation.
@@ -238,6 +248,8 @@ pub struct SpfEvaluator {
     voids: u32,
     queries: u32,
     started: bool,
+    cycle_detected: bool,
+    lookups_exhausted: bool,
 }
 
 impl SpfEvaluator {
@@ -256,6 +268,8 @@ impl SpfEvaluator {
             voids: 0,
             queries: 0,
             started: false,
+            cycle_detected: false,
+            lookups_exhausted: false,
         }
     }
 
@@ -356,6 +370,8 @@ impl SpfEvaluator {
             queries_issued: self.queries,
             matched_term: matched,
             error,
+            cycle_detected: self.cycle_detected,
+            lookups_exhausted: self.lookups_exhausted,
         })
     }
 
@@ -436,6 +452,7 @@ impl SpfEvaluator {
     fn count_dns_term(&mut self) -> Option<EvalStep> {
         self.dns_terms += 1;
         if self.behavior.enforce_lookup_limit && self.dns_terms > self.behavior.max_dns_mechanisms {
+            self.lookups_exhausted = true;
             return Some(self.done(
                 SpfResult::PermError,
                 None,
@@ -452,6 +469,7 @@ impl SpfEvaluator {
     fn count_void(&mut self) -> Option<EvalStep> {
         self.voids += 1;
         if self.behavior.enforce_void_limit && self.voids > self.behavior.max_void_lookups {
+            self.lookups_exhausted = true;
             return Some(self.done(
                 SpfResult::PermError,
                 None,
@@ -492,6 +510,24 @@ impl SpfEvaluator {
                                 )
                             }
                         };
+                        // Cycle guard: policy content is a pure function
+                        // of the domain, so revisiting a domain this
+                        // frame already occupied can only loop forever.
+                        let cycle = {
+                            let frame = self.frames.last().expect("redirect without frame");
+                            frame.domain == target || frame.redirect_trail.contains(&target)
+                        };
+                        if cycle {
+                            self.cycle_detected = true;
+                            return self.conclude_frame(
+                                SpfResult::PermError,
+                                None,
+                                Some(format!("redirect loop at {target}")),
+                            );
+                        }
+                        let frame = self.frames.last_mut().expect("redirect without frame");
+                        let leaving = frame.domain.clone();
+                        frame.redirect_trail.push(leaving);
                         // Replace this frame's record via a TXT fetch.
                         self.waiting = Some((
                             DnsQuestion {
@@ -660,6 +696,14 @@ impl SpfEvaluator {
                     Ok(t) => t,
                     Err(e) => return self.perm(format!("bad include target: {e}")),
                 };
+                // Cycle guard: including a domain that is already an
+                // active ancestor (self-include, two-node cycles, …)
+                // re-evaluates the identical record and can only
+                // recurse until the depth cap; permerror immediately.
+                if self.frames.iter().any(|f| f.domain == target) {
+                    self.cycle_detected = true;
+                    return self.perm(format!("include loop at {target}"));
+                }
                 self.waiting = Some((
                     DnsQuestion {
                         name: target.clone(),
@@ -806,6 +850,7 @@ impl SpfEvaluator {
                         idx: 0,
                         domain,
                         on_pass_qualifier: Some(qualifier),
+                        redirect_trail: Vec::new(),
                     });
                     self.conclude_frame(
                         result,
@@ -833,6 +878,7 @@ impl SpfEvaluator {
                                 idx: 0,
                                 domain,
                                 on_pass_qualifier: Some(qualifier),
+                                redirect_trail: Vec::new(),
                             });
                             self.conclude_frame(SpfResult::PermError, None, err)
                         }
@@ -859,6 +905,7 @@ impl SpfEvaluator {
                             idx: 0,
                             domain,
                             on_pass_qualifier: Some(qualifier),
+                            redirect_trail: Vec::new(),
                         });
                         self.conclude_frame(SpfResult::PermError, None, err)
                     }
@@ -878,6 +925,7 @@ impl SpfEvaluator {
                     idx: 0,
                     domain,
                     on_pass_qualifier: None,
+                    redirect_trail: Vec::new(),
                 });
             }
             RecordPurpose::Include { qualifier } => {
@@ -886,6 +934,7 @@ impl SpfEvaluator {
                     idx: 0,
                     domain,
                     on_pass_qualifier: Some(qualifier),
+                    redirect_trail: Vec::new(),
                 });
             }
             RecordPurpose::Redirect => {

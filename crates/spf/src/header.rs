@@ -45,6 +45,8 @@ mod tests {
             queries_issued: 2,
             matched_term: None,
             error: None,
+            cycle_detected: false,
+            lookups_exhausted: false,
         }
     }
 

@@ -483,6 +483,136 @@ fn redirect_to_missing_record_is_permerror() {
 }
 
 // ---------------------------------------------------------------------------
+// Hostile policies: include/redirect cycles, lookup exhaustion
+// ---------------------------------------------------------------------------
+
+#[test]
+fn self_include_cycle_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:d.test -all");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.cycle_detected);
+    assert!(eval.dns_mechanism_terms <= 10);
+    assert_eq!(asked.len(), 1, "cycle detected without refetching");
+}
+
+#[test]
+fn two_node_include_cycle_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:e.test -all")
+        .txt("e.test", "v=spf1 include:d.test -all");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.cycle_detected);
+    assert!(eval.dns_mechanism_terms <= 10);
+    assert_eq!(asked.len(), 2); // both TXTs fetched once; loop broken there
+}
+
+#[test]
+fn include_cycle_terminates_even_without_lookup_limit() {
+    // A limit violator (enforce_lookup_limit: false) must still break the
+    // cycle rather than spin: the counter is not what saves it.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:e.test -all")
+        .txt("e.test", "v=spf1 include:d.test -all");
+    let behavior = SpfBehavior {
+        enforce_lookup_limit: false,
+        ..strict()
+    };
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.cycle_detected);
+}
+
+#[test]
+fn redirect_self_loop_is_permerror() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 redirect=d.test");
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.cycle_detected);
+    assert_eq!(asked.len(), 1);
+}
+
+#[test]
+fn two_node_redirect_cycle_terminates_without_limit() {
+    // Before the per-frame redirect trail this looped forever when the
+    // lookup limit was off: both records sit in the answered cache, so
+    // the evaluator ping-ponged synchronously between them.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 redirect=e.test")
+        .txt("e.test", "v=spf1 redirect=d.test");
+    let behavior = SpfBehavior {
+        enforce_lookup_limit: false,
+        ..strict()
+    };
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), behavior);
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.cycle_detected);
+    assert_eq!(asked.len(), 2);
+
+    // And with the limit on, same deterministic outcome.
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.cycle_detected);
+}
+
+#[test]
+fn lookup_exhaustion_sets_typed_flag() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:c1.test -all");
+    for i in 1..=12 {
+        dns.txt(
+            &format!("c{i}.test"),
+            &format!("v=spf1 include:c{}.test ?all", i + 1),
+        );
+    }
+    let (eval, asked) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.lookups_exhausted);
+    assert!(!eval.cycle_detected);
+    // Base TXT + 10 processed includes: the 11th term trips the cap.
+    assert_eq!(asked.len(), 11);
+}
+
+#[test]
+fn void_exhaustion_sets_typed_flag() {
+    let mut dns = MockDns::default();
+    dns.txt(
+        "d.test",
+        "v=spf1 a:v1.test a:v2.test a:v3.test a:v4.test a:v5.test ?all",
+    );
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::PermError);
+    assert!(eval.lookups_exhausted);
+    assert!(!eval.cycle_detected);
+}
+
+#[test]
+fn benign_policies_leave_hostile_flags_clear() {
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:child.test -all")
+        .txt("child.test", "v=spf1 ip4:192.0.2.0/24 ?all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::Pass);
+    assert!(!eval.cycle_detected);
+    assert!(!eval.lookups_exhausted);
+}
+
+#[test]
+fn sibling_reinclude_is_not_a_cycle() {
+    // The same target included twice sequentially is legal (and common);
+    // only an *ancestor* on the active stack is a cycle.
+    let mut dns = MockDns::default();
+    dns.txt("d.test", "v=spf1 include:c.test include:c.test ~all")
+        .txt("c.test", "v=spf1 ip4:203.0.113.1 ?all");
+    let (eval, _) = run(&dns, params("192.0.2.1", "d.test"), strict());
+    assert_eq!(eval.result, SpfResult::SoftFail);
+    assert!(!eval.cycle_detected);
+}
+
+// ---------------------------------------------------------------------------
 // Error handling behaviors (§7.3 of the paper)
 // ---------------------------------------------------------------------------
 

@@ -242,6 +242,15 @@ fn serve_mta(stream: TcpStream, peer: SocketAddr, dns_addr: SocketAddr) {
                     MtaOutput::Event(MtaEvent::TempFailed) => {
                         println!("[mta] greylisted the client (451)");
                     }
+                    MtaOutput::Event(MtaEvent::SpfHostile {
+                        cycle_detected,
+                        lookups_exhausted,
+                    }) => {
+                        println!(
+                            "[mta] hostile SPF policy: cycle={cycle_detected} \
+                             exhausted={lookups_exhausted}"
+                        );
+                    }
                     MtaOutput::Stall { delay_ms } => {
                         std::thread::sleep(Duration::from_millis(delay_ms / 1000));
                     }

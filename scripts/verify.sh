@@ -13,6 +13,7 @@
 #   scripts/verify.sh --chaos      # only the chaos determinism stage
 #   scripts/verify.sh --resume     # only the kill-and-resume stage
 #   scripts/verify.sh --artifacts  # only the artifact-store stage
+#   scripts/verify.sh --hostile    # only the hostile-payload stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +68,19 @@ artifacts() {
   echo "artifacts: zero warm simulations, byte-identical renders"
 }
 
+hostile() {
+  # Hostile-peer payload determinism: a campaign whose DNS responses and
+  # SMTP replies are corrupted in flight (including content-level SPF
+  # cycle / CNAME bait) must merge byte-identically for any shard count,
+  # under kill-and-resume and through a store round-trip — and the fuzz
+  # harness drives 100k mutated frames straight into the parsers with
+  # zero panics and every rejection classified.
+  echo "== tier-1: hostile-payload determinism (cargo test --test hostile_determinism) =="
+  cargo test -q --test hostile_determinism
+  echo "== fuzz: 100k mutated frames (mailval-artifacts fuzz) =="
+  cargo run --release -q -p mailval-bench --bin mailval-artifacts -- fuzz 100000
+}
+
 if [[ "${1:-}" == "--chaos" ]]; then
   chaos
   echo "verify --chaos: OK"
@@ -85,6 +99,12 @@ if [[ "${1:-}" == "--artifacts" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--hostile" ]]; then
+  hostile
+  echo "verify --hostile: OK"
+  exit 0
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -99,6 +119,7 @@ cargo test -q
 
 chaos
 resume
+hostile
 artifacts
 
 echo "verify: OK"
