@@ -24,7 +24,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: mailval-artifacts [OPTIONS] ARTIFACT...
-       mailval-artifacts bench-campaign|bench-chaos|bench-resume|bench-hostile [OUT.json]
+       mailval-artifacts bench-campaign|bench-chaos|bench-resume|bench-hostile|bench-perf [OUT.json]
+       mailval-artifacts bench-perf-check [BASELINE.json]
        mailval-artifacts fuzz [FRAMES]
 
 Render the paper's tables and figures. Campaigns are simulated at most
@@ -63,6 +64,19 @@ fn main() -> ExitCode {
             "bench-hostile" => {
                 suites::hostile::run(out);
                 return ExitCode::SUCCESS;
+            }
+            "bench-perf" => {
+                suites::perf::run(out);
+                return ExitCode::SUCCESS;
+            }
+            "bench-perf-check" => {
+                // The perf gate: non-zero exit on setup-share or
+                // throughput regression vs the committed baseline.
+                return if suites::perf::check(out) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
             }
             "fuzz" => {
                 suites::hostile::fuzz(out);

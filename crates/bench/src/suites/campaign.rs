@@ -7,7 +7,9 @@
 //! asserts that — so the only thing that varies is wall-clock time.
 
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
-use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_measure::campaign::{
+    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind, PhaseTimes,
+};
 use mailval_measure::progress;
 use mailval_simnet::LatencyModel;
 use std::time::Instant;
@@ -22,6 +24,7 @@ struct Run {
     events: u64,
     wall_s: f64,
     sessions_per_s: f64,
+    phases: PhaseTimes,
     shard_wall_ms: Vec<f64>,
 }
 
@@ -76,6 +79,7 @@ pub fn run(out_path: Option<String>) {
             events: result.events,
             wall_s,
             sessions_per_s: result.sessions.len() as f64 / wall_s,
+            phases: result.phases,
             shard_wall_ms: result.shard_stats.iter().map(|s| s.wall_ms).collect(),
         };
         progress!(
@@ -108,7 +112,7 @@ fn render_json(pop: &Population, seed: u64, runs: &[Run]) -> String {
         let walls: Vec<String> = r.shard_wall_ms.iter().map(|w| format!("{w:.1}")).collect();
         s.push_str(&format!(
             "    {{\"shards\": {}, \"sessions\": {}, \"queries_logged\": {}, \
-             \"events\": {}, \"wall_s\": {:.3}, \"sessions_per_s\": {:.1}, \
+             \"events\": {}, \"wall_s\": {:.3}, \"sessions_per_s\": {:.1}, {}, \
              \"shard_wall_ms\": [{}]}}{}\n",
             r.shards,
             r.sessions,
@@ -116,6 +120,7 @@ fn render_json(pop: &Population, seed: u64, runs: &[Run]) -> String {
             r.events,
             r.wall_s,
             r.sessions_per_s,
+            super::phases_json(&r.phases),
             walls.join(", "),
             if i + 1 == runs.len() { "" } else { "," }
         ));

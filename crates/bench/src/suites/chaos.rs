@@ -9,7 +9,9 @@
 //! the only variable.
 
 use mailval_datasets::{DatasetKind, Population, PopulationConfig};
-use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_measure::campaign::{
+    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind, PhaseTimes,
+};
 use mailval_measure::progress;
 use mailval_simnet::{FaultConfig, FaultStats, LatencyModel};
 use std::time::Instant;
@@ -30,6 +32,7 @@ struct Run {
     events: u64,
     wall_s: f64,
     sessions_per_s: f64,
+    phases: PhaseTimes,
     faults: FaultStats,
 }
 
@@ -105,6 +108,7 @@ pub fn run(out_path: Option<String>) {
             events: result.events,
             wall_s,
             sessions_per_s: result.sessions.len() as f64 / wall_s,
+            phases: result.phases,
             faults: result.faults,
         };
         progress!(
@@ -143,7 +147,7 @@ fn render_json(pop: &Population, seed: u64, shards: usize, runs: &[Run]) -> Stri
         s.push_str(&format!(
             "    {{\"loss\": {}, \"sessions\": {}, \"delivered\": {}, \
              \"rejected\": {}, \"dead\": {}, \"queries_logged\": {}, \
-             \"events\": {}, \"wall_s\": {:.3}, \"sessions_per_s\": {:.1}, \
+             \"events\": {}, \"wall_s\": {:.3}, \"sessions_per_s\": {:.1}, {}, \
              \"faults\": {{\"dns_dropped\": {}, \"dns_duplicated\": {}, \
              \"dns_delayed\": {}, \"dns_truncated\": {}, \"dns_timeouts\": {}, \
              \"conn_resets\": {}, \"conn_stalls\": {}, \"mta_stalls\": {}, \
@@ -158,6 +162,7 @@ fn render_json(pop: &Population, seed: u64, shards: usize, runs: &[Run]) -> Stri
             r.events,
             r.wall_s,
             r.sessions_per_s,
+            super::phases_json(&r.phases),
             f.dns_dropped,
             f.dns_duplicated,
             f.dns_delayed,

@@ -20,7 +20,9 @@ use mailval_datasets::{DatasetKind, Population, PopulationConfig};
 use mailval_dmarc::record::looks_like_dmarc;
 use mailval_dmarc::DmarcRecord;
 use mailval_dns::{Message, Name, RData, Rcode, Record, RecordType};
-use mailval_measure::campaign::{run_campaign, sample_host_profiles, CampaignConfig, CampaignKind};
+use mailval_measure::campaign::{
+    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind, PhaseTimes,
+};
 use mailval_measure::hostile::{classify_reply, classify_wire, synthesize_hostile_dns};
 use mailval_measure::progress;
 use mailval_simnet::{
@@ -48,6 +50,7 @@ struct Run {
     dead: usize,
     wall_s: f64,
     sessions_per_s: f64,
+    phases: PhaseTimes,
     faults: FaultStats,
 }
 
@@ -114,6 +117,7 @@ pub fn run(out_path: Option<String>) {
             dead,
             wall_s,
             sessions_per_s: result.sessions.len() as f64 / wall_s,
+            phases: result.phases,
             faults: result.faults,
         };
         progress!(
@@ -156,7 +160,7 @@ fn render_json(pop: &Population, seed: u64, shards: usize, runs: &[Run]) -> Stri
         s.push_str(&format!(
             "    {{\"corrupt_rate\": {}, \"sessions\": {}, \"delivered\": {}, \
              \"rejected\": {}, \"dead\": {}, \"wall_s\": {:.3}, \
-             \"sessions_per_s\": {:.1}, \"dns_payload_mutations\": {}, \
+             \"sessions_per_s\": {:.1}, {}, \"dns_payload_mutations\": {}, \
              \"smtp_payload_mutations\": {}, \"hostile_inputs\": {}, \
              \"malformed\": {{{}}}}}{}\n",
             r.rate,
@@ -166,6 +170,7 @@ fn render_json(pop: &Population, seed: u64, shards: usize, runs: &[Run]) -> Stri
             r.dead,
             r.wall_s,
             r.sessions_per_s,
+            super::phases_json(&r.phases),
             f.dns_payload_mutations,
             f.smtp_payload_mutations,
             f.hostile_inputs,

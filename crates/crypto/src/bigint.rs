@@ -416,7 +416,14 @@ impl BigUint {
         self.mul(other).rem(m)
     }
 
-    /// `self^exp mod m` by square-and-multiply.
+    /// `self^exp mod m`.
+    ///
+    /// Odd multi-limb moduli — the RSA sign/verify and Miller–Rabin
+    /// case — go through a Montgomery-form 4-bit-window ladder
+    /// ([`Montgomery`]), which replaces every schoolbook
+    /// multiply-then-divide step with one CIOS pass. Even or
+    /// single-limb moduli keep the plain square-and-multiply path.
+    /// Both paths return identical values for identical inputs.
     ///
     /// # Panics
     /// Panics if `m` is zero.
@@ -424,6 +431,9 @@ impl BigUint {
         assert!(!m.is_zero(), "modpow with zero modulus");
         if m.limbs == [1] {
             return BigUint::zero();
+        }
+        if m.is_odd() && m.limbs.len() > 1 {
+            return Montgomery::new(m).modpow(self, exp);
         }
         let mut result = BigUint::one();
         let mut base = self.rem(m);
@@ -606,6 +616,154 @@ impl PartialOrd for BigUint {
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
         self.cmp_big(other)
+    }
+}
+
+/// Montgomery-reduction context for one odd multi-limb modulus.
+///
+/// Residues are held as exactly-`k`-limb little-endian vectors scaled
+/// by `R = 2^(64k)`; one CIOS interleaved multiply-and-reduce
+/// ([`Montgomery::mont_mul`]) replaces the schoolbook multiply plus
+/// Knuth division of [`BigUint::mulmod`]. This is the engine behind
+/// [`BigUint::modpow`] for RSA signing/verification and Miller–Rabin
+/// witnesses; every value it produces is identical to the schoolbook
+/// path's — Montgomery form only changes the representation between
+/// the entry and exit conversions.
+struct Montgomery {
+    /// Modulus limbs, little-endian, length `k ≥ 2`, top limb nonzero.
+    m: Vec<u64>,
+    /// `-m^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R² mod m`: multiplying by it (in Montgomery form) converts a
+    /// plain residue into Montgomery form.
+    rr: Vec<u64>,
+}
+
+impl Montgomery {
+    fn new(m: &BigUint) -> Montgomery {
+        debug_assert!(m.is_odd() && m.limbs.len() > 1);
+        let k = m.limbs.len();
+        // Newton–Hensel iteration: each step doubles the number of
+        // correct low bits of m₀⁻¹ mod 2^64 (seeding with m₀ gives 3).
+        let m0 = m.limbs[0];
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let mut rr = BigUint::one().shl(128 * k).rem(m).limbs;
+        rr.resize(k, 0);
+        Montgomery {
+            m: m.limbs.clone(),
+            n0inv: inv.wrapping_neg(),
+            rr,
+        }
+    }
+
+    /// CIOS Montgomery product: `a·b·R⁻¹ mod m`, operands and result
+    /// exactly `k` limbs.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.m.len();
+        let mut t = vec![0u64; k + 2];
+        for &ai in a {
+            let mut carry = 0u64;
+            for j in 0..k {
+                let acc = t[j] as u128 + ai as u128 * b[j] as u128 + carry as u128;
+                t[j] = acc as u64;
+                carry = (acc >> 64) as u64;
+            }
+            let acc = t[k] as u128 + carry as u128;
+            t[k] = acc as u64;
+            t[k + 1] = (acc >> 64) as u64;
+
+            // One reduction step: add u·m so the low limb cancels, then
+            // shift the whole accumulator down one limb.
+            let u = t[0].wrapping_mul(self.n0inv);
+            let acc = t[0] as u128 + u as u128 * self.m[0] as u128;
+            let mut carry = (acc >> 64) as u64;
+            for j in 1..k {
+                let acc = t[j] as u128 + u as u128 * self.m[j] as u128 + carry as u128;
+                t[j - 1] = acc as u64;
+                carry = (acc >> 64) as u64;
+            }
+            let acc = t[k] as u128 + carry as u128;
+            t[k - 1] = acc as u64;
+            t[k] = t[k + 1] + ((acc >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // CIOS keeps t < 2m, so one conditional subtract normalizes.
+        let over = t[k] != 0
+            || self
+                .m
+                .iter()
+                .zip(&t[..k])
+                .rev()
+                .find(|(mi, ti)| mi != ti)
+                .is_none_or(|(mi, ti)| ti > mi);
+        t.truncate(k);
+        if over {
+            let mut borrow = 0u64;
+            for (ti, &mi) in t.iter_mut().zip(&self.m) {
+                let (d1, b1) = ti.overflowing_sub(mi);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *ti = d2;
+                borrow = u64::from(b1 | b2);
+            }
+        }
+        t
+    }
+
+    /// `base^exp mod m` by a 4-bit-window ladder over Montgomery
+    /// squarings (left-to-right: 4 squarings + at most one table
+    /// multiply per exponent nibble).
+    fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let k = self.m.len();
+        let modulus = BigUint {
+            limbs: self.m.clone(),
+        };
+        let mut plain_one = vec![0u64; k];
+        plain_one[0] = 1;
+        let one_mont = self.mont_mul(&plain_one, &self.rr);
+
+        let mut b = base.rem(&modulus).limbs;
+        b.resize(k, 0);
+        let b_mont = self.mont_mul(&b, &self.rr);
+
+        // table[i] = base^i in Montgomery form, i ∈ 0..16.
+        let mut table = Vec::with_capacity(16);
+        table.push(one_mont.clone());
+        table.push(b_mont);
+        for i in 2..16 {
+            let next = self.mont_mul(&table[i - 1], &table[1]);
+            table.push(next);
+        }
+
+        let windows = exp.bit_len().div_ceil(4);
+        let mut acc = one_mont;
+        for w in (0..windows).rev() {
+            if w + 1 < windows {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx = 0usize;
+            for bit in 0..4 {
+                if exp.bit(w * 4 + bit) {
+                    idx |= 1 << bit;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+            }
+        }
+        let mut out = BigUint {
+            limbs: self.mont_mul(&acc, &plain_one),
+        };
+        out.normalize();
+        out
     }
 }
 
@@ -816,6 +974,40 @@ mod tests {
         assert_eq!(a.modpow(&p.sub(&BigUint::one()), &p), BigUint::one());
         // mod 1 is 0
         assert_eq!(big(5).modpow(&big(3), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn montgomery_modpow_matches_schoolbook() {
+        // Odd multi-limb moduli dispatch to the Montgomery window
+        // ladder; check it against a plain mulmod square-and-multiply
+        // chain on random inputs, including base ≥ m and base ≡ 0.
+        fn schoolbook(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+            let mut result = BigUint::one();
+            let mut b = base.rem(m);
+            let bits = exp.bit_len();
+            for i in 0..bits {
+                if exp.bit(i) {
+                    result = result.mulmod(&b, m);
+                }
+                if i + 1 < bits {
+                    b = b.mulmod(&b, m);
+                }
+            }
+            result
+        }
+        let mut rng = SplitMix64::new(0x5eed_40d5);
+        for _ in 0..16 {
+            let m = BigUint::random_bits(192, &mut rng)
+                .shl(1)
+                .add(&BigUint::one());
+            let base = BigUint::random_bits(256, &mut rng);
+            let exp = BigUint::random_bits(96, &mut rng);
+            assert_eq!(base.modpow(&exp, &m), schoolbook(&base, &exp, &m));
+            // Degenerate bases and exponents.
+            assert_eq!(BigUint::zero().modpow(&exp, &m), BigUint::zero());
+            assert_eq!(m.modpow(&exp, &m), BigUint::zero());
+            assert_eq!(base.modpow(&BigUint::zero(), &m), BigUint::one());
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod sha1;
 pub mod sha256;
 
 pub use bigint::BigUint;
-pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use rsa::{RsaCrtParams, RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 
 /// Hash algorithms supported by the workspace (the two named in RFC 6376).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -50,6 +50,47 @@ pub struct RsaPrivateKey {
     pub e: BigUint,
     /// Private exponent.
     pub d: BigUint,
+    /// CRT acceleration parameters, present when the factorization is
+    /// known (generated keys). Signatures are bit-identical with or
+    /// without them; `None` only costs speed.
+    pub crt: Option<RsaCrtParams>,
+}
+
+/// The Chinese-remainder private-key form (RFC 8017 §3.2, second
+/// representation): signing computes two half-width exponentiations
+/// `m^dP mod p` / `m^dQ mod q` and recombines with Garner's formula
+/// instead of one full-width `m^d mod n` — ~4× fewer limb operations,
+/// same signature bytes (`s = m^d mod n` is unique in `[0, n)`).
+#[derive(Debug, Clone)]
+pub struct RsaCrtParams {
+    /// First prime factor.
+    pub p: BigUint,
+    /// Second prime factor.
+    pub q: BigUint,
+    /// `d mod (p − 1)`.
+    pub dp: BigUint,
+    /// `d mod (q − 1)`.
+    pub dq: BigUint,
+    /// `q⁻¹ mod p`.
+    pub qinv: BigUint,
+}
+
+impl RsaCrtParams {
+    /// `m^d mod n` via the two prime-power residues.
+    fn modpow_d(&self, m: &BigUint) -> BigUint {
+        let m1 = m.modpow(&self.dp, &self.p);
+        let m2 = m.modpow(&self.dq, &self.q);
+        // h = qinv·(m1 − m2) mod p, with the subtraction lifted into
+        // [0, p) first (m2 can be ≥ p when q > p).
+        let m2p = m2.rem(&self.p);
+        let diff = if m1 >= m2p {
+            m1.sub(&m2p)
+        } else {
+            m1.add(&self.p).sub(&m2p)
+        };
+        let h = diff.mulmod(&self.qinv, &self.p);
+        m2.add(&self.q.mul(&h))
+    }
 }
 
 /// A generated key pair.
@@ -86,12 +127,27 @@ impl RsaKeyPair {
             let Some(d) = e.mod_inverse(&phi) else {
                 continue;
             };
+            let Some(qinv) = q.mod_inverse(&p) else {
+                continue; // unreachable for distinct primes
+            };
+            let crt = RsaCrtParams {
+                dp: d.rem(&p.sub(&BigUint::one())),
+                dq: d.rem(&q.sub(&BigUint::one())),
+                qinv,
+                p,
+                q,
+            };
             return RsaKeyPair {
                 public: RsaPublicKey {
                     n: n.clone(),
                     e: e.clone(),
                 },
-                private: RsaPrivateKey { n, e, d },
+                private: RsaPrivateKey {
+                    n,
+                    e,
+                    d,
+                    crt: Some(crt),
+                },
             };
         }
     }
@@ -145,7 +201,10 @@ impl RsaPrivateKey {
         let k = self.modulus_len();
         let em = emsa_encode(alg, digest, k)?;
         let m = BigUint::from_bytes_be(&em);
-        let s = m.modpow(&self.d, &self.n);
+        let s = match &self.crt {
+            Some(crt) => crt.modpow_d(&m),
+            None => m.modpow(&self.d, &self.n),
+        };
         s.to_bytes_be_padded(k).ok_or(RsaError::MessageTooLong)
     }
 }
@@ -377,6 +436,20 @@ mod tests {
         let sig = kp.private.sign(HashAlg::Sha256, msg).unwrap();
         assert_eq!(sig.len(), kp.public.modulus_len());
         kp.public.verify(HashAlg::Sha256, msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn crt_signature_is_bit_identical_to_plain() {
+        let kp = test_key();
+        assert!(kp.private.crt.is_some(), "generated keys carry CRT params");
+        let mut plain = kp.private.clone();
+        plain.crt = None;
+        for msg in [&b"abc"[..], b"", b"a longer message body\r\nwith lines"] {
+            let fast = kp.private.sign(HashAlg::Sha256, msg).unwrap();
+            let slow = plain.sign(HashAlg::Sha256, msg).unwrap();
+            assert_eq!(fast, slow, "CRT path diverged from m^d mod n");
+            kp.public.verify(HashAlg::Sha256, msg, &fast).unwrap();
+        }
     }
 
     #[test]

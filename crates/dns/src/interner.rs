@@ -1,0 +1,120 @@
+//! Name interning: compact integer handles for domain names.
+//!
+//! A [`Name`] is a `Vec<String>` of labels, so using it directly as a
+//! hash-map key means every probe clones one heap allocation per label.
+//! On the campaign hot path (the resolver cache is consulted for every
+//! query of every session) that is the dominant per-lookup allocation.
+//! A [`NameInterner`] assigns each distinct name a dense [`NameId`]
+//! once; lookups hash the name *by reference* and afterwards key maps
+//! by a `u32` — zero allocations on the hit path.
+//!
+//! Interners are plain per-owner state (one per resolver core), not a
+//! global table: ids are only meaningful against the interner that
+//! issued them, and keeping them local avoids synchronization in the
+//! sharded engine.
+
+use crate::name::Name;
+use std::collections::HashMap;
+
+/// Dense handle for an interned [`Name`]. Only meaningful against the
+/// [`NameInterner`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The raw index (dense, `0..interner.len()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A symbol table mapping [`Name`]s to dense [`NameId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct NameInterner {
+    ids: HashMap<Name, NameId>,
+    names: Vec<Name>,
+}
+
+impl NameInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a name without interning it. Hashes `name` by reference;
+    /// never allocates.
+    pub fn get(&self, name: &Name) -> Option<NameId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Intern `name`, taking ownership: returns the existing id if the
+    /// name is known, otherwise assigns the next dense id. Allocates
+    /// only for the first sighting of a name.
+    pub fn intern(&mut self, name: Name) -> NameId {
+        if let Some(&id) = self.ids.get(&name) {
+            return id;
+        }
+        let id = NameId(u32::try_from(self.names.len()).expect("fewer than 2^32 names"));
+        self.names.push(name.clone());
+        self.ids.insert(name, id);
+        id
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    /// If `id` came from a different interner and is out of range.
+    pub fn resolve(&self, id: NameId) -> &Name {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut interner = NameInterner::new();
+        let a = interner.intern(n("mail.example.com"));
+        let b = interner.intern(n("example.org"));
+        let a2 = interner.intern(n("mail.example.com"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), &n("mail.example.com"));
+        assert_eq!(interner.resolve(b), &n("example.org"));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = NameInterner::new();
+        assert_eq!(interner.get(&n("a.test")), None);
+        let id = interner.intern(n("a.test"));
+        assert_eq!(interner.get(&n("a.test")), Some(id));
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn root_name_interns() {
+        let mut interner = NameInterner::new();
+        let id = interner.intern(Name::root());
+        assert_eq!(interner.resolve(id), &Name::root());
+    }
+}

@@ -112,6 +112,13 @@ impl Message {
         crate::wire::encode_message(self)
     }
 
+    /// [`Message::to_bytes`] reusing `buf`'s allocation for the output
+    /// (see [`crate::wire::encode_message_with`]).
+    pub fn to_bytes_with(&self, buf: Vec<u8>) -> Vec<u8> {
+        crate::wire::encode_message_with(self, buf)
+            .expect("message contents are representable on the wire")
+    }
+
     /// Decode from wire bytes (convenience for [`crate::wire::decode_message`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Message, crate::wire::WireError> {
         crate::wire::decode_message(bytes)

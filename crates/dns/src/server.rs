@@ -161,6 +161,25 @@ impl<A: Authority> ServerCore<A> {
         transport: Transport,
         via_ipv6: bool,
     ) -> Option<ServerReply> {
+        let mut bytes = Vec::new();
+        let delay_ms = self.handle_with(request, transport, via_ipv6, &mut bytes)?;
+        Some(ServerReply { bytes, delay_ms })
+    }
+
+    /// [`ServerCore::handle`] encoding the reply into `out` (cleared
+    /// first, allocation reused) instead of a fresh buffer, returning
+    /// the scheduling delay. This is the shard event loop's entry
+    /// point: one scratch buffer per shard absorbs every reply encode.
+    pub fn handle_with(
+        &self,
+        request: &[u8],
+        transport: Transport,
+        via_ipv6: bool,
+        out: &mut Vec<u8>,
+    ) -> Option<u64> {
+        fn emit(out: &mut Vec<u8>, resp: &Message) {
+            *out = resp.to_bytes_with(std::mem::take(out));
+        }
         let query = match Message::from_bytes(request) {
             Ok(q) => q,
             Err(_) => {
@@ -171,10 +190,8 @@ impl<A: Authority> ServerCore<A> {
                     resp.questions.clear();
                     resp.is_response = true;
                     resp.rcode = Rcode::FormErr;
-                    return Some(ServerReply {
-                        bytes: resp.to_bytes(),
-                        delay_ms: 0,
-                    });
+                    emit(out, &resp);
+                    return Some(0);
                 }
                 return None;
             }
@@ -183,26 +200,17 @@ impl<A: Authority> ServerCore<A> {
             return None;
         }
         if query.opcode != 0 {
-            let resp = Message::response_to(&query, Rcode::NotImp);
-            return Some(ServerReply {
-                bytes: resp.to_bytes(),
-                delay_ms: 0,
-            });
+            emit(out, &Message::response_to(&query, Rcode::NotImp));
+            return Some(0);
         }
         let Some(question) = query.question() else {
-            let resp = Message::response_to(&query, Rcode::FormErr);
-            return Some(ServerReply {
-                bytes: resp.to_bytes(),
-                delay_ms: 0,
-            });
+            emit(out, &Message::response_to(&query, Rcode::FormErr));
+            return Some(0);
         };
 
         let Some(answer) = self.authority.answer(&question.name, question.rtype) else {
-            let resp = Message::response_to(&query, Rcode::Refused);
-            return Some(ServerReply {
-                bytes: resp.to_bytes(),
-                delay_ms: 0,
-            });
+            emit(out, &Message::response_to(&query, Rcode::Refused));
+            return Some(0);
         };
 
         if answer.v6_only && !via_ipv6 {
@@ -215,21 +223,18 @@ impl<A: Authority> ServerCore<A> {
         resp.authoritative = true;
         resp.answers = answer.answers;
         resp.authorities = answer.authorities;
-        let mut bytes = resp.to_bytes();
+        emit(out, &resp);
 
-        if transport == Transport::Udp && (answer.force_tcp || bytes.len() > self.udp_payload_max) {
+        if transport == Transport::Udp && (answer.force_tcp || out.len() > self.udp_payload_max) {
             // Truncate: empty sections, TC=1 (RFC 2181 §9 style minimal
             // truncation).
             let mut trunc = Message::response_to(&query, answer.rcode);
             trunc.authoritative = true;
             trunc.truncated = true;
-            bytes = trunc.to_bytes();
+            emit(out, &trunc);
         }
 
-        Some(ServerReply {
-            bytes,
-            delay_ms: answer.delay_ms,
-        })
+        Some(answer.delay_ms)
     }
 }
 

@@ -123,6 +123,16 @@ impl Encoder {
         }
     }
 
+    /// Create an encoder that reuses `buf`'s allocation (cleared). Lets
+    /// a hot encode loop amortize the output buffer across messages.
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Encoder {
+            buf,
+            name_offsets: HashMap::new(),
+        }
+    }
+
     /// Finish, returning the raw bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -256,7 +266,12 @@ impl Encoder {
 /// [`Encoder::put_name`]); a `Message` built from validated [`Name`]s
 /// and [`RData::txt_from_str`] chunks always encodes.
 pub fn encode_message(msg: &Message) -> Result<Vec<u8>, WireError> {
-    let mut enc = Encoder::new();
+    encode_message_with(msg, Vec::with_capacity(512))
+}
+
+/// [`encode_message`] reusing `buf`'s allocation for the output.
+pub fn encode_message_with(msg: &Message, buf: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    let mut enc = Encoder::with_buf(buf);
     enc.put_u16(msg.id);
     let mut flags: u16 = 0;
     if msg.is_response {

@@ -26,6 +26,7 @@ use crate::policies::SynthAddrs;
 use crate::shard::{merge_session_records, partition, ShardStats};
 use mailval_crypto::bigint::SplitMix64;
 use mailval_crypto::rsa::RsaKeyPair;
+use mailval_crypto::sha256::sha256;
 use mailval_datasets::Population;
 use mailval_dkim::key::DkimKeyRecord;
 use mailval_dkim::sign::{sign_message, SignConfig};
@@ -177,6 +178,46 @@ const CLIENT_RETRY_BUDGET: u32 = 2;
 /// Base client retry backoff (doubles per retry), virtual ms.
 const CLIENT_RETRY_BACKOFF_MS: u64 = 30_000;
 
+/// Per-phase wall-clock accounting for one campaign run.
+///
+/// Four phases cover a run end to end: **setup** (world construction —
+/// key generation, the synthesizing authority, session blueprints —
+/// plus journal reset, all before any shard thread exists),
+/// **simulate** (the shard event loops, including per-shard session
+/// instantiation and DKIM signing: per-session work that parallelizes
+/// with the shard count), **merge** (the canonical re-sort of per-shard
+/// outputs) and **persist** (writing the result to the campaign store;
+/// zero without a store). All values are diagnostics: they are never
+/// journaled, stored or hashed, so they cannot perturb determinism.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Seconds before the first shard thread started.
+    pub setup_s: f64,
+    /// Seconds the sharded event loops ran (wall, not summed CPU).
+    pub simulate_s: f64,
+    /// Seconds merging per-shard outputs into canonical order.
+    pub merge_s: f64,
+    /// Seconds persisting to the campaign store.
+    pub persist_s: f64,
+}
+
+impl PhaseTimes {
+    /// Sum over all phases.
+    pub fn total_s(&self) -> f64 {
+        self.setup_s + self.simulate_s + self.merge_s + self.persist_s
+    }
+
+    /// Fraction of the total spent in setup (0.0 for an empty total).
+    pub fn setup_share(&self) -> f64 {
+        let total = self.total_s();
+        if total > 0.0 {
+            self.setup_s / total
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything a campaign produced.
 #[derive(Debug)]
 pub struct CampaignResult {
@@ -197,6 +238,35 @@ pub struct CampaignResult {
     /// their journals: `sessions` holds only what completed durably.
     /// Always `false` for a run that finished every session.
     pub partial: bool,
+    /// Where the wall-clock went (diagnostics; excluded from the
+    /// content hash, the journal and the store).
+    pub phases: PhaseTimes,
+}
+
+impl CampaignResult {
+    /// Canonical content digest: SHA-256 over the deterministic parts
+    /// of the result — session records, the canonical query log, the
+    /// dispatched-event count, the fault counters and the partial flag
+    /// — through the same binary codec the journal and store use.
+    /// Wall-clock diagnostics (`shard_stats` timings) are excluded, so
+    /// byte-identical runs hash identically for any shard count, with
+    /// or without kill-and-resume. The golden determinism test pins
+    /// these digests against the pre-optimization engine.
+    pub fn content_hash(&self) -> [u8; 32] {
+        let mut enc = journal::Enc::default();
+        enc.size(self.sessions.len());
+        for r in &self.sessions {
+            journal::put_record(&mut enc, r);
+        }
+        enc.size(self.log.records.len());
+        for q in &self.log.records {
+            journal::put_query(&mut enc, q);
+        }
+        enc.u64(self.events);
+        journal::put_faults(&mut enc, &self.faults);
+        enc.boolean(self.partial);
+        sha256(&enc.0)
+    }
 }
 
 /// Sample behavior profiles for a population's hosts, deterministically.
@@ -288,202 +358,374 @@ pub fn drift_profiles(
 }
 
 // ---------------------------------------------------------------------------
-// Campaign assembly
+// The shared campaign world
 // ---------------------------------------------------------------------------
+
+/// Per-host instantiation data, precomputed once for the whole
+/// campaign: the hostname string every `MtaActor` greets with (built
+/// once here instead of `Name::to_string()` per session per restart)
+/// and the host's connect address.
+struct WorldHost {
+    name: String,
+    ipv4: std::net::Ipv4Addr,
+}
+
+/// What a NotifyEmail session's message is made of. The actual
+/// build-and-sign runs at session instantiation on the shard threads
+/// ([`CampaignWorld::shard_sessions`]): signing is per-session work, so
+/// it belongs to the parallel simulate phase, not the shared setup.
+struct MessageSpec {
+    recipient_domain: Name,
+    signing_domain: Name,
+}
+
+/// One session, described instead of instantiated: the prototype
+/// record (carrying the global session id, the merge key) plus the
+/// client-side parameters. Blueprints are immutable and shard-count
+/// agnostic; every shard — and every supervised restart — instantiates
+/// live actors from the same list.
+struct SessionBlueprint {
+    record: SessionRecord,
+    helo_identity: String,
+    mail_from: EmailAddress,
+    rcpt_candidates: Vec<EmailAddress>,
+    message: Option<MessageSpec>,
+    pause_before_commands_ms: u64,
+}
+
+/// The immutable world of one campaign, built exactly once and shared
+/// by every shard and every supervised restart (the scoped shard
+/// threads borrow it; wrap it in an [`std::sync::Arc`] to share across
+/// sequential runs, as the perf bench does when sweeping shard counts).
+///
+/// The world owns everything result-determining and expensive: the
+/// apparatus DKIM key pair, the synthesizing authority behind the one
+/// shared [`ServerCore`], the engine configuration, per-host
+/// instantiation data, behavior profiles and the full session blueprint
+/// list. Per-shard state is reduced to what a shard genuinely owns —
+/// its live actors, fault cursors and journal. Nothing here is cloned
+/// per shard, and a restarted shard re-instantiates its sessions from
+/// these blueprints instead of re-deriving the campaign from scratch.
+pub struct CampaignWorld {
+    config: CampaignConfig,
+    server: ServerCore<SynthesizingAuthority>,
+    engine: EngineConfig,
+    keypair: RsaKeyPair,
+    hosts: Vec<WorldHost>,
+    profiles: Vec<MtaProfile>,
+    blueprints: Vec<SessionBlueprint>,
+    blacklisted: bool,
+    guessed: bool,
+    build_s: f64,
+}
+
+impl CampaignWorld {
+    /// Build the world for `(config, pop, profiles)`: generate the DKIM
+    /// key pair, stand up the synthesizing authority, precompute host
+    /// strings and lay out every session blueprint in deterministic
+    /// campaign order. This is the entire setup phase of a campaign;
+    /// everything after it is per-shard and parallel.
+    pub fn build(
+        config: &CampaignConfig,
+        pop: &Population,
+        profiles: &[MtaProfile],
+    ) -> CampaignWorld {
+        assert_eq!(profiles.len(), pop.hosts.len(), "one profile per host");
+        let start = std::time::Instant::now();
+        let scheme = NameScheme::default();
+        let addrs = SynthAddrs::default();
+
+        // The apparatus's DKIM key pair (one key for all From domains;
+        // the synthesized key records all carry it).
+        let mut keyrng = SplitMix64::new(config.seed ^ 0x444b_4559);
+        let keypair = RsaKeyPair::generate(1024, &mut keyrng);
+        let dkim_record = DkimKeyRecord::for_key(&keypair.public).to_record_text();
+        let dmarc_record = DmarcRecord::strict_reject("dmarc-reports@dns-lab.org").to_record_text();
+        let authority =
+            SynthesizingAuthority::new(scheme.clone(), addrs.clone(), dkim_record, dmarc_record);
+        let server = ServerCore::new(authority);
+
+        let client_ip: IpAddr = IpAddr::V4(addrs.sender_v4);
+        let auth_ip: IpAddr = "198.51.100.53".parse().expect("valid");
+        let engine = EngineConfig {
+            latency: config.latency.clone(),
+            faults: config.faults.clone(),
+            payload: config.payload.clone(),
+            client_ip,
+            auth_ip,
+            local_hop_ms: 1,
+            budget: config.budget,
+        };
+
+        let hosts = pop
+            .hosts
+            .iter()
+            .map(|h| WorldHost {
+                name: h.name.to_string(),
+                ipv4: h.ipv4,
+            })
+            .collect();
+        let blueprints = build_blueprints(config, pop, &scheme);
+
+        CampaignWorld {
+            blacklisted: config.kind == CampaignKind::NotifyMx,
+            guessed: config.kind == CampaignKind::TwoWeekMx,
+            config: config.clone(),
+            server,
+            engine,
+            keypair,
+            hosts,
+            profiles: profiles.to_vec(),
+            blueprints,
+            build_s: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Sessions this campaign will run.
+    pub fn session_count(&self) -> usize {
+        self.blueprints.len()
+    }
+
+    /// Wall seconds spent in [`CampaignWorld::build`].
+    pub fn build_seconds(&self) -> f64 {
+        self.build_s
+    }
+
+    /// The campaign configuration the world was built from.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Instantiate live actors for shard `k` of `nshards`: the
+    /// blueprint's round-robin assignment (`session_id % nshards`)
+    /// matches [`partition`], so a shard's session set is a pure
+    /// function of `(world, k, nshards)` — first attempt and supervised
+    /// restart take the identical path. Runs on the shard's own thread;
+    /// NotifyEmail message signing happens here, in parallel.
+    pub fn shard_sessions(&self, k: usize, nshards: usize) -> Vec<LiveSession> {
+        self.blueprints
+            .iter()
+            .filter(|b| b.record.session_id % nshards == k)
+            .map(|b| self.instantiate(b))
+            .collect()
+    }
+
+    fn instantiate(&self, bp: &SessionBlueprint) -> LiveSession {
+        let host = &self.hosts[bp.record.host_index];
+        let profile = self.profiles[bp.record.host_index].clone();
+        let hostile_dns = profile.hostile_dns;
+        let message = bp.message.as_ref().map(|spec| {
+            build_notification(
+                &bp.mail_from,
+                &spec.recipient_domain,
+                &self.keypair,
+                &spec.signing_domain,
+            )
+        });
+        let client = ClientSession::new(ClientConfig {
+            helo_identity: bp.helo_identity.clone(),
+            mail_from: Some(bp.mail_from.clone()),
+            rcpt_candidates: bp.rcpt_candidates.clone(),
+            message,
+            pause_before_commands_ms: bp.pause_before_commands_ms,
+            max_session_retries: CLIENT_RETRY_BUDGET,
+            retry_backoff_ms: CLIENT_RETRY_BACKOFF_MS,
+        });
+        let resolver = ResolverActor::new(
+            profile.resolver.clone(),
+            profile.ipv6_capable,
+            Some("v6only".to_string()),
+        );
+        let mta = MtaActor::new(
+            &host.name,
+            profile,
+            ConnContext {
+                client_ip: self.engine.client_ip,
+                client_blacklisted: self.blacklisted,
+                recipients_guessed: self.guessed,
+            },
+        );
+        let mut session = LiveSession::new(
+            bp.record.clone(),
+            client,
+            mta,
+            resolver,
+            IpAddr::V4(host.ipv4),
+        );
+        session.set_hostile_dns(hostile_dns);
+        session
+    }
+
+    /// Run the campaign over this world. Result-determining knobs come
+    /// from the world itself; `exec` contributes only execution knobs —
+    /// `shards`, `journal_dir`, `resume`, `fsync_every`, `supervisor` —
+    /// so one world can be swept across shard counts without rebuilding
+    /// (the output is byte-identical for every value, which the golden
+    /// determinism test pins).
+    pub fn run(&self, exec: &CampaignConfig) -> CampaignResult {
+        let run_start = std::time::Instant::now();
+        let parts = partition(self.blueprints.len(), exec.shards);
+        let nshards = parts.len();
+
+        // Durability setup: one journal file per shard. A fresh
+        // (non-resume) run resets any leftovers so stale frames cannot
+        // leak in.
+        let journal_paths: Option<Vec<PathBuf>> = exec.journal_dir.as_ref().map(|dir| {
+            std::fs::create_dir_all(dir).expect("create journal directory");
+            (0..nshards)
+                .map(|k| journal::shard_journal_path(dir, k))
+                .collect()
+        });
+        if let Some(paths) = &journal_paths {
+            if !exec.resume {
+                for path in paths {
+                    JournalWriter::create(path).expect("reset journal");
+                }
+            }
+        }
+
+        let paths_ref = &journal_paths;
+        // Run one shard to completion: instantiate its sessions from
+        // the shared world (on this shard's thread), replay its journal
+        // if durability is on, and drive the event loop.
+        let run_one = |k: usize| -> EngineOutput {
+            let sessions = self.shard_sessions(k, nshards);
+            let mut engine = SessionEngine::new(&self.server, self.engine.clone());
+            let mut skip: HashSet<usize> = HashSet::new();
+            if let Some(paths) = paths_ref {
+                let path = &paths[k];
+                let replay = journal::replay(path);
+                let valid_len = replay.valid_len;
+                skip = replay.completed_ids();
+                engine.seed_replay(replay);
+                let writer = JournalWriter::open_append(path, valid_len, exec.fsync_every)
+                    .expect("open journal for append");
+                engine.set_journal(writer);
+            }
+            for session in sessions {
+                if skip.contains(&session.session_id()) {
+                    continue; // already completed and journaled
+                }
+                // Stagger session starts by global id, exactly as the
+                // single-threaded driver did.
+                let start = (session.session_id() as u64) * 7;
+                engine.add_session(session, start);
+            }
+            engine.run()
+        };
+
+        // The supervisor: run all pending shards, catch shard-level
+        // crashes, restart crashed shards (from journal) with
+        // exponential backoff and a bounded per-shard restart budget. A
+        // shard over budget — or any crash past the wall-clock deadline
+        // — is finalized from whatever its journal durably holds, and
+        // the result is marked partial.
+        let supervisor = exec.supervisor;
+        let setup_s = run_start.elapsed().as_secs_f64();
+        let sim_start = std::time::Instant::now();
+        let mut outputs: Vec<Option<EngineOutput>> = (0..nshards).map(|_| None).collect();
+        let mut wall_ms = vec![0.0f64; nshards];
+        let mut restarts = vec![0u32; nshards];
+        let mut partial = false;
+        let mut pending: Vec<usize> = (0..nshards).collect();
+        let mut round = 0u32;
+        while !pending.is_empty() {
+            let results = run_shards_catch(pending.clone(), |_, k| run_one(k));
+            let mut next_pending = Vec::new();
+            for (i, (result, timing)) in results.into_iter().enumerate() {
+                let k = pending[i];
+                wall_ms[k] += timing.wall_ms;
+                match result {
+                    Ok(output) => outputs[k] = Some(output),
+                    Err(_) => {
+                        restarts[k] += 1;
+                        let deadline_passed = supervisor.wall_deadline_ms > 0
+                            && sim_start.elapsed().as_millis() as u64
+                                >= supervisor.wall_deadline_ms;
+                        if restarts[k] > supervisor.max_shard_restarts || deadline_passed {
+                            partial = true;
+                            // Finalize from journal: everything the
+                            // shard durably completed still counts.
+                            // Without a journal the shard's work is
+                            // simply lost.
+                            outputs[k] = paths_ref
+                                .as_ref()
+                                .map(|paths| journal::replay(&paths[k]).into_engine_output());
+                        } else {
+                            next_pending.push(k);
+                        }
+                    }
+                }
+            }
+            pending = next_pending;
+            if !pending.is_empty() {
+                let backoff = supervisor
+                    .restart_backoff_ms
+                    .saturating_mul(1u64 << round.min(6));
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+                round += 1;
+            }
+        }
+        let simulate_s = sim_start.elapsed().as_secs_f64();
+
+        let merge_start = std::time::Instant::now();
+        let mut logs = Vec::with_capacity(nshards);
+        let mut per_shard_records = Vec::with_capacity(nshards);
+        let mut shard_stats = Vec::with_capacity(nshards);
+        let mut events = 0;
+        let mut faults = FaultStats::default();
+        for (k, output) in outputs.into_iter().enumerate() {
+            let Some(output) = output else {
+                continue; // journal-less shard lost past its restart budget
+            };
+            events += output.stats.events;
+            faults.merge(&output.stats.faults);
+            shard_stats.push(ShardStats::new(k, output.stats, wall_ms[k], restarts[k]));
+            logs.push(output.log);
+            per_shard_records.push(output.records);
+        }
+        let log = QueryLog::merge(logs);
+        let sessions = merge_session_records(per_shard_records);
+        let merge_s = merge_start.elapsed().as_secs_f64();
+
+        CampaignResult {
+            log,
+            sessions,
+            events,
+            faults,
+            shard_stats,
+            partial,
+            phases: PhaseTimes {
+                setup_s,
+                simulate_s,
+                merge_s,
+                persist_s: 0.0,
+            },
+        }
+    }
+}
 
 /// Run a campaign against a population with pre-sampled host profiles
 /// (use [`sample_host_profiles`]; the same profiles must be reused
 /// across NotifyEmail and NotifyMX for the §6.2 consistency analysis).
 ///
-/// Execution fans out over `config.shards` worker threads; results are
-/// merged back into canonical order, so the output is a pure function
-/// of `(config, pop, profiles)` regardless of shard count or thread
-/// scheduling.
+/// Builds the shared [`CampaignWorld`] once and fans execution out over
+/// `config.shards` worker threads; results are merged back into
+/// canonical order, so the output is a pure function of `(config, pop,
+/// profiles)` regardless of shard count or thread scheduling. To sweep
+/// shard counts without rebuilding the world, call
+/// [`CampaignWorld::build`] + [`CampaignWorld::run`] directly.
 pub fn run_campaign(
     config: &CampaignConfig,
     pop: &Population,
     profiles: &[MtaProfile],
 ) -> CampaignResult {
-    assert_eq!(profiles.len(), pop.hosts.len(), "one profile per host");
-    let scheme = NameScheme::default();
-    let addrs = SynthAddrs::default();
-
-    // The apparatus's DKIM key pair (one key for all From domains; the
-    // synthesized key records all carry it).
-    let mut keyrng = SplitMix64::new(config.seed ^ 0x444b_4559);
-    let keypair = RsaKeyPair::generate(1024, &mut keyrng);
-    let dkim_record = DkimKeyRecord::for_key(&keypair.public).to_record_text();
-    let dmarc_record = DmarcRecord::strict_reject("dmarc-reports@dns-lab.org").to_record_text();
-
-    let authority =
-        SynthesizingAuthority::new(scheme.clone(), addrs.clone(), dkim_record, dmarc_record);
-    let server = ServerCore::new(authority);
-
-    let client_ip: IpAddr = IpAddr::V4(addrs.sender_v4);
-    let auth_ip: IpAddr = "198.51.100.53".parse().expect("valid");
-
-    let sessions = build_sessions(config, pop, profiles, &scheme, &keypair, client_ip);
-    let engine_config = EngineConfig {
-        latency: config.latency.clone(),
-        faults: config.faults.clone(),
-        payload: config.payload.clone(),
-        client_ip,
-        auth_ip,
-        local_hop_ms: 1,
-        budget: config.budget,
-    };
-
-    // Partition the global session list round-robin, move each shard's
-    // sessions onto its own engine, and fan out on scoped threads. The
-    // authority is shared by reference: `ServerCore::handle` is
-    // `&self`-only and synthesizes every answer from the query name.
-    let parts = partition(sessions.len(), config.shards);
-    let nshards = parts.len();
-    let mut shard_inputs: Vec<Vec<LiveSession>> =
-        parts.iter().map(|p| Vec::with_capacity(p.len())).collect();
-    {
-        let mut remaining: Vec<Option<LiveSession>> = sessions.into_iter().map(Some).collect();
-        for (shard, part) in parts.iter().enumerate() {
-            for &global in part {
-                let session = remaining[global].take().expect("each session in one shard");
-                shard_inputs[shard].push(session);
-            }
-        }
-    }
-
-    // Durability setup: one journal file per shard. A fresh (non-resume)
-    // run resets any leftovers so stale frames cannot leak in.
-    let journal_paths: Option<Vec<PathBuf>> = config.journal_dir.as_ref().map(|dir| {
-        std::fs::create_dir_all(dir).expect("create journal directory");
-        (0..nshards)
-            .map(|k| journal::shard_journal_path(dir, k))
-            .collect()
-    });
-    if let Some(paths) = &journal_paths {
-        if !config.resume {
-            for path in paths {
-                JournalWriter::create(path).expect("reset journal");
-            }
-        }
-    }
-
-    let server_ref = &server;
-    let engine_ref = &engine_config;
-    let paths_ref = &journal_paths;
-    // Run one shard to completion. `input` carries the shard's prebuilt
-    // sessions on the first attempt; a supervised restart passes `None`
-    // and the sessions are rebuilt from the (deterministic) campaign
-    // config — build order and ids are identical by construction.
-    let run_one = |k: usize, input: Option<Vec<LiveSession>>| -> EngineOutput {
-        let sessions = input.unwrap_or_else(|| {
-            build_sessions(config, pop, profiles, &scheme, &keypair, client_ip)
-                .into_iter()
-                .filter(|s| s.session_id() % nshards == k)
-                .collect()
-        });
-        let mut engine = SessionEngine::new(server_ref, engine_ref.clone());
-        let mut skip: HashSet<usize> = HashSet::new();
-        if let Some(paths) = paths_ref {
-            let path = &paths[k];
-            let replay = journal::replay(path);
-            let valid_len = replay.valid_len;
-            skip = replay.completed_ids();
-            engine.seed_replay(replay);
-            let writer = JournalWriter::open_append(path, valid_len, config.fsync_every)
-                .expect("open journal for append");
-            engine.set_journal(writer);
-        }
-        for session in sessions {
-            if skip.contains(&session.session_id()) {
-                continue; // already completed and journaled
-            }
-            // Stagger session starts by global id, exactly as the
-            // single-threaded driver did.
-            let start = (session.session_id() as u64) * 7;
-            engine.add_session(session, start);
-        }
-        engine.run()
-    };
-
-    // The supervisor: run all pending shards, catch shard-level crashes,
-    // restart crashed shards (from journal) with exponential backoff and
-    // a bounded per-shard restart budget. A shard over budget — or any
-    // crash past the wall-clock deadline — is finalized from whatever
-    // its journal durably holds, and the result is marked partial.
-    let supervisor = config.supervisor;
-    let campaign_start = std::time::Instant::now();
-    let mut outputs: Vec<Option<EngineOutput>> = (0..nshards).map(|_| None).collect();
-    let mut wall_ms = vec![0.0f64; nshards];
-    let mut restarts = vec![0u32; nshards];
-    let mut partial = false;
-    let mut prebuilt: Vec<Option<Vec<LiveSession>>> = shard_inputs.into_iter().map(Some).collect();
-    let mut pending: Vec<usize> = (0..nshards).collect();
-    let mut round = 0u32;
-    while !pending.is_empty() {
-        let batch: Vec<(usize, Option<Vec<LiveSession>>)> =
-            pending.iter().map(|&k| (k, prebuilt[k].take())).collect();
-        let results = run_shards_catch(batch, |_, (k, input)| run_one(k, input));
-        let mut next_pending = Vec::new();
-        for (i, (result, timing)) in results.into_iter().enumerate() {
-            let k = pending[i];
-            wall_ms[k] += timing.wall_ms;
-            match result {
-                Ok(output) => outputs[k] = Some(output),
-                Err(_) => {
-                    restarts[k] += 1;
-                    let deadline_passed = supervisor.wall_deadline_ms > 0
-                        && campaign_start.elapsed().as_millis() as u64
-                            >= supervisor.wall_deadline_ms;
-                    if restarts[k] > supervisor.max_shard_restarts || deadline_passed {
-                        partial = true;
-                        // Finalize from journal: everything the shard
-                        // durably completed still counts. Without a
-                        // journal the shard's work is simply lost.
-                        outputs[k] = paths_ref
-                            .as_ref()
-                            .map(|paths| journal::replay(&paths[k]).into_engine_output());
-                    } else {
-                        next_pending.push(k);
-                    }
-                }
-            }
-        }
-        pending = next_pending;
-        if !pending.is_empty() {
-            let backoff = supervisor
-                .restart_backoff_ms
-                .saturating_mul(1u64 << round.min(6));
-            if backoff > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(backoff));
-            }
-            round += 1;
-        }
-    }
-
-    let mut logs = Vec::with_capacity(nshards);
-    let mut per_shard_records = Vec::with_capacity(nshards);
-    let mut shard_stats = Vec::with_capacity(nshards);
-    let mut events = 0;
-    let mut faults = FaultStats::default();
-    for (k, output) in outputs.into_iter().enumerate() {
-        let Some(output) = output else {
-            continue; // journal-less shard lost past its restart budget
-        };
-        events += output.stats.events;
-        faults.merge(&output.stats.faults);
-        shard_stats.push(ShardStats::new(k, output.stats, wall_ms[k], restarts[k]));
-        logs.push(output.log);
-        per_shard_records.push(output.records);
-    }
-
-    CampaignResult {
-        log: QueryLog::merge(logs),
-        sessions: merge_session_records(per_shard_records),
-        events,
-        faults,
-        shard_stats,
-        partial,
-    }
+    let world = CampaignWorld::build(config, pop, profiles);
+    let mut result = world.run(config);
+    result.phases.setup_s += world.build_seconds();
+    result
 }
 
 /// Run a campaign through the content-addressed store: serve the
@@ -534,17 +776,23 @@ pub fn run_campaign_stored(
         config.shards.max(1)
     );
     let start = std::time::Instant::now();
-    let result = run_campaign(config, pop, profiles);
+    let mut result = run_campaign(config, pop, profiles);
     crate::progress!(
-        "campaign {} key={} done: {} sessions, {} queries logged, {} events, {:.1}s wall",
+        "campaign {} key={} done: {} sessions, {} queries logged, {} events, {:.1}s wall \
+         (setup {:.3}s / simulate {:.3}s / merge {:.3}s, setup-share {:.1}%)",
         key.label,
         key.short_hex(),
         result.sessions.len(),
         result.log.records.len(),
         result.events,
-        start.elapsed().as_secs_f64()
+        start.elapsed().as_secs_f64(),
+        result.phases.setup_s,
+        result.phases.simulate_s,
+        result.phases.merge_s,
+        result.phases.setup_share() * 100.0
     );
     if let Some(store) = store {
+        let persist_start = std::time::Instant::now();
         match store.save(&key, &result) {
             Ok(path) => crate::progress!(
                 "campaign {} key={} persisted to {}",
@@ -560,25 +808,22 @@ pub fn run_campaign_stored(
                 key.short_hex()
             ),
         }
+        result.phases.persist_s = persist_start.elapsed().as_secs_f64();
     }
     (result, status)
 }
 
-/// Build the full session list in deterministic campaign order and
-/// assign global session ids (`0..n`, the merge key).
-fn build_sessions(
+/// Lay out the full session list in deterministic campaign order and
+/// assign global session ids (`0..n`, the merge key). Blueprints carry
+/// everything a shard needs to instantiate a session; nothing here
+/// touches profiles, actors or signing.
+fn build_blueprints(
     config: &CampaignConfig,
     pop: &Population,
-    profiles: &[MtaProfile],
     scheme: &NameScheme,
-    keypair: &RsaKeyPair,
-    client_ip: IpAddr,
-) -> Vec<LiveSession> {
+) -> Vec<SessionBlueprint> {
     let mut rng = SimRng::new(config.seed);
-    let mut sessions: Vec<LiveSession> = Vec::new();
-
-    let blacklisted = config.kind == CampaignKind::NotifyMx;
-    let guessed = config.kind == CampaignKind::TwoWeekMx;
+    let mut blueprints: Vec<SessionBlueprint> = Vec::new();
 
     match config.kind {
         CampaignKind::NotifyEmail => {
@@ -586,21 +831,9 @@ fn build_sessions(
                 let Some(&host_index) = d.host_indices.first() else {
                     continue;
                 };
-                let from = scheme.notify_from(d.index);
-                let message =
-                    build_notification(&from, &d.name, keypair, &scheme.notify_domain(d.index));
-                let client = ClientSession::new(ClientConfig {
-                    helo_identity: "notify.dns-lab.org".into(),
-                    mail_from: Some(from),
-                    rcpt_candidates: vec![EmailAddress::new("operator", d.name.clone())],
-                    message: Some(message),
-                    pause_before_commands_ms: 0,
-                    max_session_retries: CLIENT_RETRY_BUDGET,
-                    retry_backoff_ms: CLIENT_RETRY_BACKOFF_MS,
-                });
-                sessions.push(make_session(
-                    SessionRecord {
-                        session_id: sessions.len(),
+                blueprints.push(SessionBlueprint {
+                    record: SessionRecord {
+                        session_id: blueprints.len(),
                         host_index,
                         domain_index: d.index,
                         testid: None,
@@ -611,14 +844,15 @@ fn build_sessions(
                         error: None,
                         termination: crate::engine::SessionOutcome::Completed,
                     },
-                    client,
-                    pop,
-                    profiles,
-                    host_index,
-                    client_ip,
-                    blacklisted,
-                    guessed,
-                ));
+                    helo_identity: "notify.dns-lab.org".into(),
+                    mail_from: scheme.notify_from(d.index),
+                    rcpt_candidates: vec![EmailAddress::new("operator", d.name.clone())],
+                    message: Some(MessageSpec {
+                        recipient_domain: d.name.clone(),
+                        signing_domain: scheme.notify_domain(d.index),
+                    }),
+                    pause_before_commands_ms: 0,
+                });
             }
         }
         CampaignKind::NotifyMx | CampaignKind::TwoWeekMx => {
@@ -650,19 +884,9 @@ fn build_sessions(
                     vec![EmailAddress::new("operator", domain_name.clone())]
                 };
                 for testid in &config.tests {
-                    let from = scheme.probe_from(testid, host_index);
-                    let client = ClientSession::new(ClientConfig {
-                        helo_identity: scheme.probe_helo(testid, host_index).to_string(),
-                        mail_from: Some(from),
-                        rcpt_candidates: rcpt_candidates.clone(),
-                        message: None,
-                        pause_before_commands_ms: config.probe_pause_ms,
-                        max_session_retries: CLIENT_RETRY_BUDGET,
-                        retry_backoff_ms: CLIENT_RETRY_BACKOFF_MS,
-                    });
-                    sessions.push(make_session(
-                        SessionRecord {
-                            session_id: sessions.len(),
+                    blueprints.push(SessionBlueprint {
+                        record: SessionRecord {
+                            session_id: blueprints.len(),
                             host_index,
                             domain_index,
                             testid: Some(testid),
@@ -673,52 +897,17 @@ fn build_sessions(
                             error: None,
                             termination: crate::engine::SessionOutcome::Completed,
                         },
-                        client,
-                        pop,
-                        profiles,
-                        host_index,
-                        client_ip,
-                        blacklisted,
-                        guessed,
-                    ));
+                        helo_identity: scheme.probe_helo(testid, host_index).to_string(),
+                        mail_from: scheme.probe_from(testid, host_index),
+                        rcpt_candidates: rcpt_candidates.clone(),
+                        message: None,
+                        pause_before_commands_ms: config.probe_pause_ms,
+                    });
                 }
             }
         }
     }
-    sessions
-}
-
-#[allow(clippy::too_many_arguments)]
-fn make_session(
-    record: SessionRecord,
-    client: ClientSession,
-    pop: &Population,
-    profiles: &[MtaProfile],
-    host_index: usize,
-    client_ip: IpAddr,
-    blacklisted: bool,
-    guessed: bool,
-) -> LiveSession {
-    let host = &pop.hosts[host_index];
-    let profile = profiles[host_index].clone();
-    let hostile_dns = profile.hostile_dns;
-    let resolver = ResolverActor::new(
-        profile.resolver.clone(),
-        profile.ipv6_capable,
-        Some("v6only".to_string()),
-    );
-    let mta = MtaActor::new(
-        &host.name.to_string(),
-        profile,
-        ConnContext {
-            client_ip,
-            client_blacklisted: blacklisted,
-            recipients_guessed: guessed,
-        },
-    );
-    let mut session = LiveSession::new(record, client, mta, resolver, IpAddr::V4(host.ipv4));
-    session.set_hostile_dns(hostile_dns);
-    session
+    blueprints
 }
 
 /// Build the signed notification message (§4.3.1: "the content was in

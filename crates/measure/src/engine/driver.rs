@@ -16,6 +16,7 @@ use mailval_simnet::{
 };
 use mailval_smtp::client::ClientAction;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Per-session runaway limits. A nine-month campaign cannot afford one
 /// pathological session (a retry loop against a profile that tempfails
@@ -124,6 +125,10 @@ pub struct SessionEngine<'a> {
     /// Sessions completed so far, replayed *plus* live — the cursor the
     /// deterministic `crash_after_sessions` injection compares against.
     completed: u64,
+    /// Reusable DNS reply encode buffer: one allocation per shard
+    /// absorbs every server reply encode instead of one `Vec` per
+    /// datagram (see [`ServerCore::handle_with`]).
+    scratch: Vec<u8>,
 }
 
 impl<'a> SessionEngine<'a> {
@@ -155,6 +160,7 @@ impl<'a> SessionEngine<'a> {
             replay_events: 0,
             replay_virtual_ms: 0,
             completed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -246,11 +252,14 @@ impl<'a> SessionEngine<'a> {
                     }
                 }
                 Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "panic".to_string());
+                    // Materialized only here, on the (rare) error path;
+                    // an owned `String` payload is moved, not cloned.
+                    let msg = match payload.downcast::<String>() {
+                        Ok(s) => *s,
+                        Err(payload) => payload
+                            .downcast_ref::<&str>()
+                            .map_or_else(|| "panic".to_string(), |s| (*s).to_string()),
+                    };
                     self.sessions[id].record.error = Some(msg);
                     self.sessions[id].stats.contained_panics += 1;
                     self.finish_session(id);
@@ -504,16 +513,23 @@ impl<'a> SessionEngine<'a> {
                         self.sessions[id].queries.push(record);
                     }
                 }
-                if let Some(reply) = self.server.handle(&bytes, transport, via_ipv6) {
+                // Encode the reply into the shard's scratch buffer
+                // (taken out of `self` for the duration so the borrow
+                // checker sees disjoint pieces, returned below with its
+                // allocation intact for the next reply).
+                let mut reply = std::mem::take(&mut self.scratch);
+                let delay_ms = self
+                    .server
+                    .handle_with(&bytes, transport, via_ipv6, &mut reply);
+                if let Some(delay_ms) = delay_ms {
                     let rtt = self.one_way_auth(id);
-                    let base = reply.delay_ms + rtt;
-                    let mut bytes = reply.bytes;
+                    let base = delay_ms + rtt;
                     // Hostile-peer payload mutation happens at the
                     // *server* (before the network decides the
                     // datagram's fate), so it applies on TCP too: a
                     // hostile peer is not bound by transport
                     // reliability.
-                    self.mutate_dns_payload(id, &mut bytes);
+                    self.mutate_dns_payload(id, &mut reply);
                     // Response-side faults (UDP only; TCP is reliable,
                     // and only responses can be meaningfully truncated).
                     let fate = if transport == Transport::Udp {
@@ -528,30 +544,38 @@ impl<'a> SessionEngine<'a> {
                         }
                         DatagramFate::Truncate => {
                             self.sessions[id].stats.dns_truncated += 1;
-                            if let Some(mangled) = mailval_dns::truncate_response(&bytes) {
-                                bytes = mangled;
+                            if let Some(mangled) = mailval_dns::truncate_response(&reply) {
+                                reply = mangled;
                             }
+                            let bytes: Arc<[u8]> = reply.as_slice().into();
                             self.sched(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
                         }
                         DatagramFate::Duplicate { gap_ms } => {
                             self.sessions[id].stats.dns_duplicated += 1;
-                            self.sched(base, Ev::DnsReturn(id, core_id, bytes.clone(), via_ipv6));
+                            let bytes: Arc<[u8]> = reply.as_slice().into();
+                            self.sched(
+                                base,
+                                Ev::DnsReturn(id, core_id, Arc::clone(&bytes), via_ipv6),
+                            );
                             // The copy arrives after the original; the
                             // resolver sees it as Idle (lookup settled).
                             self.sched(base + gap_ms, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
                         }
                         DatagramFate::Delay { extra_ms } => {
                             self.sessions[id].stats.dns_delayed += 1;
+                            let bytes: Arc<[u8]> = reply.as_slice().into();
                             self.sched(
                                 base + extra_ms,
                                 Ev::DnsReturn(id, core_id, bytes, via_ipv6),
                             );
                         }
                         DatagramFate::Deliver => {
+                            let bytes: Arc<[u8]> = reply.as_slice().into();
                             self.sched(base, Ev::DnsReturn(id, core_id, bytes, via_ipv6));
                         }
                     }
                 }
+                self.scratch = reply;
             }
             Ev::DnsReturn(id, core_id, bytes, via_ipv6) => {
                 let now = self.sim.now_ms();
@@ -615,6 +639,7 @@ impl<'a> SessionEngine<'a> {
                     // Hostile-peer reply mutation happens at the server,
                     // before the network decides the segment's fate.
                     self.mutate_smtp_payload(id, &mut text);
+                    let text: Arc<str> = text.into();
                     // Any stall the MTA declared in this batch delays the
                     // reply segment that follows it.
                     let stall = std::mem::take(&mut self.sessions[id].stall_credit_ms);
@@ -704,6 +729,7 @@ impl<'a> SessionEngine<'a> {
                 // to the datagram: a dropped query must trip
                 // `ResolverCore::on_timeout`'s retry machinery.
                 self.sched(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
+                let bytes: Arc<[u8]> = bytes.into();
                 // Query-side faults (UDP only; queries can't truncate).
                 let fate = if transport == Transport::Udp {
                     self.datagram_fate(id, false)
@@ -718,7 +744,7 @@ impl<'a> SessionEngine<'a> {
                         self.sessions[id].stats.dns_duplicated += 1;
                         self.sched(
                             rtt,
-                            Ev::DnsArrive(id, core_id, bytes.clone(), transport, via_ipv6),
+                            Ev::DnsArrive(id, core_id, Arc::clone(&bytes), transport, via_ipv6),
                         );
                         self.sched(
                             rtt + gap_ms,
@@ -745,7 +771,13 @@ impl<'a> SessionEngine<'a> {
         match action {
             ClientAction::Send(bytes) => {
                 let delay = self.one_way_client(id);
-                let text = String::from_utf8_lossy(&bytes).into_owned();
+                // Valid UTF-8 (every command the probe client emits) is
+                // wrapped without a second copy; only genuinely invalid
+                // bytes pay for the lossy conversion.
+                let text: Arc<str> = match String::from_utf8(bytes) {
+                    Ok(s) => s.into(),
+                    Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned().into(),
+                };
                 match self.conn_fault(id) {
                     ConnFault::Reset => {
                         self.sessions[id].stats.conn_resets += 1;

@@ -2,27 +2,32 @@
 
 use mailval_dns::resolver::ResolveOutcome;
 use mailval_dns::server::Transport;
+use std::sync::Arc;
 
 /// One scheduled occurrence inside a [`crate::engine::SessionEngine`].
 ///
 /// The `usize` in every variant is the session's **local index** within
 /// its engine (not the campaign-global id); an engine only ever
 /// dispatches events to sessions it owns, so shards need no coordination.
+///
+/// Wire payloads ride as `Arc<[u8]>` / `Arc<str>`: an event that fans
+/// out (a duplicated datagram) clones a pointer, not the payload, and
+/// the bytes a shard encodes are the bytes every hop observes.
 pub enum Ev {
     /// TCP established: the MTA emits its greeting.
     Start(usize),
     /// Client bytes arriving at the MTA.
-    ToMta(usize, String),
+    ToMta(usize, Arc<str>),
     /// MTA reply text arriving at the probe client.
-    ToClient(usize, String),
+    ToClient(usize, Arc<str>),
     /// The probe client's inter-command pause elapsed.
     ClientPauseDone(usize),
     /// An MTA-armed timer fired.
     MtaTimer(usize, u64),
     /// Resolver datagram arriving at the authoritative server.
-    DnsArrive(usize, u16, Vec<u8>, Transport, bool),
+    DnsArrive(usize, u16, Arc<[u8]>, Transport, bool),
     /// Server response arriving back at the resolver.
-    DnsReturn(usize, u16, Vec<u8>, bool),
+    DnsReturn(usize, u16, Arc<[u8]>, bool),
     /// Resolver attempt timeout.
     DnsTimeout(usize, u16, bool),
     /// Resolver finished a lookup for the MTA.

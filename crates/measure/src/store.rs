@@ -532,6 +532,9 @@ pub fn decode_entry(data: &[u8], key: &CampaignKey) -> Result<CampaignResult, St
         faults,
         shard_stats,
         partial,
+        // Phase timings are observability about the producing run, not
+        // campaign output; a store hit costs no setup or simulation.
+        phases: crate::campaign::PhaseTimes::default(),
     })
 }
 

@@ -14,6 +14,7 @@
 #   scripts/verify.sh --resume     # only the kill-and-resume stage
 #   scripts/verify.sh --artifacts  # only the artifact-store stage
 #   scripts/verify.sh --hostile    # only the hostile-payload stage
+#   scripts/verify.sh --perf       # only the performance-regression stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -81,6 +82,17 @@ hostile() {
   cargo run --release -q -p mailval-bench --bin mailval-artifacts -- fuzz 100000
 }
 
+perf() {
+  # Performance regression gate: re-run the bench-perf sweep (2k and
+  # 20k domains at shards = 1/2/4/8) and fail if campaign setup exceeds
+  # 30% of wall time or sessions/s drops more than 10% below the
+  # committed baseline in results/BENCH_perf.json. The sweep also
+  # asserts the merged output is identical across shard counts.
+  echo "== perf: regression gate (mailval-artifacts bench-perf-check) =="
+  cargo build --release -p mailval-bench --bin mailval-artifacts
+  target/release/mailval-artifacts bench-perf-check
+}
+
 if [[ "${1:-}" == "--chaos" ]]; then
   chaos
   echo "verify --chaos: OK"
@@ -105,6 +117,12 @@ if [[ "${1:-}" == "--hostile" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--perf" ]]; then
+  perf
+  echo "verify --perf: OK"
+  exit 0
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -121,5 +139,6 @@ chaos
 resume
 hostile
 artifacts
+perf
 
 echo "verify: OK"
