@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: mailval-artifacts [OPTIONS] ARTIFACT...
-       mailval-artifacts bench-campaign|bench-chaos|bench-resume|bench-hostile|bench-perf [OUT.json]
+       mailval-artifacts bench-campaign|bench-chaos|bench-resume|bench-hostile|bench-io|bench-perf [OUT.json]
        mailval-artifacts bench-perf-check [BASELINE.json]
        mailval-artifacts fuzz [FRAMES]
 
@@ -63,6 +63,10 @@ fn main() -> ExitCode {
             }
             "bench-hostile" => {
                 suites::hostile::run(out);
+                return ExitCode::SUCCESS;
+            }
+            "bench-io" => {
+                suites::io::run(out);
                 return ExitCode::SUCCESS;
             }
             "bench-perf" => {

@@ -1,7 +1,8 @@
 //! The performance suites behind the `bench-*` CLI subcommands:
 //! campaign throughput ([`campaign`]), the chaos fault sweep
 //! ([`chaos`]), the journal-overhead budget ([`resume`]), the
-//! hostile-payload sweep plus fuzz harness ([`hostile`]) and the
+//! hostile-payload sweep plus fuzz harness ([`hostile`]), the
+//! storage-fault sweep ([`io`]) and the
 //! phase-accounting perf gate ([`perf`]). Each bench writes a
 //! hand-rolled JSON report (offline builds have no serde) to
 //! `results/BENCH_*.json` or an explicit output path, and reports
@@ -12,6 +13,7 @@ use mailval_measure::campaign::PhaseTimes;
 pub mod campaign;
 pub mod chaos;
 pub mod hostile;
+pub mod io;
 pub mod perf;
 pub mod resume;
 

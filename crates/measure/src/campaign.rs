@@ -19,11 +19,14 @@
 //! session records are byte-identical for every shard count.
 
 use crate::apparatus::{QueryLog, SynthesizingAuthority};
-use crate::engine::{EngineConfig, EngineOutput, LiveSession, SessionBudget, SessionEngine};
+use crate::engine::{
+    EngineConfig, EngineOutput, LiveSession, MemoryBudget, SessionBudget, SessionEngine,
+};
 use crate::journal::{self, JournalWriter};
 use crate::names::NameScheme;
 use crate::policies::SynthAddrs;
 use crate::shard::{merge_session_records, partition, ShardStats};
+use crate::vfs::{OsFs, SimFs, Vfs};
 use mailval_crypto::bigint::SplitMix64;
 use mailval_crypto::rsa::RsaKeyPair;
 use mailval_crypto::sha256::sha256;
@@ -37,7 +40,8 @@ use mailval_mta::actor::{ConnContext, MtaActor};
 use mailval_mta::profile::MtaProfile;
 use mailval_mta::resolver::ResolverActor;
 use mailval_simnet::{
-    run_shards_catch, FaultConfig, FaultStats, LatencyModel, PayloadConfig, SimRng,
+    run_shards_catch, FaultConfig, FaultStats, IoConfig, IoPlan, LatencyModel, PayloadConfig,
+    SimRng,
 };
 use mailval_smtp::client::{probe_usernames, ClientConfig, ClientSession};
 use mailval_smtp::mail::MailMessage;
@@ -45,6 +49,7 @@ use mailval_smtp::EmailAddress;
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 pub use crate::engine::SessionRecord;
 
@@ -83,6 +88,13 @@ pub struct CampaignConfig {
     /// `faults`, the merged output stays byte-identical for every shard
     /// count and across kill-and-resume.
     pub payload: PayloadConfig,
+    /// Deterministic storage-fault injection (ENOSPC, short writes,
+    /// fsync/rename failures, read corruption) applied to the journal
+    /// and store IO paths through the [`crate::vfs`] seam. The default
+    /// injects nothing. Unlike `faults` and `payload`, IO faults never
+    /// change the merged result — only durability and the degradation
+    /// counters — so the output stays byte-identical for every rate.
+    pub io: IoConfig,
     /// Number of parallel shards (0 and 1 both mean single-threaded).
     /// The merged output is byte-identical for every value.
     pub shards: usize,
@@ -101,6 +113,11 @@ pub struct CampaignConfig {
     pub fsync_every: u64,
     /// Per-session runaway limits enforced by the engine.
     pub budget: SessionBudget,
+    /// Per-session memory backpressure: sessions whose queued events
+    /// exceed this budget are deterministically shed
+    /// ([`crate::engine::SessionOutcome::ResourceShed`]). Like `budget`
+    /// it is result-determining; the default is unlimited.
+    pub memory: MemoryBudget,
     /// Shard-restart and deadline policy.
     pub supervisor: SupervisorConfig,
 }
@@ -115,11 +132,13 @@ impl Default for CampaignConfig {
             latency: LatencyModel::default(),
             faults: FaultConfig::default(),
             payload: PayloadConfig::default(),
+            io: IoConfig::default(),
             shards: 1,
             journal_dir: None,
             resume: false,
             fsync_every: journal::DEFAULT_FSYNC_EVERY,
             budget: SessionBudget::default(),
+            memory: MemoryBudget::default(),
             supervisor: SupervisorConfig::default(),
         }
     }
@@ -264,6 +283,13 @@ impl CampaignResult {
         }
         enc.u64(self.events);
         journal::put_faults(&mut enc, &self.faults);
+        // Backpressure sheds are result-determining (shed sessions have
+        // no outcome), but the counter joins the digest only when it
+        // fired: every pre-backpressure result hashes exactly as before.
+        if self.faults.resource_shed > 0 {
+            enc.u64(0x5245_5348_4544); // tag: "RESHED"
+            enc.u64(self.faults.resource_shed);
+        }
         enc.boolean(self.partial);
         sha256(&enc.0)
     }
@@ -455,6 +481,7 @@ impl CampaignWorld {
             auth_ip,
             local_hop_ms: 1,
             budget: config.budget,
+            memory: config.memory,
         };
 
         let hosts = pop
@@ -558,49 +585,110 @@ impl CampaignWorld {
 
     /// Run the campaign over this world. Result-determining knobs come
     /// from the world itself; `exec` contributes only execution knobs —
-    /// `shards`, `journal_dir`, `resume`, `fsync_every`, `supervisor` —
-    /// so one world can be swept across shard counts without rebuilding
-    /// (the output is byte-identical for every value, which the golden
-    /// determinism test pins).
+    /// `shards`, `journal_dir`, `resume`, `fsync_every`, `io`,
+    /// `supervisor` — so one world can be swept across shard counts
+    /// without rebuilding (the output is byte-identical for every
+    /// value, which the golden determinism test pins).
     pub fn run(&self, exec: &CampaignConfig) -> CampaignResult {
         let run_start = std::time::Instant::now();
         let parts = partition(self.blueprints.len(), exec.shards);
         let nshards = parts.len();
 
+        // The storage layer every journal touch goes through: the
+        // passthrough unless an IO fault plan is active.
+        let io_plan = IoPlan::new(exec.io.clone());
+        let vfs: Arc<dyn Vfs> = if io_plan.is_active() {
+            Arc::new(SimFs::new(io_plan))
+        } else {
+            Arc::new(OsFs)
+        };
+
         // Durability setup: one journal file per shard. A fresh
         // (non-resume) run resets any leftovers so stale frames cannot
-        // leak in.
-        let journal_paths: Option<Vec<PathBuf>> = exec.journal_dir.as_ref().map(|dir| {
-            std::fs::create_dir_all(dir).expect("create journal directory");
-            (0..nshards)
-                .map(|k| journal::shard_journal_path(dir, k))
-                .collect()
+        // leak in. Every IO failure here degrades durability for the
+        // affected shard(s) instead of aborting the campaign — the
+        // results are unaffected, only crash coverage is lost.
+        let mut journal_enabled = vec![true; nshards];
+        let journal_paths: Option<Vec<PathBuf>> = exec.journal_dir.as_ref().and_then(|dir| {
+            if let Err(e) = vfs.create_dir_all(dir) {
+                crate::progress!("journal directory unavailable, campaign runs non-durable: {e}");
+                return None;
+            }
+            Some(
+                (0..nshards)
+                    .map(|k| journal::shard_journal_path(dir, k))
+                    .collect(),
+            )
         });
         if let Some(paths) = &journal_paths {
             if !exec.resume {
-                for path in paths {
-                    JournalWriter::create(path).expect("reset journal");
+                for (k, path) in paths.iter().enumerate() {
+                    // Truncate-and-rewrite through the same vfs the
+                    // shards will append through.
+                    if let Err(e) =
+                        JournalWriter::open_append_with(path, 0, exec.fsync_every, &*vfs)
+                    {
+                        // A leftover journal we could neither truncate
+                        // nor delete may hold frames of a *different*
+                        // campaign; replaying it would corrupt this
+                        // run, so the shard goes non-durable.
+                        if vfs.remove_file(path).is_err() && path.exists() {
+                            journal_enabled[k] = false;
+                            crate::progress!(
+                                "shard {k}: journal reset failed with stale file left, \
+                                 shard runs non-durable: {e}"
+                            );
+                        } else {
+                            crate::progress!(
+                                "shard {k}: journal reset failed, file removed \
+                                 (recreated on open): {e}"
+                            );
+                        }
+                    }
                 }
             }
         }
 
         let paths_ref = &journal_paths;
+        let journal_enabled = &journal_enabled;
+        let vfs_ref = &vfs;
         // Run one shard to completion: instantiate its sessions from
         // the shared world (on this shard's thread), replay its journal
-        // if durability is on, and drive the event loop.
+        // if durability is on, and drive the event loop. A journal that
+        // cannot be opened leaves the shard running non-durable with
+        // `durability_lost` set — never a crash.
         let run_one = |k: usize| -> EngineOutput {
             let sessions = self.shard_sessions(k, nshards);
             let mut engine = SessionEngine::new(&self.server, self.engine.clone());
             let mut skip: HashSet<usize> = HashSet::new();
-            if let Some(paths) = paths_ref {
-                let path = &paths[k];
-                let replay = journal::replay(path);
-                let valid_len = replay.valid_len;
-                skip = replay.completed_ids();
-                engine.seed_replay(replay);
-                let writer = JournalWriter::open_append(path, valid_len, exec.fsync_every)
-                    .expect("open journal for append");
-                engine.set_journal(writer);
+            let mut durability_lost = false;
+            match paths_ref {
+                Some(paths) if journal_enabled[k] => {
+                    let path = &paths[k];
+                    let replay = journal::replay_with(path, &**vfs_ref);
+                    let valid_len = replay.valid_len;
+                    skip = replay.completed_ids();
+                    engine.seed_replay(replay);
+                    match JournalWriter::open_append_with(
+                        path,
+                        valid_len,
+                        exec.fsync_every,
+                        &**vfs_ref,
+                    ) {
+                        Ok(writer) => engine.set_journal(writer),
+                        Err(e) => {
+                            durability_lost = true;
+                            crate::progress!(
+                                "shard {k}: journal unavailable, running non-durable: {e}"
+                            );
+                        }
+                    }
+                }
+                // Durability was requested but this shard (or the whole
+                // journal directory) lost it before the run began.
+                Some(_) => durability_lost = true,
+                None if exec.journal_dir.is_some() => durability_lost = true,
+                None => {}
             }
             for session in sessions {
                 if skip.contains(&session.session_id()) {
@@ -611,7 +699,9 @@ impl CampaignWorld {
                 let start = (session.session_id() as u64) * 7;
                 engine.add_session(session, start);
             }
-            engine.run()
+            let mut output = engine.run();
+            output.stats.durability_lost |= durability_lost;
+            output
         };
 
         // The supervisor: run all pending shards, catch shard-level
@@ -648,9 +738,9 @@ impl CampaignWorld {
                             // shard durably completed still counts.
                             // Without a journal the shard's work is
                             // simply lost.
-                            outputs[k] = paths_ref
-                                .as_ref()
-                                .map(|paths| journal::replay(&paths[k]).into_engine_output());
+                            outputs[k] = paths_ref.as_ref().map(|paths| {
+                                journal::replay_with(&paths[k], &*vfs).into_engine_output()
+                            });
                         } else {
                             next_pending.push(k);
                         }

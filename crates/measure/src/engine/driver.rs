@@ -44,6 +44,32 @@ impl Default for SessionBudget {
     }
 }
 
+/// Per-session memory backpressure: bounds on the *queued* work a
+/// session may accumulate before the engine sheds it. The
+/// [`SessionBudget`] caps events already dispatched; this caps events
+/// (and their `Arc` payload bytes) scheduled but not yet popped — the
+/// quantity that actually grows the heap when a runaway session
+/// schedules faster than it drains. Both bounds are checked at
+/// dispatch time against the session's own accounting, so the decision
+/// is shard- and resume-invariant like every other engine decision.
+/// Zero means unlimited; the default is fully inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBudget {
+    /// Maximum payload bytes queued for one session (the sum of
+    /// `Ev::payload_bytes` over its pending events). Zero = unlimited.
+    pub max_session_bytes: u64,
+    /// Maximum pending (scheduled, not yet dispatched) events for one
+    /// session. Zero = unlimited.
+    pub max_pending_events: u64,
+}
+
+impl MemoryBudget {
+    /// True when some limit can ever trip (fast-path check).
+    pub fn is_active(&self) -> bool {
+        self.max_session_bytes > 0 || self.max_pending_events > 0
+    }
+}
+
 /// Engine wiring that is identical for every session: the latency model
 /// and the fixed apparatus endpoints.
 #[derive(Debug, Clone)]
@@ -66,6 +92,9 @@ pub struct EngineConfig {
     pub local_hop_ms: u64,
     /// Per-session runaway limits.
     pub budget: SessionBudget,
+    /// Per-session queued-work limits (memory backpressure); the
+    /// default is inert.
+    pub memory: MemoryBudget,
 }
 
 /// What one engine run produced.
@@ -96,6 +125,11 @@ pub struct EngineStats {
     pub virtual_ms: u64,
     /// Fault-injection counters (all zero when no faults configured).
     pub faults: FaultStats,
+    /// The shard's journal failed mid-run and the engine demoted it to
+    /// non-durable mode: results are complete and correct, but a crash
+    /// after the demotion would lose the un-journaled suffix.
+    /// Observability only — never hashed into campaign content.
+    pub durability_lost: bool,
 }
 
 /// A virtual-time driver for a set of sessions that never interact.
@@ -129,6 +163,9 @@ pub struct SessionEngine<'a> {
     /// absorbs every server reply encode instead of one `Vec` per
     /// datagram (see [`ServerCore::handle_with`]).
     scratch: Vec<u8>,
+    /// The journal failed and was demoted mid-run (see
+    /// [`EngineStats::durability_lost`]).
+    durability_lost: bool,
 }
 
 impl<'a> SessionEngine<'a> {
@@ -161,6 +198,7 @@ impl<'a> SessionEngine<'a> {
             replay_virtual_ms: 0,
             completed: 0,
             scratch: Vec::new(),
+            durability_lost: false,
         }
     }
 
@@ -212,12 +250,14 @@ impl<'a> SessionEngine<'a> {
         while let Some((time_ms, ev)) = self.sim.next() {
             let id = ev.session();
             let budget = self.config.budget;
+            let memory = self.config.memory;
             {
                 let s = &mut self.sessions[id];
                 if s.done {
                     continue; // stale event of an already-finished session
                 }
                 s.pending = s.pending.saturating_sub(1);
+                s.queued_bytes = s.queued_bytes.saturating_sub(ev.payload_bytes());
                 s.last_event_ms = time_ms;
                 let elapsed = time_ms.saturating_sub(s.record.start_ms);
                 if s.events >= budget.max_events || elapsed > budget.max_virtual_ms {
@@ -229,6 +269,24 @@ impl<'a> SessionEngine<'a> {
                         events: s.events,
                     };
                     s.stats.budget_exhausted += 1;
+                    self.finish_session(id);
+                    continue;
+                }
+                if (memory.max_pending_events > 0 && s.pending > memory.max_pending_events)
+                    || (memory.max_session_bytes > 0 && s.queued_bytes > memory.max_session_bytes)
+                {
+                    // Memory backpressure: the session's *queued* work
+                    // exceeds its budget — shed it before its payload
+                    // queue can blow up the shard. Decided purely from
+                    // the session's own accounting at its own dispatch
+                    // (same-session events keep their relative order for
+                    // any shard count), so the shed point is shard- and
+                    // resume-invariant.
+                    s.record.termination = SessionOutcome::ResourceShed {
+                        queued_bytes: s.queued_bytes,
+                        pending_events: s.pending,
+                    };
+                    s.stats.resource_shed += 1;
                     self.finish_session(id);
                     continue;
                 }
@@ -275,7 +333,12 @@ impl<'a> SessionEngine<'a> {
             }
         }
         if let Some(w) = self.journal.as_mut() {
-            let _ = w.sync();
+            if let Err(e) = w.sync() {
+                // The final fsync failing means the journal tail may not
+                // survive a machine crash: surface it as lost durability.
+                crate::progress!("final journal sync failed: {e}");
+                self.durability_lost = true;
+            }
         }
         let mut faults = self.replay_faults;
         let mut events = self.replay_events;
@@ -291,6 +354,7 @@ impl<'a> SessionEngine<'a> {
             queries_logged: self.log.records.len() as u64,
             virtual_ms,
             faults,
+            durability_lost: self.durability_lost,
         };
         self.log.sort_canonical();
         let mut records = self.replay_records;
@@ -327,10 +391,16 @@ impl<'a> SessionEngine<'a> {
         };
         if let Some(w) = self.journal.as_mut() {
             if let Err(e) = w.append(&frame) {
-                // Losing durability mid-campaign is a shard-fatal fault:
-                // better a supervised restart than a journal silently
-                // missing sessions.
-                panic!("journal append failed: {e}");
+                // Graceful degradation: a failed append (full disk, short
+                // write, failed fsync) demotes this shard to non-durable
+                // mode. Results stay complete and correct — only crash
+                // recovery coverage is lost, and that loss is visible in
+                // `durability_lost`. The torn frame the failure may have
+                // left behind is exactly what replay's CRC/prefix salvage
+                // is built to drop.
+                crate::progress!("journal demoted to non-durable: {e}");
+                self.journal = None;
+                self.durability_lost = true;
             }
         }
         self.log.records.extend(frame.queries);
@@ -345,15 +415,20 @@ impl<'a> SessionEngine<'a> {
     }
 
     /// Schedule `ev` after `delay_ms`, counting it against its session's
-    /// pending-event balance (completion is `pending == 0`).
+    /// pending-event balance (completion is `pending == 0`) and queued
+    /// payload bytes (memory-budget accounting).
     fn sched(&mut self, delay_ms: u64, ev: Ev) {
-        self.sessions[ev.session()].pending += 1;
+        let s = &mut self.sessions[ev.session()];
+        s.pending += 1;
+        s.queued_bytes += ev.payload_bytes();
         self.sim.schedule(delay_ms, ev);
     }
 
     /// Absolute-time variant of [`SessionEngine::sched`].
     fn sched_at(&mut self, time_ms: u64, ev: Ev) {
-        self.sessions[ev.session()].pending += 1;
+        let s = &mut self.sessions[ev.session()];
+        s.pending += 1;
+        s.queued_bytes += ev.payload_bytes();
         self.sim.schedule_at(time_ms, ev);
     }
 

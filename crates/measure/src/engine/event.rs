@@ -41,6 +41,17 @@ pub enum Ev {
 }
 
 impl Ev {
+    /// Bytes of shared payload (`Arc<[u8]>` / `Arc<str>`) this event
+    /// keeps alive while queued — the unit the engine's
+    /// [`crate::engine::MemoryBudget`] accounts in.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Ev::ToMta(_, s) | Ev::ToClient(_, s) => s.len() as u64,
+            Ev::DnsArrive(_, _, b, _, _) | Ev::DnsReturn(_, _, b, _) => b.len() as u64,
+            _ => 0,
+        }
+    }
+
     /// The local session index this event belongs to.
     pub fn session(&self) -> usize {
         match *self {

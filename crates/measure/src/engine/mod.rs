@@ -18,6 +18,8 @@ mod driver;
 mod event;
 mod session;
 
-pub use driver::{EngineConfig, EngineOutput, EngineStats, SessionBudget, SessionEngine};
+pub use driver::{
+    EngineConfig, EngineOutput, EngineStats, MemoryBudget, SessionBudget, SessionEngine,
+};
 pub use event::Ev;
 pub use session::{LiveSession, SessionOutcome, SessionRecord};

@@ -26,8 +26,11 @@
 //! every [`JournalWriter`] `fsync_every` frames (a crashed *machine*
 //! loses at most the unsynced suffix, which replay then re-runs).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::apparatus::{Attribution, QueryLog, QueryRecord};
 use crate::engine::{EngineOutput, EngineStats, SessionOutcome, SessionRecord};
+use crate::vfs::{OsFs, Vfs, VfsFile};
 use mailval_dns::rr::RecordType;
 use mailval_dns::server::Transport;
 use mailval_dns::Name;
@@ -36,8 +39,7 @@ use mailval_smtp::client::{ClientOutcome, Phase};
 use mailval_smtp::reply::Reply;
 use mailval_smtp::EmailAddress;
 use std::collections::HashSet;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// File magic: identifies a mailval journal, version 1.
@@ -190,13 +192,18 @@ impl<'a> Dec<'a> {
         }
     }
     pub(crate) fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
     pub(crate) fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
     pub(crate) fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
     pub(crate) fn f64(&mut self) -> Result<f64, FrameError> {
         Ok(f64::from_bits(self.u64()?))
@@ -353,6 +360,14 @@ pub(crate) fn put_record(enc: &mut Enc, r: &SessionRecord) {
             enc.u8(2);
             enc.u8(class.index() as u8);
         }
+        SessionOutcome::ResourceShed {
+            queued_bytes,
+            pending_events,
+        } => {
+            enc.u8(3);
+            enc.u64(queued_bytes);
+            enc.u64(pending_events);
+        }
     }
 }
 
@@ -381,6 +396,10 @@ pub(crate) fn get_record(dec: &mut Dec<'_>) -> Result<SessionRecord, FrameError>
         },
         2 => SessionOutcome::HostileInput {
             class: MalformedClass::from_index(dec.u8()? as usize).ok_or(FrameError::BadTag)?,
+        },
+        3 => SessionOutcome::ResourceShed {
+            queued_bytes: dec.u64()?,
+            pending_events: dec.u64()?,
         },
         _ => return Err(FrameError::BadTag),
     };
@@ -484,6 +503,15 @@ pub(crate) fn put_faults(enc: &mut Enc, f: &FaultStats) {
     }
 }
 
+/// [`put_faults`] plus the PR-9 counters, appended after the legacy
+/// block. The journal frames and store entries use this; the campaign
+/// content hash keeps the legacy layout (plus a conditional tail) so
+/// pinned digests survive the extension.
+pub(crate) fn put_faults_v3(enc: &mut Enc, f: &FaultStats) {
+    put_faults(enc, f);
+    enc.u64(f.resource_shed);
+}
+
 pub(crate) fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
     let mut stats = FaultStats {
         dns_dropped: dec.u64()?,
@@ -501,6 +529,7 @@ pub(crate) fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
         dns_payload_mutations: dec.u64()?,
         smtp_payload_mutations: dec.u64()?,
         hostile_inputs: dec.u64()?,
+        resource_shed: 0,
         malformed: MalformedStats::default(),
     };
     let mut counts = [0u64; MalformedClass::ALL.len()];
@@ -508,6 +537,13 @@ pub(crate) fn get_faults(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
         *c = dec.u64()?;
     }
     stats.malformed = MalformedStats::from_counts(counts);
+    Ok(stats)
+}
+
+/// Decoding counterpart of [`put_faults_v3`].
+pub(crate) fn get_faults_v3(dec: &mut Dec<'_>) -> Result<FaultStats, FrameError> {
+    let mut stats = get_faults(dec)?;
+    stats.resource_shed = dec.u64()?;
     Ok(stats)
 }
 
@@ -519,7 +555,7 @@ pub fn encode_frame(frame: &JournalFrame) -> Vec<u8> {
     for q in &frame.queries {
         put_query(&mut enc, q);
     }
-    put_faults(&mut enc, &frame.faults);
+    put_faults_v3(&mut enc, &frame.faults);
     enc.u64(frame.events);
     enc.u64(frame.end_ms);
     enc.0
@@ -534,7 +570,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<JournalFrame, FrameError> {
     for _ in 0..n {
         queries.push(get_query(&mut dec)?);
     }
-    let faults = get_faults(&mut dec)?;
+    let faults = get_faults_v3(&mut dec)?;
     let events = dec.u64()?;
     let end_ms = dec.u64()?;
     dec.finished()?;
@@ -557,11 +593,24 @@ pub fn decode_frame(payload: &[u8]) -> Result<JournalFrame, FrameError> {
 /// crash after `append` returns loses nothing); `sync_data` is invoked
 /// every `fsync_every` appends (and on [`JournalWriter::sync`]) to
 /// bound what an OS crash can lose.
-#[derive(Debug)]
+///
+/// All file I/O flows through a [`Vfs`], so a campaign under an active
+/// `IoPlan` exercises the journal's failure paths through the same
+/// code production uses. Any error surfaced here is degradable: the
+/// engine demotes the shard to non-durable mode rather than panicking.
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     fsync_every: u64,
     appended_since_sync: u64,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter")
+            .field("fsync_every", &self.fsync_every)
+            .field("appended_since_sync", &self.appended_since_sync)
+            .finish()
+    }
 }
 
 impl JournalWriter {
@@ -577,18 +626,24 @@ impl JournalWriter {
     /// sessions it held are re-run and re-journaled), or initialized
     /// with the magic header when no valid prefix exists.
     pub fn open_append(path: &Path, valid_len: u64, fsync_every: u64) -> io::Result<JournalWriter> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+        JournalWriter::open_append_with(path, valid_len, fsync_every, &OsFs)
+    }
+
+    /// [`JournalWriter::open_append`] through an explicit [`Vfs`].
+    pub fn open_append_with(
+        path: &Path,
+        valid_len: u64,
+        fsync_every: u64,
+        vfs: &dyn Vfs,
+    ) -> io::Result<JournalWriter> {
+        let mut file = vfs.open_write(path, false)?;
         if valid_len < HEADER_LEN {
             file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
+            file.seek_to(0)?;
             file.write_all(&MAGIC)?;
         } else {
             file.set_len(valid_len)?;
-            file.seek(SeekFrom::Start(valid_len))?;
+            file.seek_to(valid_len)?;
         }
         Ok(JournalWriter {
             file,
@@ -669,6 +724,9 @@ impl Replay {
             queries_logged: log.records.len() as u64,
             virtual_ms,
             faults,
+            // A journal-salvaged shard by definition outlived its
+            // durability; the flag is observability, never hashed.
+            durability_lost: false,
         };
         EngineOutput {
             log,
@@ -684,7 +742,14 @@ impl Replay {
 /// the per-frame CRC-32, a length prefix running past the end of file
 /// (or past [`MAX_FRAME_LEN`]), or a payload that does not decode.
 pub fn replay(path: &Path) -> Replay {
-    let data = match std::fs::read(path) {
+    replay_with(path, &OsFs)
+}
+
+/// [`replay`] through an explicit [`Vfs`]: under an active `IoPlan`
+/// the read itself may come back corrupted, which is just another way
+/// to shorten the verified prefix.
+pub fn replay_with(path: &Path, vfs: &dyn Vfs) -> Replay {
+    let data = match vfs.read(path) {
         Ok(data) => data,
         Err(_) => return Replay::default(),
     };
@@ -699,8 +764,8 @@ pub fn replay(path: &Path) -> Replay {
     let mut seen = HashSet::new();
     let mut pos = HEADER_LEN as usize;
     while let Some(header) = data.get(pos..pos + 8) {
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4"));
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("4"));
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         if len > MAX_FRAME_LEN {
             break;
         }
@@ -731,6 +796,7 @@ pub fn shard_journal_path(dir: &Path, shard: usize) -> PathBuf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -837,6 +903,34 @@ mod tests {
         );
     }
 
+    /// A frame shed by the memory budget — exercises the v3 codec
+    /// extensions (termination tag 3 + the resource_shed counter).
+    fn shed_frame(session_id: usize) -> JournalFrame {
+        let mut frame = sample_frame(session_id);
+        frame.record.termination = SessionOutcome::ResourceShed {
+            queued_bytes: 9_000_000,
+            pending_events: 4_096,
+        };
+        frame.faults.resource_shed = 1;
+        frame
+    }
+
+    #[test]
+    fn shed_frame_payload_roundtrips() {
+        let frame = shed_frame(44);
+        let payload = encode_frame(&frame);
+        let decoded = decode_frame(&payload).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(decoded.faults.resource_shed, 1);
+        assert_eq!(
+            decoded.record.termination,
+            SessionOutcome::ResourceShed {
+                queued_bytes: 9_000_000,
+                pending_events: 4_096,
+            }
+        );
+    }
+
     #[test]
     fn frame_decode_rejects_any_truncation() {
         let payload = encode_frame(&sample_frame(1));
@@ -901,7 +995,7 @@ mod tests {
         // may panic, and no flipped frame may be served as valid data.
         let path = temp_journal("flip-sweep");
         let mut w = JournalWriter::create(&path).unwrap();
-        let originals = [sample_frame(0), hostile_frame(1), sample_frame(2)];
+        let originals = [sample_frame(0), hostile_frame(1), shed_frame(2)];
         for frame in &originals {
             w.append(frame).unwrap();
         }

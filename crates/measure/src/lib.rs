@@ -35,6 +35,11 @@
 //!   [`CampaignResult`]s serialized with the journal's framing, keyed
 //!   by a hash of every result-determining knob, so analyses re-render
 //!   from disk instead of re-simulating (run once, analyze many).
+//! * [`vfs`] — the storage seam both of the above write through: a
+//!   passthrough `OsFs` and a deterministic fault-injecting `SimFs`
+//!   (ENOSPC, short writes, failed fsync/rename, read-side rot) driven
+//!   by a seeded `IoPlan`, so storage failure is simulated with the
+//!   same rigor as network failure.
 //! * [`progress`] — the single `[mailval]` stderr progress channel;
 //!   campaign lines carry the content hash and store hit/miss status.
 //! * [`analysis`] — classification of raw observations into the paper's
@@ -62,15 +67,19 @@ pub mod progress;
 pub mod report;
 pub mod shard;
 pub mod store;
+pub mod vfs;
 
 pub use apparatus::{Attribution, QueryLog, QueryRecord, SynthesizingAuthority};
 pub use campaign::{
     drift_profiles, run_campaign, run_campaign_stored, sample_host_profiles, CampaignConfig,
     CampaignKind, CampaignResult, SupervisorConfig,
 };
-pub use engine::{EngineConfig, SessionBudget, SessionEngine, SessionOutcome, SessionRecord};
+pub use engine::{
+    EngineConfig, MemoryBudget, SessionBudget, SessionEngine, SessionOutcome, SessionRecord,
+};
 pub use journal::{JournalFrame, JournalWriter, Replay};
 pub use names::NameScheme;
 pub use policies::{TestPolicyId, ALL_TESTS};
 pub use shard::ShardStats;
 pub use store::{CampaignKey, CampaignStore, KeySpec, StoreError, StoreStatus};
+pub use vfs::{OsFs, SimFs, Vfs, VfsFile};

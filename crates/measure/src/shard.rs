@@ -41,6 +41,11 @@ pub struct ShardStats {
     /// Times the supervisor restarted this shard after a crash (0 for
     /// an undisturbed run).
     pub restarts: u32,
+    /// The shard's journal failed mid-run and was demoted to
+    /// non-durable mode (results complete, crash coverage lost).
+    /// Observability only: like `wall_ms` it is never part of the
+    /// campaign's content hash.
+    pub durability_lost: bool,
 }
 
 impl ShardStats {
@@ -56,6 +61,7 @@ impl ShardStats {
             wall_ms,
             faults: stats.faults,
             restarts,
+            durability_lost: stats.durability_lost,
         }
     }
 }

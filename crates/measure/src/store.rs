@@ -34,16 +34,25 @@
 //! **Any** mismatch — torn tail, bit flip, stale key, short write —
 //! returns a [`StoreError`], and the caller falls back to re-running
 //! the campaign; corruption is never a panic and never trusted data.
+//!
+//! All store IO goes through the [`crate::vfs`] seam, so the
+//! deterministic IO fault layer ([`mailval_simnet::IoPlan`]) exercises
+//! the same save/load paths production uses: a failed save degrades to
+//! store-off behavior, a corrupted read is just another clean miss.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::apparatus::QueryLog;
 use crate::campaign::{CampaignConfig, CampaignKind, CampaignResult};
 use crate::journal::{self, crc32, Dec, Enc, FrameError};
 use crate::shard::ShardStats;
+use crate::vfs::{OsFs, Vfs};
 use mailval_crypto::sha256::sha256;
-use mailval_simnet::{FaultConfig, LatencyModel, PayloadConfig};
-use std::io::{self, Write};
+use mailval_simnet::{FaultConfig, IoConfig, LatencyModel, PayloadConfig};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// File magic: identifies a mailval campaign store entry, version 1.
 pub const MAGIC: [u8; 8] = *b"MVALSTO1";
@@ -52,8 +61,9 @@ pub const MAGIC: [u8; 8] = *b"MVALSTO1";
 const CHUNK: usize = 4096;
 /// Domain-separation prefix mixed into every content hash; bump the
 /// version suffix when the key encoding changes shape (v2 added the
-/// hostile-payload knobs).
-const KEY_DOMAIN: &[u8] = b"mailval-campaign-key-v2";
+/// hostile-payload knobs; v3 added the IO fault plan, the memory
+/// budget and the `resource_shed`/`durability_lost` entry codec).
+const KEY_DOMAIN: &[u8] = b"mailval-campaign-key-v3";
 
 const TAG_HEADER: u8 = 0;
 const TAG_SESSIONS: u8 = 1;
@@ -92,9 +102,9 @@ impl KeySpec<'_> {
     /// Durability-only knobs (`journal_dir`, `resume`, `fsync_every`,
     /// `supervisor`) are deliberately excluded: they cannot change a
     /// completed campaign's output, only how it survives crashes.
-    /// Everything else — including the shard count, which is
-    /// output-invariant by construction but cheap to key on — is
-    /// hashed, so changing any knob forces a re-run.
+    /// Everything else — including the shard count and the IO fault
+    /// plan, which are output-invariant by construction but cheap to
+    /// key on — is hashed, so changing any knob forces a re-run.
     pub fn key(&self) -> CampaignKey {
         let c = self.config;
         let mut enc = Enc::default();
@@ -109,9 +119,12 @@ impl KeySpec<'_> {
         put_latency(&mut enc, &c.latency);
         put_fault_config(&mut enc, &c.faults);
         put_payload_config(&mut enc, &c.payload);
+        put_io_config(&mut enc, &c.io);
         enc.size(c.shards);
         enc.u64(c.budget.max_virtual_ms);
         enc.u64(c.budget.max_events);
+        enc.u64(c.memory.max_session_bytes);
+        enc.u64(c.memory.max_pending_events);
         enc.str(self.dataset);
         enc.f64(self.scale);
         enc.u64(self.population_seed);
@@ -152,6 +165,15 @@ fn put_payload_config(enc: &mut Enc, p: &PayloadConfig) {
     enc.f64(p.dns_corrupt_probability);
     enc.f64(p.smtp_corrupt_probability);
     enc.u64(p.seed);
+}
+
+fn put_io_config(enc: &mut Enc, io: &IoConfig) {
+    enc.u64(io.enospc_after_bytes);
+    enc.f64(io.short_write_probability);
+    enc.f64(io.fsync_fail_probability);
+    enc.f64(io.rename_fail_probability);
+    enc.f64(io.read_corrupt_probability);
+    enc.u64(io.seed);
 }
 
 fn put_fault_config(enc: &mut Enc, f: &FaultConfig) {
@@ -258,18 +280,53 @@ impl StoreStatus {
 /// A directory of content-addressed campaign results.
 pub struct CampaignStore {
     root: PathBuf,
+    vfs: Arc<dyn Vfs>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl CampaignStore {
     /// Open (lazily — the directory is created on first save) a store
-    /// rooted at `root`.
+    /// rooted at `root`, on the real filesystem.
     pub fn new(root: impl Into<PathBuf>) -> CampaignStore {
-        CampaignStore {
+        CampaignStore::new_with_vfs(root, Arc::new(OsFs))
+    }
+
+    /// Open a store whose every IO operation goes through `vfs` (the
+    /// fault-injection seam). Opening sweeps orphaned `*.camp.tmp`
+    /// files — the residue of saves that died between write and rename
+    /// — so a crashed run can never accumulate junk.
+    pub fn new_with_vfs(root: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> CampaignStore {
+        let store = CampaignStore {
             root: root.into(),
+            vfs,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+        };
+        store.sweep_orphans();
+        store
+    }
+
+    /// Remove leftover temporary entries under the root. Best-effort:
+    /// a sweep failure (missing root, unremovable file) costs nothing
+    /// but disk — every load path already ignores `.camp.tmp` files.
+    fn sweep_orphans(&self) {
+        let Ok(entries) = self.vfs.list_dir(&self.root) else {
+            return;
+        };
+        for path in entries {
+            let is_orphan = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".camp.tmp"));
+            if is_orphan {
+                match self.vfs.remove_file(&path) {
+                    Ok(()) => crate::progress!("store: swept orphan {}", path.display()),
+                    Err(e) => {
+                        crate::progress!("store: could not sweep orphan {}: {e}", path.display())
+                    }
+                }
+            }
         }
     }
 
@@ -308,7 +365,7 @@ impl CampaignStore {
 
     fn load_inner(&self, key: &CampaignKey) -> Result<CampaignResult, StoreError> {
         let path = self.path_for(key);
-        let data = match std::fs::read(&path) {
+        let data = match self.vfs.read(&path) {
             Ok(data) => data,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::Missing),
             Err(e) => return Err(StoreError::Io(e)),
@@ -319,18 +376,27 @@ impl CampaignStore {
     /// Persist `result` under `key`. The entry is written to a
     /// temporary sibling and renamed into place, so a crash mid-save
     /// leaves either the old entry or none — never a torn one at the
-    /// final path.
+    /// final path. A failed rename removes the temporary before
+    /// reporting the error, so a fault-heavy run leaves no residue.
     pub fn save(&self, key: &CampaignKey, result: &CampaignResult) -> io::Result<PathBuf> {
-        std::fs::create_dir_all(&self.root)?;
+        self.vfs.create_dir_all(&self.root)?;
         let path = self.path_for(key);
         let tmp = path.with_extension("camp.tmp");
         let bytes = encode_entry(key, result);
-        {
-            let mut file = std::fs::File::create(&tmp)?;
+        let write = (|| -> io::Result<()> {
+            let mut file = self.vfs.open_write(&tmp, true)?;
             file.write_all(&bytes)?;
             file.sync_data()?;
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, &path)?;
+        if let Err(e) = self.vfs.rename(&tmp, &path) {
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(e);
+        }
         Ok(path)
     }
 }
@@ -352,8 +418,9 @@ fn put_shard_stats(enc: &mut Enc, s: &ShardStats) {
     enc.u64(s.queries_logged);
     enc.u64(s.virtual_ms);
     enc.f64(s.wall_ms);
-    journal::put_faults(enc, &s.faults);
+    journal::put_faults_v3(enc, &s.faults);
     enc.u32(s.restarts);
+    enc.boolean(s.durability_lost);
 }
 
 fn get_shard_stats(dec: &mut Dec<'_>) -> Result<ShardStats, FrameError> {
@@ -364,8 +431,9 @@ fn get_shard_stats(dec: &mut Dec<'_>) -> Result<ShardStats, FrameError> {
         queries_logged: dec.u64()?,
         virtual_ms: dec.u64()?,
         wall_ms: dec.f64()?,
-        faults: journal::get_faults(dec)?,
+        faults: journal::get_faults_v3(dec)?,
         restarts: dec.u32()?,
+        durability_lost: dec.boolean()?,
     })
 }
 
@@ -383,7 +451,7 @@ pub fn encode_entry(key: &CampaignKey, result: &CampaignResult) -> Vec<u8> {
     enc.size(result.log.records.len());
     enc.u64(result.events);
     enc.boolean(result.partial);
-    journal::put_faults(&mut enc, &result.faults);
+    journal::put_faults_v3(&mut enc, &result.faults);
     enc.size(result.shard_stats.len());
     for s in &result.shard_stats {
         put_shard_stats(&mut enc, s);
@@ -436,8 +504,8 @@ pub fn decode_entry(data: &[u8], key: &CampaignKey) -> Result<CampaignResult, St
         let header = data
             .get(pos..pos + 8)
             .ok_or(StoreError::Corrupt("torn frame header"))?;
-        let len = u32::from_le_bytes(header[..4].try_into().expect("4")) as usize;
-        let crc = u32::from_le_bytes(header[4..].try_into().expect("4"));
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         let payload = data
             .get(pos + 8..pos + 8 + len)
             .ok_or(StoreError::Corrupt("torn frame payload"))?;
@@ -468,7 +536,7 @@ pub fn decode_entry(data: &[u8], key: &CampaignKey) -> Result<CampaignResult, St
     let nqueries = dec.size()?;
     let events = dec.u64()?;
     let partial = dec.boolean()?;
-    let faults = journal::get_faults(&mut dec)?;
+    let faults = journal::get_faults_v3(&mut dec)?;
     let nshards = dec.size()?;
     if nshards > 1 << 20 {
         return Err(StoreError::Corrupt("implausible shard count"));
@@ -539,10 +607,13 @@ pub fn decode_entry(data: &[u8], key: &CampaignKey) -> Result<CampaignResult, St
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::campaign::{run_campaign, sample_host_profiles};
+    use crate::vfs::SimFs;
     use mailval_datasets::{DatasetKind, Population, PopulationConfig};
+    use mailval_simnet::IoPlan;
 
     fn tiny_result(seed: u64) -> (CampaignConfig, Population, CampaignResult) {
         let pop = Population::generate(&PopulationConfig {
@@ -595,6 +666,7 @@ mod tests {
             assert_eq!(x.wall_ms.to_bits(), y.wall_ms.to_bits());
             assert_eq!(x.faults, y.faults);
             assert_eq!(x.restarts, y.restarts);
+            assert_eq!(x.durability_lost, y.durability_lost);
         }
     }
 
@@ -810,6 +882,31 @@ mod tests {
         let mut c = base_config.clone();
         c.payload.seed = 99;
         assert_ne!(changed(&c), base_hash, "payload seed must invalidate");
+        // IO fault plan (output-invariant by construction, but keyed
+        // conservatively like the shard count).
+        let mut c = base_config.clone();
+        c.io.enospc_after_bytes = 4096;
+        assert_ne!(changed(&c), base_hash, "io capacity must invalidate");
+        let mut c = base_config.clone();
+        c.io.short_write_probability = 0.1;
+        assert_ne!(changed(&c), base_hash, "short-write knob must invalidate");
+        let mut c = base_config.clone();
+        c.io.read_corrupt_probability = 0.1;
+        assert_ne!(changed(&c), base_hash, "read-corrupt knob must invalidate");
+        let mut c = base_config.clone();
+        c.io.seed = 77;
+        assert_ne!(changed(&c), base_hash, "io seed must invalidate");
+        // Memory backpressure budget is result-determining.
+        let mut c = base_config.clone();
+        c.memory.max_session_bytes = 1 << 20;
+        assert_ne!(changed(&c), base_hash, "memory byte budget must invalidate");
+        let mut c = base_config.clone();
+        c.memory.max_pending_events = 64;
+        assert_ne!(
+            changed(&c),
+            base_hash,
+            "memory event budget must invalidate"
+        );
 
         // Durability knobs must NOT invalidate: they cannot change the
         // output, only how it survives crashes.
@@ -853,6 +950,67 @@ mod tests {
         store.save(&key, &result).unwrap();
         let loaded = store.load(&key).unwrap();
         assert_results_equal(&loaded, &result);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn opening_a_store_sweeps_orphaned_tmp_files() {
+        let (config, _pop, result) = tiny_result(67);
+        let store = temp_store("orphans");
+        let key = spec(&config, 67).key();
+        store.save(&key, &result).unwrap();
+        // Plant the residue of a save that died between write and
+        // rename, plus a bystander that must survive the sweep.
+        let orphan = store.root().join("deadbeefdeadbeef.camp.tmp");
+        let bystander = store.root().join("notes.txt");
+        std::fs::write(&orphan, b"torn half-save").unwrap();
+        std::fs::write(&bystander, b"keep me").unwrap();
+        let reopened = CampaignStore::new(store.root());
+        assert!(!orphan.exists(), "orphan tmp must be swept on open");
+        assert!(bystander.exists(), "sweep must only touch *.camp.tmp");
+        assert!(
+            store.path_for(&key).exists(),
+            "sweep must not touch completed entries"
+        );
+        assert_results_equal(&reopened.load(&key).unwrap(), &result);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn read_corruption_through_simfs_is_a_clean_miss() {
+        // Load the same entry through a SimFs that corrupts one byte of
+        // every read: the production load path must classify each
+        // corrupted image as a StoreError, never panic, and never serve
+        // it as data. (The exhaustive positional sweep lives in
+        // `every_single_byte_flip_is_rejected_never_a_panic`; this pins
+        // the same property through the IO fault seam itself.)
+        let (config, _pop, mut result) = tiny_result(71);
+        result.sessions.truncate(4);
+        result.log.records.truncate(4);
+        let store = temp_store("simfs-miss");
+        let key = spec(&config, 71).key();
+        store.save(&key, &result).unwrap();
+        let faulty = CampaignStore::new_with_vfs(
+            store.root(),
+            Arc::new(SimFs::new(IoPlan::new(IoConfig {
+                read_corrupt_probability: 1.0,
+                seed: 0x10_FA11,
+                ..IoConfig::default()
+            }))),
+        );
+        let mut rejected = 0;
+        for _ in 0..64 {
+            match faulty.load(&key) {
+                Err(StoreError::Missing) => panic!("entry exists; corruption must not hide it"),
+                Err(_) => rejected += 1,
+                // The flipped byte can land in the ignored label text;
+                // a lucky load is allowed, silent corruption is not.
+                Ok(loaded) => assert_results_equal(&loaded, &result),
+            }
+        }
+        assert!(rejected > 32, "only {rejected}/64 corrupted reads rejected");
+        // The pristine path still serves the entry.
+        assert_results_equal(&store.load(&key).unwrap(), &result);
         let _ = std::fs::remove_dir_all(store.root());
     }
 }

@@ -113,6 +113,10 @@ const STREAM_DATAGRAM: u64 = 0xDA7A_6BAD;
 const STREAM_SEGMENT: u64 = 0x5E65_BAD5;
 const STREAM_DNS_PAYLOAD: u64 = 0xD05E_BAD1;
 const STREAM_SMTP_PAYLOAD: u64 = 0x53D7_BAD0;
+const STREAM_IO_WRITE: u64 = 0xD15C_BAD2;
+const STREAM_IO_FSYNC: u64 = 0xF5FC_BAD3;
+const STREAM_IO_RENAME: u64 = 0x2E4A_BAD4;
+const STREAM_IO_READ: u64 = 0x2EAD_BAD6;
 
 /// Classification of one rejected hostile input, assigned by the
 /// consumer that refused it (never by the injector): the DNS wire
@@ -273,6 +277,9 @@ pub struct FaultStats {
     /// Sessions terminated because the probe client received input it
     /// refused to parse (`SessionOutcome::HostileInput`).
     pub hostile_inputs: u64,
+    /// Sessions shed by the engine's memory budget before their queued
+    /// payloads could blow up the shard (`SessionOutcome::ResourceShed`).
+    pub resource_shed: u64,
     /// Classified hostile-input rejections, by taxonomy class.
     pub malformed: MalformedStats,
 }
@@ -295,6 +302,7 @@ impl FaultStats {
         self.dns_payload_mutations += other.dns_payload_mutations;
         self.smtp_payload_mutations += other.smtp_payload_mutations;
         self.hostile_inputs += other.hostile_inputs;
+        self.resource_shed += other.resource_shed;
         self.malformed.merge(&other.malformed);
     }
 
@@ -728,6 +736,144 @@ impl PayloadPlan {
     }
 }
 
+/// Probabilities and limits for injected storage faults. The default is
+/// all-zero: a plan built from it never fails an operation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IoConfig {
+    /// Simulated disk capacity per file, bytes: every write that would
+    /// push the file past this limit is cut short with an ENOSPC-style
+    /// error (the allowed prefix is still written, exactly as a real
+    /// filesystem fills). Zero means unlimited.
+    pub enospc_after_bytes: u64,
+    /// Probability a write persists only a prefix before erroring.
+    pub short_write_probability: f64,
+    /// Probability an fsync/fdatasync reports failure (data may or may
+    /// not be durable — the caller must assume not).
+    pub fsync_fail_probability: f64,
+    /// Probability an atomic rename fails.
+    pub rename_fail_probability: f64,
+    /// Probability a whole-file read returns one corrupted byte.
+    pub read_corrupt_probability: f64,
+    /// Seed mixed into every fault decision (fork of the campaign seed,
+    /// independent of the transport and payload seeds).
+    pub seed: u64,
+}
+
+/// The fate of one write issued through the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Persist the full buffer.
+    Full,
+    /// Persist only the first `keep` bytes, then report an I/O error.
+    Short {
+        /// Bytes actually persisted before the fault.
+        keep: usize,
+    },
+    /// Persist only the first `keep` bytes, then report ENOSPC: the
+    /// simulated device is full and stays full.
+    Enospc {
+        /// Bytes that still fit before the capacity limit.
+        keep: usize,
+    },
+}
+
+/// A sealed storage fault plan. Like the transport and payload plans,
+/// every decision is a pure function of `(plan seed, stable file id,
+/// op stream, per-file op cursor)` via the same [`mix`] hashing — never
+/// of wall-clock, thread scheduling, or global op order — so the fault
+/// sequence each file observes is identical across shard counts and
+/// across kill-and-resume (the per-file cursors are owned by the
+/// filesystem layer, which re-derives them from file state on open).
+#[derive(Debug, Clone)]
+pub struct IoPlan {
+    config: IoConfig,
+    active: bool,
+}
+
+impl IoPlan {
+    /// Seal a plan from a config.
+    pub fn new(config: IoConfig) -> IoPlan {
+        let active = config.enospc_after_bytes > 0
+            || config.short_write_probability > 0.0
+            || config.fsync_fail_probability > 0.0
+            || config.rename_fail_probability > 0.0
+            || config.read_corrupt_probability > 0.0;
+        IoPlan { config, active }
+    }
+
+    /// True when some fault can ever fire (fast-path check).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The sealed configuration.
+    pub fn config(&self) -> &IoConfig {
+        &self.config
+    }
+
+    fn rng(&self, file_id: u64, stream: u64, index: u64) -> SimRng {
+        SimRng::new(mix(self.config.seed, file_id, stream, index))
+    }
+
+    /// Decide the fate of one write of `len` bytes to the file
+    /// identified by `file_id`, which already holds `written` bytes;
+    /// `index` is the file's write-op cursor.
+    pub fn write_fault(&self, file_id: u64, index: u64, written: u64, len: usize) -> WriteFault {
+        if !self.active || len == 0 {
+            return WriteFault::Full;
+        }
+        let cap = self.config.enospc_after_bytes;
+        if cap > 0 && written.saturating_add(len as u64) > cap {
+            return WriteFault::Enospc {
+                keep: cap.saturating_sub(written).min(len as u64) as usize,
+            };
+        }
+        if self.config.short_write_probability > 0.0 {
+            let mut rng = self.rng(file_id, STREAM_IO_WRITE, index);
+            if rng.chance(self.config.short_write_probability) {
+                return WriteFault::Short {
+                    keep: rng.next_below(len as u64) as usize,
+                };
+            }
+        }
+        WriteFault::Full
+    }
+
+    /// Decide whether the file's `index`-th fsync reports failure.
+    pub fn fsync_fails(&self, file_id: u64, index: u64) -> bool {
+        self.active
+            && self.config.fsync_fail_probability > 0.0
+            && self
+                .rng(file_id, STREAM_IO_FSYNC, index)
+                .chance(self.config.fsync_fail_probability)
+    }
+
+    /// Decide whether the file's `index`-th rename fails.
+    pub fn rename_fails(&self, file_id: u64, index: u64) -> bool {
+        self.active
+            && self.config.rename_fail_probability > 0.0
+            && self
+                .rng(file_id, STREAM_IO_RENAME, index)
+                .chance(self.config.rename_fail_probability)
+    }
+
+    /// Decide whether the file's `index`-th whole-file read of `len`
+    /// bytes is corrupted; returns the byte position and XOR mask to
+    /// apply (mask is never zero, so corruption always changes a byte).
+    pub fn read_corruption(&self, file_id: u64, index: u64, len: usize) -> Option<(usize, u8)> {
+        if !self.active || len == 0 || self.config.read_corrupt_probability <= 0.0 {
+            return None;
+        }
+        let mut rng = self.rng(file_id, STREAM_IO_READ, index);
+        if !rng.chance(self.config.read_corrupt_probability) {
+            return None;
+        }
+        let pos = rng.next_below(len as u64) as usize;
+        let mask = (rng.next_u64() as u8) | 1;
+        Some((pos, mask))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1016,6 +1162,118 @@ mod tests {
         assert_eq!(a.count(MalformedClass::SmtpBadChar), 1);
         assert_eq!(a.total(), 3);
         assert_eq!(a.iter().map(|(_, n)| n).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn default_io_plan_is_inert() {
+        let plan = IoPlan::new(IoConfig::default());
+        assert!(!plan.is_active());
+        for index in 0..100u64 {
+            assert_eq!(plan.write_fault(3, index, index * 64, 64), WriteFault::Full);
+            assert!(!plan.fsync_fails(3, index));
+            assert!(!plan.rename_fails(3, index));
+            assert_eq!(plan.read_corruption(3, index, 4096), None);
+        }
+    }
+
+    #[test]
+    fn enospc_caps_the_file_and_stays_full() {
+        let plan = IoPlan::new(IoConfig {
+            enospc_after_bytes: 100,
+            seed: 1,
+            ..Default::default()
+        });
+        assert!(plan.is_active());
+        assert_eq!(plan.write_fault(0, 0, 0, 64), WriteFault::Full);
+        assert_eq!(
+            plan.write_fault(0, 1, 64, 64),
+            WriteFault::Enospc { keep: 36 }
+        );
+        // Once at capacity, every further write yields zero bytes.
+        assert_eq!(
+            plan.write_fault(0, 2, 100, 1),
+            WriteFault::Enospc { keep: 0 }
+        );
+        assert_eq!(
+            plan.write_fault(0, 3, 100, 4096),
+            WriteFault::Enospc { keep: 0 }
+        );
+    }
+
+    #[test]
+    fn short_writes_keep_a_strict_prefix() {
+        let plan = IoPlan::new(IoConfig {
+            short_write_probability: 1.0,
+            seed: 2,
+            ..Default::default()
+        });
+        for index in 0..50u64 {
+            match plan.write_fault(9, index, 0, 128) {
+                WriteFault::Short { keep } => assert!(keep < 128),
+                other => panic!("p=1 must short-write, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn io_faults_are_independent_of_consultation_order() {
+        // The resume-invariance property: fault decisions depend only on
+        // (file id, op index), never on the order files are visited.
+        let plan = IoPlan::new(IoConfig {
+            short_write_probability: 0.4,
+            fsync_fail_probability: 0.3,
+            rename_fail_probability: 0.3,
+            read_corrupt_probability: 0.4,
+            seed: 77,
+            ..Default::default()
+        });
+        let probe = |file: u64, index: u64| {
+            (
+                plan.write_fault(file, index, index * 10, 64),
+                plan.fsync_fails(file, index),
+                plan.rename_fails(file, index),
+                plan.read_corruption(file, index, 512),
+            )
+        };
+        let sequential: Vec<Vec<_>> = (0..3u64)
+            .map(|file| (0..40).map(|i| probe(file, i)).collect())
+            .collect();
+        let mut interleaved = vec![Vec::new(), Vec::new(), Vec::new()];
+        for round in 0..40u64 {
+            for k in 0..3usize {
+                let file = (round as usize + k) % 3;
+                interleaved[file].push(probe(file as u64, round));
+            }
+        }
+        assert_eq!(sequential, interleaved);
+    }
+
+    #[test]
+    fn distinct_files_get_distinct_io_fault_sequences() {
+        let plan = IoPlan::new(IoConfig {
+            fsync_fail_probability: 0.5,
+            seed: 13,
+            ..Default::default()
+        });
+        let seq = |file: u64| -> Vec<bool> { (0..64).map(|i| plan.fsync_fails(file, i)).collect() };
+        assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn read_corruption_always_changes_a_byte_in_range() {
+        let plan = IoPlan::new(IoConfig {
+            read_corrupt_probability: 1.0,
+            seed: 3,
+            ..Default::default()
+        });
+        for index in 0..100u64 {
+            let (pos, mask) = plan
+                .read_corruption(4, index, 256)
+                .expect("p=1 must corrupt");
+            assert!(pos < 256);
+            assert_ne!(mask, 0, "mask must change the byte");
+        }
+        assert_eq!(plan.read_corruption(4, 0, 0), None, "empty reads pass");
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod sim;
 
 pub use fault::{
     ConnFault, DatagramFate, DnsMutation, FaultConfig, FaultCursor, FaultPlan, FaultStats,
-    MalformedClass, MalformedStats, PayloadConfig, PayloadPlan, SmtpMutation,
+    IoConfig, IoPlan, MalformedClass, MalformedStats, PayloadConfig, PayloadPlan, SmtpMutation,
+    WriteFault,
 };
 pub use net::LatencyModel;
 pub use rng::SimRng;

@@ -14,6 +14,7 @@
 #   scripts/verify.sh --resume     # only the kill-and-resume stage
 #   scripts/verify.sh --artifacts  # only the artifact-store stage
 #   scripts/verify.sh --hostile    # only the hostile-payload stage
+#   scripts/verify.sh --io         # only the storage-fault stage
 #   scripts/verify.sh --perf       # only the performance-regression stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,6 +83,23 @@ hostile() {
   cargo run --release -q -p mailval-bench --bin mailval-artifacts -- fuzz 100000
 }
 
+io() {
+  # Storage-fault determinism: campaigns under deterministic ENOSPC,
+  # short writes, fsync/rename failures and read corruption must merge
+  # byte-identically to a clean run for shards = 1/2/4/8, salvage exact
+  # journal prefixes, survive kill-and-resume, and shed over-budget
+  # sessions identically at any shard count — then the bench sweep
+  # re-asserts hash equality across fault rates {0, .01, .05, .20}.
+  echo "== tier-1: storage-fault determinism (cargo test --test io_determinism) =="
+  cargo test -q --test io_determinism
+  echo "== bench: storage-fault sweep (mailval-artifacts bench-io) =="
+  local dir
+  dir=$(mktemp -d)
+  trap 'rm -rf "$dir"' RETURN
+  cargo run --release -q -p mailval-bench --bin mailval-artifacts -- \
+    bench-io "$dir/BENCH_io.json"
+}
+
 perf() {
   # Performance regression gate: re-run the bench-perf sweep (2k and
   # 20k domains at shards = 1/2/4/8) and fail if campaign setup exceeds
@@ -117,6 +135,12 @@ if [[ "${1:-}" == "--hostile" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--io" ]]; then
+  io
+  echo "verify --io: OK"
+  exit 0
+fi
+
 if [[ "${1:-}" == "--perf" ]]; then
   perf
   echo "verify --perf: OK"
@@ -138,6 +162,7 @@ cargo test -q
 chaos
 resume
 hostile
+io
 artifacts
 perf
 

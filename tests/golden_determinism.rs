@@ -24,16 +24,18 @@ use mailval::simnet::{FaultConfig, LatencyModel, PayloadConfig};
 
 /// Pre-change content digest of the plain scenario.
 const GOLDEN_PLAIN: &str = "e68a21a48a7c695bd98bca4a786f7123304990453f70fc776ab20aea82221d39";
-/// Pre-change store key of the plain scenario.
-const GOLDEN_PLAIN_KEY: &str = "68bf9358e6fb610a5ba6cfbf159c4a7c9ec7a6a75101eeb74df24c896b4b16ce";
+/// Store key of the plain scenario (v3 key domain: the IO fault plan
+/// and memory budget joined the key encoding; the content digests
+/// above are untouched by that bump).
+const GOLDEN_PLAIN_KEY: &str = "508f624df6eb5b348e1fc4bd35fa7be2d5f9924885b7cbf4a85b1405c9619063";
 /// Pre-change content digest of the chaos scenario.
 const GOLDEN_CHAOS: &str = "8614df832b6b52d46cd17f3171ed0d804175bb26128bbe823a488b66592c5ac8";
-/// Pre-change store key of the chaos scenario.
-const GOLDEN_CHAOS_KEY: &str = "13ccef748d4009f7be978d21355451a851ab0115e19cefc9cf749cfae79b78b5";
+/// Store key of the chaos scenario (v3 key domain).
+const GOLDEN_CHAOS_KEY: &str = "22476730a5ae28b501fab08fb4547ecc862a88d0fd8db5aa2832064c942c75b8";
 /// Pre-change content digest of the hostile scenario.
 const GOLDEN_HOSTILE: &str = "59bdcd14db9f1e2cbe17c9a1bacbdef470244902e8ebd8057290fc466f90194a";
-/// Pre-change store key of the hostile scenario.
-const GOLDEN_HOSTILE_KEY: &str = "e2835c0a8f4c9ddcfc5958d96c7be5d0faace751774db4f62fdc86f7925e8632";
+/// Store key of the hostile scenario (v3 key domain).
+const GOLDEN_HOSTILE_KEY: &str = "8f37caad6cfc83a859254cc2613ff144078c6249a21844aea05a558111ad3fdb";
 
 fn plain_config(shards: usize) -> CampaignConfig {
     CampaignConfig {
