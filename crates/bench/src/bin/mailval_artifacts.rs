@@ -26,6 +26,8 @@ const USAGE: &str = "\
 usage: mailval-artifacts [OPTIONS] ARTIFACT...
        mailval-artifacts bench-campaign|bench-chaos|bench-resume|bench-hostile|bench-io|bench-perf [OUT.json]
        mailval-artifacts bench-perf-check [BASELINE.json]
+       mailval-artifacts bench-trace [OUT.json]
+       mailval-artifacts trace [--session N]... [--shard K/N] [--metrics] [--out FILE]
        mailval-artifacts fuzz [FRAMES]
 
 Render the paper's tables and figures. Campaigns are simulated at most
@@ -80,6 +82,23 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE
+                };
+            }
+            "bench-trace" => {
+                // The telemetry gate: non-zero exit on tracer overhead
+                // or a traced-vs-untraced content-hash divergence.
+                return if suites::trace::run(out) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            "trace" => {
+                // Chrome trace-event / metrics JSON export.
+                return if suites::trace::export(&args[1..]) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(2)
                 };
             }
             "fuzz" => {

@@ -2,8 +2,9 @@
 //! campaign throughput ([`campaign`]), the chaos fault sweep
 //! ([`chaos`]), the journal-overhead budget ([`resume`]), the
 //! hostile-payload sweep plus fuzz harness ([`hostile`]), the
-//! storage-fault sweep ([`io`]) and the
-//! phase-accounting perf gate ([`perf`]). Each bench writes a
+//! storage-fault sweep ([`io`]), the
+//! phase-accounting perf gate ([`perf`]) and the telemetry overhead
+//! gate plus trace exporter ([`trace`]). Each bench writes a
 //! hand-rolled JSON report (offline builds have no serde) to
 //! `results/BENCH_*.json` or an explicit output path, and reports
 //! progress through the unified `[mailval]` channel.
@@ -16,6 +17,7 @@ pub mod hostile;
 pub mod io;
 pub mod perf;
 pub mod resume;
+pub mod trace;
 
 /// Render the shared `"phases": {...}` JSON fragment every suite
 /// embeds in its per-run rows: the per-phase wall-clock breakdown that

@@ -26,6 +26,7 @@ use crate::journal::{self, JournalWriter};
 use crate::names::NameScheme;
 use crate::policies::SynthAddrs;
 use crate::shard::{merge_session_records, partition, ShardStats};
+use crate::telemetry::{NullTracer, RecordingTracer, Telemetry, Tracer};
 use crate::vfs::{OsFs, SimFs, Vfs};
 use mailval_crypto::bigint::SplitMix64;
 use mailval_crypto::rsa::RsaKeyPair;
@@ -120,6 +121,27 @@ pub struct CampaignConfig {
     pub memory: MemoryBudget,
     /// Shard-restart and deadline policy.
     pub supervisor: SupervisorConfig,
+    /// Telemetry collection (execution knob, like `shards`: never
+    /// result-determining, never part of a store key). The default is
+    /// fully inert — no tracing, no heartbeat.
+    pub telemetry: TelemetryConfig,
+}
+
+/// Telemetry execution knobs.
+///
+/// Observability only, following the [`PhaseTimes`] precedent: whatever
+/// these are set to, the campaign's merged output — and therefore its
+/// content hash and store key — is byte-identical, which the golden
+/// determinism test pins with tracing both off and on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Record per-session trace events and derive the metrics registry
+    /// ([`CampaignResult::telemetry`]). Off = the engine monomorphizes
+    /// to the null tracer with zero hot-path cost.
+    pub tracing: bool,
+    /// Minimum wall-clock ms between per-shard heartbeat progress lines
+    /// (0 disables the heartbeat).
+    pub heartbeat_ms: u64,
 }
 
 impl Default for CampaignConfig {
@@ -140,6 +162,7 @@ impl Default for CampaignConfig {
             budget: SessionBudget::default(),
             memory: MemoryBudget::default(),
             supervisor: SupervisorConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -260,6 +283,11 @@ pub struct CampaignResult {
     /// Where the wall-clock went (diagnostics; excluded from the
     /// content hash, the journal and the store).
     pub phases: PhaseTimes,
+    /// Merged trace events and metrics when
+    /// [`TelemetryConfig::tracing`] was on (observability like
+    /// `phases`: excluded from the content hash, the journal and the
+    /// store; a store hit or journal-finalized shard carries none).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl CampaignResult {
@@ -583,12 +611,73 @@ impl CampaignWorld {
         session
     }
 
+    /// Run one shard to completion: instantiate its sessions from the
+    /// shared world (on this shard's thread), replay its journal if
+    /// durability is on, and drive the event loop. A journal that
+    /// cannot be opened leaves the shard running non-durable with
+    /// `durability_lost` set — never a crash. Generic over the tracer
+    /// so the untraced path pays nothing for the telemetry seam.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard<T: Tracer>(
+        &self,
+        k: usize,
+        nshards: usize,
+        exec: &CampaignConfig,
+        journal_paths: Option<&Vec<PathBuf>>,
+        journal_enabled: &[bool],
+        vfs: &dyn Vfs,
+        tracer: T,
+    ) -> EngineOutput {
+        let sessions = self.shard_sessions(k, nshards);
+        let mut engine = SessionEngine::with_tracer(&self.server, self.engine.clone(), tracer);
+        if exec.telemetry.heartbeat_ms > 0 {
+            engine.set_heartbeat(k, exec.telemetry.heartbeat_ms);
+        }
+        let mut skip: HashSet<usize> = HashSet::new();
+        let mut durability_lost = false;
+        match journal_paths {
+            Some(paths) if journal_enabled[k] => {
+                let path = &paths[k];
+                let replay = journal::replay_with(path, vfs);
+                let valid_len = replay.valid_len;
+                skip = replay.completed_ids();
+                engine.seed_replay(replay);
+                match JournalWriter::open_append_with(path, valid_len, exec.fsync_every, vfs) {
+                    Ok(writer) => engine.set_journal(writer),
+                    Err(e) => {
+                        durability_lost = true;
+                        crate::progress!(
+                            "shard {k}: journal unavailable, running non-durable: {e}"
+                        );
+                    }
+                }
+            }
+            // Durability was requested but this shard (or the whole
+            // journal directory) lost it before the run began.
+            Some(_) => durability_lost = true,
+            None if exec.journal_dir.is_some() => durability_lost = true,
+            None => {}
+        }
+        for session in sessions {
+            if skip.contains(&session.session_id()) {
+                continue; // already completed and journaled
+            }
+            // Stagger session starts by global id, exactly as the
+            // single-threaded driver did.
+            let start = (session.session_id() as u64) * 7;
+            engine.add_session(session, start);
+        }
+        let mut output = engine.run();
+        output.stats.durability_lost |= durability_lost;
+        output
+    }
+
     /// Run the campaign over this world. Result-determining knobs come
     /// from the world itself; `exec` contributes only execution knobs —
     /// `shards`, `journal_dir`, `resume`, `fsync_every`, `io`,
-    /// `supervisor` — so one world can be swept across shard counts
-    /// without rebuilding (the output is byte-identical for every
-    /// value, which the golden determinism test pins).
+    /// `supervisor`, `telemetry` — so one world can be swept across
+    /// shard counts without rebuilding (the output is byte-identical
+    /// for every value, which the golden determinism test pins).
     pub fn run(&self, exec: &CampaignConfig) -> CampaignResult {
         let run_start = std::time::Instant::now();
         let parts = partition(self.blueprints.len(), exec.shards);
@@ -652,56 +741,32 @@ impl CampaignWorld {
         let paths_ref = &journal_paths;
         let journal_enabled = &journal_enabled;
         let vfs_ref = &vfs;
-        // Run one shard to completion: instantiate its sessions from
-        // the shared world (on this shard's thread), replay its journal
-        // if durability is on, and drive the event loop. A journal that
-        // cannot be opened leaves the shard running non-durable with
-        // `durability_lost` set — never a crash.
+        // Run one shard to completion, with or without a recording
+        // tracer. The tracer choice is an execution knob: both arms
+        // call the same generic [`CampaignWorld::run_shard`], and the
+        // untraced arm monomorphizes to the zero-cost null tracer.
         let run_one = |k: usize| -> EngineOutput {
-            let sessions = self.shard_sessions(k, nshards);
-            let mut engine = SessionEngine::new(&self.server, self.engine.clone());
-            let mut skip: HashSet<usize> = HashSet::new();
-            let mut durability_lost = false;
-            match paths_ref {
-                Some(paths) if journal_enabled[k] => {
-                    let path = &paths[k];
-                    let replay = journal::replay_with(path, &**vfs_ref);
-                    let valid_len = replay.valid_len;
-                    skip = replay.completed_ids();
-                    engine.seed_replay(replay);
-                    match JournalWriter::open_append_with(
-                        path,
-                        valid_len,
-                        exec.fsync_every,
-                        &**vfs_ref,
-                    ) {
-                        Ok(writer) => engine.set_journal(writer),
-                        Err(e) => {
-                            durability_lost = true;
-                            crate::progress!(
-                                "shard {k}: journal unavailable, running non-durable: {e}"
-                            );
-                        }
-                    }
-                }
-                // Durability was requested but this shard (or the whole
-                // journal directory) lost it before the run began.
-                Some(_) => durability_lost = true,
-                None if exec.journal_dir.is_some() => durability_lost = true,
-                None => {}
+            if exec.telemetry.tracing {
+                self.run_shard(
+                    k,
+                    nshards,
+                    exec,
+                    paths_ref.as_ref(),
+                    journal_enabled,
+                    &**vfs_ref,
+                    RecordingTracer::default(),
+                )
+            } else {
+                self.run_shard(
+                    k,
+                    nshards,
+                    exec,
+                    paths_ref.as_ref(),
+                    journal_enabled,
+                    &**vfs_ref,
+                    NullTracer,
+                )
             }
-            for session in sessions {
-                if skip.contains(&session.session_id()) {
-                    continue; // already completed and journaled
-                }
-                // Stagger session starts by global id, exactly as the
-                // single-threaded driver did.
-                let start = (session.session_id() as u64) * 7;
-                engine.add_session(session, start);
-            }
-            let mut output = engine.run();
-            output.stats.durability_lost |= durability_lost;
-            output
         };
 
         // The supervisor: run all pending shards, catch shard-level
@@ -764,6 +829,7 @@ impl CampaignWorld {
         let mut logs = Vec::with_capacity(nshards);
         let mut per_shard_records = Vec::with_capacity(nshards);
         let mut shard_stats = Vec::with_capacity(nshards);
+        let mut telemetries = Vec::new();
         let mut events = 0;
         let mut faults = FaultStats::default();
         for (k, output) in outputs.into_iter().enumerate() {
@@ -775,9 +841,18 @@ impl CampaignWorld {
             shard_stats.push(ShardStats::new(k, output.stats, wall_ms[k], restarts[k]));
             logs.push(output.log);
             per_shard_records.push(output.records);
+            // Journal-finalized shards carry no telemetry (it is never
+            // journaled); the merged trace covers exactly the sessions
+            // this run actually simulated.
+            telemetries.extend(output.telemetry);
         }
         let log = QueryLog::merge(logs);
         let sessions = merge_session_records(per_shard_records);
+        let telemetry = if exec.telemetry.tracing {
+            Some(Telemetry::merge(telemetries))
+        } else {
+            None
+        };
         let merge_s = merge_start.elapsed().as_secs_f64();
 
         CampaignResult {
@@ -793,6 +868,7 @@ impl CampaignWorld {
                 merge_s,
                 persist_s: 0.0,
             },
+            telemetry,
         }
     }
 }

@@ -6,6 +6,7 @@ use super::event::Ev;
 use super::session::{LiveSession, SessionOutcome, SessionRecord};
 use crate::apparatus::{QueryLog, QueryRecord, SynthesizingAuthority};
 use crate::journal::{JournalFrame, JournalWriter, Replay};
+use crate::telemetry::{NullTracer, Telemetry, TraceKind, Tracer};
 use mailval_dns::resolver::ResolveOutcome;
 use mailval_dns::server::{ServerCore, Transport};
 use mailval_mta::actor::{MtaEvent, MtaInput, MtaOutput};
@@ -106,6 +107,24 @@ pub struct EngineOutput {
     pub records: Vec<SessionRecord>,
     /// Run counters.
     pub stats: EngineStats,
+    /// The shard's trace + metrics, when the engine ran with a
+    /// recording tracer. Observability only: never journaled or hashed,
+    /// and `None` for replayed (journal-finalized) output.
+    pub telemetry: Option<Telemetry>,
+}
+
+/// Live heartbeat configuration: a rate-limited progress line the
+/// engine emits from its event loop (per-shard sessions/s, pending
+/// events, simulator backlog). Wall-clock rate limiting only affects
+/// *when lines print*, never the simulation — the heartbeat reads
+/// engine state, it does not write it.
+#[derive(Debug)]
+struct Heartbeat {
+    shard: usize,
+    interval: std::time::Duration,
+    started: std::time::Instant,
+    last: std::time::Instant,
+    last_completed: u64,
 }
 
 /// Lightweight per-engine counters.
@@ -139,7 +158,12 @@ pub struct EngineStats {
 /// same [`ServerCore`] (whose handling is `&self`-only and stateless per
 /// query). The clock is injectable via [`SessionEngine::with_clock`];
 /// the default starts at virtual zero.
-pub struct SessionEngine<'a> {
+///
+/// The engine is generic over its [`Tracer`]; the default
+/// [`NullTracer`] monomorphizes every `if self.tracer.enabled()` hook
+/// to dead code, so tracing costs nothing unless a recording tracer is
+/// injected via [`SessionEngine::with_tracer`].
+pub struct SessionEngine<'a, T: Tracer = NullTracer> {
     sim: Simulator<Ev>,
     sessions: Vec<LiveSession>,
     server: &'a ServerCore<SynthesizingAuthority>,
@@ -166,6 +190,12 @@ pub struct SessionEngine<'a> {
     /// The journal failed and was demoted mid-run (see
     /// [`EngineStats::durability_lost`]).
     durability_lost: bool,
+    /// The tracing seam (NullTracer unless injected).
+    tracer: T,
+    /// Live heartbeat state, when enabled.
+    heartbeat: Option<Heartbeat>,
+    /// Dispatch counter driving the cheap heartbeat check mask.
+    ticks: u64,
 }
 
 impl<'a> SessionEngine<'a> {
@@ -180,6 +210,28 @@ impl<'a> SessionEngine<'a> {
         server: &'a ServerCore<SynthesizingAuthority>,
         config: EngineConfig,
         clock: Simulator<Ev>,
+    ) -> Self {
+        Self::with_parts(server, config, clock, NullTracer)
+    }
+}
+
+impl<'a, T: Tracer> SessionEngine<'a, T> {
+    /// A fresh engine recording through `tracer`. Tracing is
+    /// observability only: the simulation takes exactly the same steps
+    /// as an untraced run (the golden determinism tests pin this).
+    pub fn with_tracer(
+        server: &'a ServerCore<SynthesizingAuthority>,
+        config: EngineConfig,
+        tracer: T,
+    ) -> Self {
+        Self::with_parts(server, config, Simulator::new(), tracer)
+    }
+
+    fn with_parts(
+        server: &'a ServerCore<SynthesizingAuthority>,
+        config: EngineConfig,
+        clock: Simulator<Ev>,
+        tracer: T,
     ) -> Self {
         let plan = FaultPlan::new(config.faults.clone(), config.latency.clone());
         let payload = PayloadPlan::new(config.payload.clone());
@@ -199,7 +251,23 @@ impl<'a> SessionEngine<'a> {
             completed: 0,
             scratch: Vec::new(),
             durability_lost: false,
+            tracer,
+            heartbeat: None,
+            ticks: 0,
         }
+    }
+
+    /// Enable the live heartbeat: at most one `progress!` line per
+    /// `interval_ms` of wall clock, labeled with `shard`.
+    pub fn set_heartbeat(&mut self, shard: usize, interval_ms: u64) {
+        let now = std::time::Instant::now();
+        self.heartbeat = Some(Heartbeat {
+            shard,
+            interval: std::time::Duration::from_millis(interval_ms.max(1)),
+            started: now,
+            last: now,
+            last_completed: 0,
+        });
     }
 
     /// Attach a journal: every completed session is appended as one
@@ -248,6 +316,10 @@ impl<'a> SessionEngine<'a> {
     /// of killing the whole shard.
     pub fn run(mut self) -> EngineOutput {
         while let Some((time_ms, ev)) = self.sim.next() {
+            self.ticks += 1;
+            if self.heartbeat.is_some() && self.ticks & 0xFFF == 0 {
+                self.maybe_heartbeat(time_ms);
+            }
             let id = ev.session();
             let budget = self.config.budget;
             let memory = self.config.memory;
@@ -357,13 +429,39 @@ impl<'a> SessionEngine<'a> {
             durability_lost: self.durability_lost,
         };
         self.log.sort_canonical();
+        let telemetry = self.tracer.finish();
         let mut records = self.replay_records;
         records.extend(self.sessions.into_iter().map(|s| s.record));
         EngineOutput {
             log: self.log,
             records,
             stats,
+            telemetry,
         }
+    }
+
+    /// Emit the rate-limited heartbeat line, if its interval elapsed.
+    /// Pure observability: reads counters, emits one `progress!` line.
+    fn maybe_heartbeat(&mut self, virtual_ms: u64) {
+        let completed = self.completed;
+        let pending = self.sim.pending();
+        let live: usize = self.sessions.iter().filter(|s| !s.done).count();
+        let Some(hb) = self.heartbeat.as_mut() else {
+            return;
+        };
+        if hb.last.elapsed() < hb.interval {
+            return;
+        }
+        let elapsed = hb.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = completed as f64 / elapsed;
+        let delta = completed.saturating_sub(hb.last_completed);
+        hb.last = std::time::Instant::now();
+        hb.last_completed = completed;
+        let shard = hb.shard;
+        crate::progress!(
+            "shard {shard} heartbeat: {completed} sessions done (+{delta}, {rate:.0}/s), \
+             {live} live, {pending} pending events, t={virtual_ms}ms"
+        );
     }
 
     /// Mark session `id` finished: fold its retries into its fault
@@ -379,6 +477,20 @@ impl<'a> SessionEngine<'a> {
             return;
         }
         s.done = true;
+        if self.tracer.enabled() {
+            let termination = match (&s.record.error, &s.record.termination) {
+                (Some(_), _) => "contained_panic",
+                (None, SessionOutcome::Completed) => "completed",
+                (None, SessionOutcome::BudgetExhausted { .. }) => "budget_exhausted",
+                (None, SessionOutcome::HostileInput { .. }) => "hostile_input",
+                (None, SessionOutcome::ResourceShed { .. }) => "resource_shed",
+            };
+            self.tracer.record(
+                s.last_event_ms,
+                s.record.session_id,
+                TraceKind::SessionEnd { termination },
+            );
+        }
         if let Some(outcome) = &s.record.outcome {
             s.stats.client_retries += u64::from(outcome.retries);
         }
@@ -432,6 +544,16 @@ impl<'a> SessionEngine<'a> {
         self.sim.schedule_at(time_ms, ev);
     }
 
+    /// Record one trace event for session `id` at the current virtual
+    /// time. Call sites guard with `self.tracer.enabled()` so payload
+    /// construction never happens on the untraced hot path.
+    #[inline]
+    fn trace(&mut self, id: usize, kind: TraceKind) {
+        let sid = self.sessions[id].record.session_id;
+        let now = self.sim.now_ms();
+        self.tracer.record(now, sid, kind);
+    }
+
     fn one_way_client(&self, id: usize) -> u64 {
         self.config
             .latency
@@ -468,14 +590,14 @@ impl<'a> SessionEngine<'a> {
     /// cycle, CNAME self-chain; only offered when the session's profile
     /// is `hostile_dns`) are synthesized here from the response's own
     /// question — the plan itself never sees domain names.
-    fn mutate_dns_payload(&mut self, id: usize, bytes: &mut Vec<u8>) {
+    fn mutate_dns_payload(&mut self, id: usize, bytes: &mut Vec<u8>) -> Option<DnsMutation> {
         let session = &mut self.sessions[id];
         let sid = session.record.session_id as u64;
         let hostile = session.hostile_dns;
-        if let Some(kind) = self
+        let mutation = self
             .payload
-            .mutate_dns(sid, &mut session.faults, bytes, hostile)
-        {
+            .mutate_dns(sid, &mut session.faults, bytes, hostile);
+        if let Some(kind) = mutation {
             session.stats.dns_payload_mutations += 1;
             if matches!(kind, DnsMutation::SpfCycle | DnsMutation::CnameChain) {
                 if let Some(replacement) = crate::hostile::synthesize_hostile_dns(bytes, kind) {
@@ -483,10 +605,12 @@ impl<'a> SessionEngine<'a> {
                 }
             }
         }
+        mutation
     }
 
-    /// Maybe mutate the next SMTP reply payload of session `id` in place.
-    fn mutate_smtp_payload(&mut self, id: usize, text: &mut String) {
+    /// Maybe mutate the next SMTP reply payload of session `id` in
+    /// place; true when a mutation was applied.
+    fn mutate_smtp_payload(&mut self, id: usize, text: &mut String) -> bool {
         let session = &mut self.sessions[id];
         let sid = session.record.session_id as u64;
         if self
@@ -495,16 +619,26 @@ impl<'a> SessionEngine<'a> {
             .is_some()
         {
             session.stats.smtp_payload_mutations += 1;
+            true
+        } else {
+            false
         }
     }
 
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Start(id) => {
+                if self.tracer.enabled() {
+                    self.trace(id, TraceKind::SessionStart);
+                }
                 let outputs = self.sessions[id].mta.handle(MtaInput::Connected);
                 self.handle_mta_outputs(id, outputs);
             }
             Ev::ToMta(id, text) => {
+                if self.tracer.enabled() {
+                    let verb = text.split_whitespace().next().unwrap_or("").to_string();
+                    self.trace(id, TraceKind::SmtpCommand { verb });
+                }
                 let mut outputs = Vec::new();
                 for line in text.split_inclusive("\r\n") {
                     let line = line.trim_end_matches(['\r', '\n']);
@@ -517,6 +651,9 @@ impl<'a> SessionEngine<'a> {
                 self.handle_mta_outputs(id, outputs);
             }
             Ev::ToClient(id, text) => {
+                let tracing = self.tracer.enabled();
+                let mut traced_codes: Vec<u16> = Vec::new();
+                let mut traced_reject: Option<String> = None;
                 let mut actions = Vec::new();
                 let mut rejected = false;
                 {
@@ -527,7 +664,12 @@ impl<'a> SessionEngine<'a> {
                             continue;
                         }
                         match session.parser.push_line(line) {
-                            Ok(Some(reply)) => actions.push(session.client.on_reply(reply)),
+                            Ok(Some(reply)) => {
+                                if tracing {
+                                    traced_codes.push(reply.code);
+                                }
+                                actions.push(session.client.on_reply(reply));
+                            }
                             Ok(None) => {}
                             Err(e) => {
                                 // The probe client fails closed on a
@@ -536,6 +678,9 @@ impl<'a> SessionEngine<'a> {
                                 // the session here (a measurement probe
                                 // has no business guessing at garbage).
                                 let class = crate::hostile::classify_reply(&e);
+                                if tracing {
+                                    traced_reject = Some(format!("{class:?}"));
+                                }
                                 session.stats.malformed.record(class);
                                 session.stats.hostile_inputs += 1;
                                 session.record.termination = SessionOutcome::HostileInput { class };
@@ -546,6 +691,14 @@ impl<'a> SessionEngine<'a> {
                                 break;
                             }
                         }
+                    }
+                }
+                if tracing {
+                    for code in traced_codes {
+                        self.trace(id, TraceKind::SmtpReply { code });
+                    }
+                    if let Some(class) = traced_reject {
+                        self.trace(id, TraceKind::SmtpRejected { class });
                     }
                 }
                 if rejected {
@@ -604,7 +757,17 @@ impl<'a> SessionEngine<'a> {
                     // datagram's fate), so it applies on TCP too: a
                     // hostile peer is not bound by transport
                     // reliability.
-                    self.mutate_dns_payload(id, &mut reply);
+                    let mutation = self.mutate_dns_payload(id, &mut reply);
+                    if self.tracer.enabled() {
+                        if let Some(kind) = mutation {
+                            self.trace(
+                                id,
+                                TraceKind::FaultDnsMutation {
+                                    kind: format!("{kind:?}"),
+                                },
+                            );
+                        }
+                    }
                     // Response-side faults (UDP only; TCP is reliable,
                     // and only responses can be meaningfully truncated).
                     let fate = if transport == Transport::Udp {
@@ -612,6 +775,17 @@ impl<'a> SessionEngine<'a> {
                     } else {
                         DatagramFate::Deliver
                     };
+                    if self.tracer.enabled() {
+                        if let Some(label) = fate_label(fate) {
+                            self.trace(
+                                id,
+                                TraceKind::FaultDatagram {
+                                    fate: label,
+                                    query_side: false,
+                                },
+                            );
+                        }
+                    }
                     match fate {
                         DatagramFate::Drop => {
                             self.sessions[id].stats.dns_dropped += 1;
@@ -653,6 +827,15 @@ impl<'a> SessionEngine<'a> {
                 self.scratch = reply;
             }
             Ev::DnsReturn(id, core_id, bytes, via_ipv6) => {
+                if self.tracer.enabled() {
+                    self.trace(
+                        id,
+                        TraceKind::DnsRecv {
+                            core_id,
+                            bytes: bytes.len(),
+                        },
+                    );
+                }
                 let now = self.sim.now_ms();
                 let event = self.sessions[id]
                     .resolver
@@ -672,6 +855,12 @@ impl<'a> SessionEngine<'a> {
                 let event = self.sessions[id]
                     .resolver
                     .on_timeout(core_id, via_ipv6, now);
+                // A stale timer pop (lookup already settled) comes back
+                // Idle — simulator bookkeeping, not a wire fact, so it
+                // leaves no trace.
+                if self.tracer.enabled() && !matches!(event, ResolverEvent::Idle) {
+                    self.trace(id, TraceKind::DnsTimeout { core_id });
+                }
                 self.handle_resolver_event(id, event);
             }
             Ev::MtaDns(id, qid, outcome) => {
@@ -681,6 +870,9 @@ impl<'a> SessionEngine<'a> {
                 self.handle_mta_outputs(id, outputs);
             }
             Ev::ServerClosed(id) => {
+                if self.tracer.enabled() {
+                    self.trace(id, TraceKind::ServerClose);
+                }
                 // The server-side FIN reached the client. If the client
                 // already finished through its own close path the session
                 // record is settled; otherwise capture the partial
@@ -693,6 +885,9 @@ impl<'a> SessionEngine<'a> {
                 }
             }
             Ev::ConnReset(id) => {
+                if self.tracer.enabled() {
+                    self.trace(id, TraceKind::ConnReset);
+                }
                 // An injected reset reached the wire: the segment that
                 // carried it is gone and both ends observe a disconnect.
                 // Unlike `ServerClosed` this is the *network's* doing,
@@ -713,7 +908,9 @@ impl<'a> SessionEngine<'a> {
                 MtaOutput::Smtp(mut text) => {
                     // Hostile-peer reply mutation happens at the server,
                     // before the network decides the segment's fate.
-                    self.mutate_smtp_payload(id, &mut text);
+                    if self.mutate_smtp_payload(id, &mut text) && self.tracer.enabled() {
+                        self.trace(id, TraceKind::FaultSmtpMutation);
+                    }
                     let text: Arc<str> = text.into();
                     // Any stall the MTA declared in this batch delays the
                     // reply segment that follows it.
@@ -722,10 +919,16 @@ impl<'a> SessionEngine<'a> {
                     match self.conn_fault(id) {
                         ConnFault::Reset => {
                             self.sessions[id].stats.conn_resets += 1;
+                            if self.tracer.enabled() {
+                                self.trace(id, TraceKind::FaultConn { kind: "reset" });
+                            }
                             self.sched(delay, Ev::ConnReset(id));
                         }
                         ConnFault::Stall { extra_ms } => {
                             self.sessions[id].stats.conn_stalls += 1;
+                            if self.tracer.enabled() {
+                                self.trace(id, TraceKind::FaultConn { kind: "stall" });
+                            }
                             self.sched(delay + extra_ms, Ev::ToClient(id, text));
                         }
                         ConnFault::Deliver => {
@@ -736,10 +939,35 @@ impl<'a> SessionEngine<'a> {
                 MtaOutput::Stall { delay_ms } => {
                     self.sessions[id].stats.mta_stalls += 1;
                     self.sessions[id].stall_credit_ms += delay_ms;
+                    if self.tracer.enabled() {
+                        self.trace(id, TraceKind::MtaStall { delay_ms });
+                    }
                 }
                 MtaOutput::Resolve { qid, name, rtype } => {
                     let now = self.sim.now_ms();
+                    // Snapshot the cache-hit counter around the resolve
+                    // call: a lookup answered synchronously from cache is
+                    // marked `cached` so the exporter doesn't draw a
+                    // zero-length wire span for it.
+                    let traced = if self.tracer.enabled() {
+                        Some((name.to_string(), format!("{rtype:?}")))
+                    } else {
+                        None
+                    };
+                    let hits_before = self.sessions[id].resolver.cache_hits();
                     let event = self.sessions[id].resolver.resolve(qid, name, rtype, now);
+                    if let Some((qname, qtype)) = traced {
+                        let cached = self.sessions[id].resolver.cache_hits() > hits_before;
+                        self.trace(
+                            id,
+                            TraceKind::ResolveStart {
+                                qid,
+                                name: qname,
+                                rtype: qtype,
+                                cached,
+                            },
+                        );
+                    }
                     self.handle_resolver_event(id, event);
                 }
                 MtaOutput::SetTimer { token, delay_ms } => {
@@ -755,14 +983,46 @@ impl<'a> SessionEngine<'a> {
                 }
                 MtaOutput::Event(MtaEvent::MessageAccepted) => {
                     self.sessions[id].record.delivery_time_ms = Some(self.sim.now_ms());
+                    if self.tracer.enabled() {
+                        self.trace(id, TraceKind::Delivered);
+                    }
                 }
                 MtaOutput::Event(MtaEvent::TempFailed) => {
                     self.sessions[id].stats.tempfails += 1;
+                    if self.tracer.enabled() {
+                        self.trace(id, TraceKind::TempFail);
+                    }
+                }
+                MtaOutput::Event(MtaEvent::SpfConcluded(result)) if self.tracer.enabled() => {
+                    self.trace(
+                        id,
+                        TraceKind::SpfConcluded {
+                            result: format!("{result:?}"),
+                        },
+                    );
+                }
+                MtaOutput::Event(MtaEvent::SpfLookups(count)) if self.tracer.enabled() => {
+                    self.trace(id, TraceKind::SpfLookups { count });
+                }
+                MtaOutput::Event(MtaEvent::DkimConcluded(pass)) if self.tracer.enabled() => {
+                    self.trace(id, TraceKind::DkimConcluded { pass });
+                }
+                MtaOutput::Event(MtaEvent::DmarcConcluded(pass)) if self.tracer.enabled() => {
+                    self.trace(id, TraceKind::DmarcConcluded { pass });
                 }
                 MtaOutput::Event(MtaEvent::SpfHostile {
                     cycle_detected,
                     lookups_exhausted,
                 }) => {
+                    if self.tracer.enabled() {
+                        self.trace(
+                            id,
+                            TraceKind::SpfHostile {
+                                cycle: cycle_detected,
+                                exhausted: lookups_exhausted,
+                            },
+                        );
+                    }
                     // Classification only: the evaluator already failed
                     // closed with a deterministic PermError and the
                     // session continues. Counted only under an active
@@ -790,6 +1050,15 @@ impl<'a> SessionEngine<'a> {
                 if matches!(outcome, ResolveOutcome::Timeout) {
                     self.sessions[id].stats.dns_timeouts += 1;
                 }
+                if self.tracer.enabled() {
+                    self.trace(
+                        id,
+                        TraceKind::ResolveDone {
+                            qid,
+                            outcome: outcome_label(&outcome),
+                        },
+                    );
+                }
                 self.sched(self.config.local_hop_ms, Ev::MtaDns(id, qid, outcome));
             }
             ResolverEvent::Send(UpstreamSend {
@@ -804,6 +1073,20 @@ impl<'a> SessionEngine<'a> {
                 // to the datagram: a dropped query must trip
                 // `ResolverCore::on_timeout`'s retry machinery.
                 self.sched(timeout_ms, Ev::DnsTimeout(id, core_id, via_ipv6));
+                if self.tracer.enabled() {
+                    self.trace(
+                        id,
+                        TraceKind::DnsSend {
+                            core_id,
+                            transport: match transport {
+                                Transport::Udp => "udp",
+                                Transport::Tcp => "tcp",
+                            },
+                            via_ipv6,
+                            bytes: bytes.len(),
+                        },
+                    );
+                }
                 let bytes: Arc<[u8]> = bytes.into();
                 // Query-side faults (UDP only; queries can't truncate).
                 let fate = if transport == Transport::Udp {
@@ -811,6 +1094,17 @@ impl<'a> SessionEngine<'a> {
                 } else {
                     DatagramFate::Deliver
                 };
+                if self.tracer.enabled() {
+                    if let Some(label) = fate_label(fate) {
+                        self.trace(
+                            id,
+                            TraceKind::FaultDatagram {
+                                fate: label,
+                                query_side: true,
+                            },
+                        );
+                    }
+                }
                 match fate {
                     DatagramFate::Drop => {
                         self.sessions[id].stats.dns_dropped += 1;
@@ -856,10 +1150,16 @@ impl<'a> SessionEngine<'a> {
                 match self.conn_fault(id) {
                     ConnFault::Reset => {
                         self.sessions[id].stats.conn_resets += 1;
+                        if self.tracer.enabled() {
+                            self.trace(id, TraceKind::FaultConn { kind: "reset" });
+                        }
                         self.sched(delay, Ev::ConnReset(id));
                     }
                     ConnFault::Stall { extra_ms } => {
                         self.sessions[id].stats.conn_stalls += 1;
+                        if self.tracer.enabled() {
+                            self.trace(id, TraceKind::FaultConn { kind: "stall" });
+                        }
                         self.sched(delay + extra_ms, Ev::ToMta(id, text));
                     }
                     ConnFault::Deliver => {
@@ -869,13 +1169,48 @@ impl<'a> SessionEngine<'a> {
             }
             ClientAction::Pause(0) => {}
             ClientAction::Pause(ms) => {
+                if self.tracer.enabled() {
+                    self.trace(id, TraceKind::ClientPause { ms });
+                }
                 self.sched(ms, Ev::ClientPauseDone(id));
             }
             ClientAction::Close(outcome) => {
+                if self.tracer.enabled() {
+                    self.trace(
+                        id,
+                        TraceKind::ClientClose {
+                            delivered: outcome.delivered,
+                            retries: outcome.retries,
+                        },
+                    );
+                }
                 self.sessions[id].record.outcome = Some(*outcome);
                 let outputs = self.sessions[id].mta.handle(MtaInput::Disconnected);
                 self.handle_mta_outputs(id, outputs);
             }
         }
+    }
+}
+
+/// Trace label for a non-trivial datagram fate (`None` for a normal
+/// delivery, which is not a fault and leaves no trace).
+fn fate_label(fate: DatagramFate) -> Option<&'static str> {
+    match fate {
+        DatagramFate::Deliver => None,
+        DatagramFate::Drop => Some("drop"),
+        DatagramFate::Truncate => Some("truncate"),
+        DatagramFate::Duplicate { .. } => Some("duplicate"),
+        DatagramFate::Delay { .. } => Some("delay"),
+    }
+}
+
+/// Trace label for a lookup outcome.
+fn outcome_label(outcome: &ResolveOutcome) -> &'static str {
+    match outcome {
+        ResolveOutcome::Records(_) => "records",
+        ResolveOutcome::NoData => "nodata",
+        ResolveOutcome::NxDomain => "nxdomain",
+        ResolveOutcome::Timeout => "timeout",
+        ResolveOutcome::ServFail => "servfail",
     }
 }

@@ -732,6 +732,9 @@ impl Replay {
             log,
             records,
             stats,
+            // Telemetry is never journaled: a salvaged shard's trace
+            // covers nothing, by design.
+            telemetry: None,
         }
     }
 }

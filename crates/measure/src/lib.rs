@@ -42,6 +42,11 @@
 //!   same rigor as network failure.
 //! * [`progress`] — the single `[mailval]` stderr progress channel;
 //!   campaign lines carry the content hash and store hit/miss status.
+//! * [`telemetry`] — deterministic observability: a zero-cost tracer
+//!   seam in the engine, per-session virtual-time trace events merged
+//!   canonically across shards, a counters/histograms registry, and
+//!   Chrome-trace + metrics JSON exporters. Observability only — never
+//!   journaled, hashed or store-key-relevant.
 //! * [`analysis`] — classification of raw observations into the paper's
 //!   tables: validation combos (Table 4), validating counts and deciles
 //!   (Table 5), providers (Table 6), Alexa tiers (Table 7), SPF-vs-
@@ -67,6 +72,7 @@ pub mod progress;
 pub mod report;
 pub mod shard;
 pub mod store;
+pub mod telemetry;
 pub mod vfs;
 
 pub use apparatus::{Attribution, QueryLog, QueryRecord, SynthesizingAuthority};
@@ -82,4 +88,5 @@ pub use names::NameScheme;
 pub use policies::{TestPolicyId, ALL_TESTS};
 pub use shard::ShardStats;
 pub use store::{CampaignKey, CampaignStore, KeySpec, StoreError, StoreStatus};
+pub use telemetry::{NullTracer, RecordingTracer, Telemetry, TraceEvent, TraceKind, Tracer};
 pub use vfs::{OsFs, SimFs, Vfs, VfsFile};

@@ -6,13 +6,26 @@
 //! stream (stderr), and campaign lines always carry the content hash
 //! that names the work. Artifact *output* goes to stdout; everything
 //! here is diagnostics and never mixes with it.
+//!
+//! Setting `MAILVAL_QUIET` to anything but `0` or the empty string
+//! silences the channel (checked once per process): diagnostics only,
+//! so suppressing it cannot change any result.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Is the progress channel silenced by `MAILVAL_QUIET`?
+pub fn quiet() -> bool {
+    static QUIET: OnceLock<bool> = OnceLock::new();
+    *QUIET.get_or_init(|| std::env::var("MAILVAL_QUIET").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
 
 /// Emit one `[mailval]` line to stderr. Prefer the [`crate::progress!`]
 /// macro, which formats in place.
 pub fn emit(args: fmt::Arguments<'_>) {
-    eprintln!("[mailval] {args}");
+    if !quiet() {
+        eprintln!("[mailval] {args}");
+    }
 }
 
 /// Format and emit one `[mailval]` progress line to stderr.
@@ -27,11 +40,21 @@ macro_rules! progress {
     };
 }
 
-/// Render a [`crate::store::StoreStatus`] for a progress line.
-pub fn store_status(status: &crate::store::StoreStatus) -> String {
-    match status {
-        crate::store::StoreStatus::Hit => "hit".to_string(),
-        crate::store::StoreStatus::Miss(reason) => format!("miss({reason})"),
-        crate::store::StoreStatus::Off => "off".to_string(),
+/// Render a [`crate::store::StoreStatus`] for a progress line, without
+/// allocating: the wrapper formats straight into the line's writer.
+pub fn store_status(status: &crate::store::StoreStatus) -> StoreStatusDisplay<'_> {
+    StoreStatusDisplay(status)
+}
+
+/// [`fmt::Display`] adapter for [`crate::store::StoreStatus`].
+pub struct StoreStatusDisplay<'a>(&'a crate::store::StoreStatus);
+
+impl fmt::Display for StoreStatusDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            crate::store::StoreStatus::Hit => f.write_str("hit"),
+            crate::store::StoreStatus::Miss(reason) => write!(f, "miss({reason})"),
+            crate::store::StoreStatus::Off => f.write_str("off"),
+        }
     }
 }

@@ -600,9 +600,11 @@ pub fn decode_entry(data: &[u8], key: &CampaignKey) -> Result<CampaignResult, St
         faults,
         shard_stats,
         partial,
-        // Phase timings are observability about the producing run, not
-        // campaign output; a store hit costs no setup or simulation.
+        // Phase timings and telemetry are observability about the
+        // producing run, not campaign output; a store hit costs no
+        // setup or simulation and carries no trace.
         phases: crate::campaign::PhaseTimes::default(),
+        telemetry: None,
     })
 }
 

@@ -67,6 +67,10 @@ pub enum MtaEvent {
     MessageAccepted,
     /// An SPF evaluation concluded.
     SpfConcluded(SpfResult),
+    /// DNS lookups the concluded SPF evaluation completed (per-policy
+    /// lookup depth; emitted alongside [`MtaEvent::SpfConcluded`] for
+    /// MAIL FROM evaluations).
+    SpfLookups(u32),
     /// An SPF evaluation tripped a hostile-policy guard (include or
     /// redirect cycle, or lookup-budget exhaustion). Emitted alongside
     /// [`MtaEvent::SpfConcluded`] so the driver can classify the input.
@@ -506,6 +510,7 @@ impl MtaActor {
                 if !helo_check {
                     self.spf_result = Some(done.result);
                     out.push(MtaOutput::Event(MtaEvent::SpfConcluded(done.result)));
+                    out.push(MtaOutput::Event(MtaEvent::SpfLookups(0)));
                 }
                 self.advance_queue(out);
             }
@@ -627,6 +632,7 @@ impl MtaActor {
                 if self.profile.spf_unfinished && completed >= 1 && !helo_check {
                     self.spf_result = Some(SpfResult::None);
                     out.push(MtaOutput::Event(MtaEvent::SpfConcluded(SpfResult::None)));
+                    out.push(MtaOutput::Event(MtaEvent::SpfLookups(completed)));
                     self.advance_queue(out);
                     return;
                 }
@@ -636,6 +642,7 @@ impl MtaActor {
                         if !helo_check {
                             self.spf_result = Some(done.result);
                             out.push(MtaOutput::Event(MtaEvent::SpfConcluded(done.result)));
+                            out.push(MtaOutput::Event(MtaEvent::SpfLookups(completed)));
                         }
                         self.advance_queue(out);
                     }

@@ -52,6 +52,10 @@ pub struct ResolverActor {
     v6_only_marker: Option<String>,
     /// Maps in-flight resolver-core ids to caller qids.
     inflight: HashMap<u16, u64>,
+    /// Lookups started through [`ResolverActor::resolve`].
+    lookups: u64,
+    /// Lookups answered synchronously from the core's cache.
+    cache_hits: u64,
 }
 
 impl ResolverActor {
@@ -62,12 +66,25 @@ impl ResolverActor {
             ipv6_capable,
             v6_only_marker,
             inflight: HashMap::new(),
+            lookups: 0,
+            cache_hits: 0,
         }
     }
 
     /// Total upstream queries sent (diagnostics).
     pub fn upstream_queries(&self) -> u64 {
         self.core.upstream_queries
+    }
+
+    /// Lookups started through [`ResolverActor::resolve`] (diagnostics).
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups answered synchronously from the resolver cache
+    /// (diagnostics; the telemetry layer's cache hit-rate).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
     }
 
     /// Drain the wire-decode errors recorded since the last call (the
@@ -93,6 +110,7 @@ impl ResolverActor {
         rtype: RecordType,
         now_ms: u64,
     ) -> ResolverEvent {
+        self.lookups += 1;
         if self.needs_v6(&name) && !self.ipv6_capable {
             // No AAAA-reachable server and no IPv6 route: the lookup can
             // never be sent. Resolvers surface this as a failure after
@@ -105,7 +123,10 @@ impl ResolverActor {
         }
         let via_ipv6 = self.needs_v6(&name) && self.ipv6_capable;
         match self.core.begin(name, rtype, now_ms) {
-            Begin::Cached(outcome) => ResolverEvent::Finished { qid, outcome },
+            Begin::Cached(outcome) => {
+                self.cache_hits += 1;
+                ResolverEvent::Finished { qid, outcome }
+            }
             Begin::Send(outgoing) => {
                 self.inflight.insert(outgoing.id, qid);
                 ResolverEvent::Send(self.to_send(outgoing, via_ipv6))

@@ -230,6 +230,9 @@ fn serve_mta(stream: TcpStream, peer: SocketAddr, dns_addr: SocketAddr) {
                     MtaOutput::Event(MtaEvent::SpfConcluded(result)) => {
                         println!("[mta] SPF: {result}");
                     }
+                    MtaOutput::Event(MtaEvent::SpfLookups(n)) => {
+                        println!("[mta] SPF used {n} DNS lookups");
+                    }
                     MtaOutput::Event(MtaEvent::DkimConcluded(ok)) => {
                         println!("[mta] DKIM: {}", if ok { "pass" } else { "fail" });
                     }

@@ -16,6 +16,7 @@
 #   scripts/verify.sh --hostile    # only the hostile-payload stage
 #   scripts/verify.sh --io         # only the storage-fault stage
 #   scripts/verify.sh --perf       # only the performance-regression stage
+#   scripts/verify.sh --trace      # only the telemetry stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +28,7 @@ chaos() {
   # merge byte-identically for shards = 1/2/4/8, and the crash must be
   # contained to its own session. Fixed seeds live in the test itself.
   echo "== tier-1: chaos determinism (cargo test --test chaos_determinism) =="
-  cargo test -q --test chaos_determinism
+  MAILVAL_QUIET=1 cargo test -q --test chaos_determinism
 }
 
 resume() {
@@ -37,7 +38,7 @@ resume() {
   # with and without the chaos plan; corrupted journal tails are re-run,
   # not fatal; and session budgets terminate runaways within bounds.
   echo "== tier-1: kill-and-resume determinism (cargo test --test resume_determinism) =="
-  cargo test -q --test resume_determinism
+  MAILVAL_QUIET=1 cargo test -q --test resume_determinism
 }
 
 artifacts() {
@@ -78,7 +79,7 @@ hostile() {
   # harness drives 100k mutated frames straight into the parsers with
   # zero panics and every rejection classified.
   echo "== tier-1: hostile-payload determinism (cargo test --test hostile_determinism) =="
-  cargo test -q --test hostile_determinism
+  MAILVAL_QUIET=1 cargo test -q --test hostile_determinism
   echo "== fuzz: 100k mutated frames (mailval-artifacts fuzz) =="
   cargo run --release -q -p mailval-bench --bin mailval-artifacts -- fuzz 100000
 }
@@ -91,7 +92,7 @@ io() {
   # sessions identically at any shard count — then the bench sweep
   # re-asserts hash equality across fault rates {0, .01, .05, .20}.
   echo "== tier-1: storage-fault determinism (cargo test --test io_determinism) =="
-  cargo test -q --test io_determinism
+  MAILVAL_QUIET=1 cargo test -q --test io_determinism
   echo "== bench: storage-fault sweep (mailval-artifacts bench-io) =="
   local dir
   dir=$(mktemp -d)
@@ -109,6 +110,37 @@ perf() {
   echo "== perf: regression gate (mailval-artifacts bench-perf-check) =="
   cargo build --release -p mailval-bench --bin mailval-artifacts
   target/release/mailval-artifacts bench-perf-check
+}
+
+trace() {
+  # Telemetry gates: the determinism test (byte-identical trace streams
+  # at shards 1/2/4/8 and across kill-and-resume, identical metrics
+  # merges, golden hashes unchanged with tracing on), a smoke export of
+  # Chrome trace-event JSON from a ~100-session campaign, and the
+  # bench-trace overhead gate (disabled tracer ≤1%, recording tracer
+  # ≤10% vs the committed BENCH_perf.json baseline).
+  echo "== tier-1: telemetry determinism (cargo test --test telemetry_determinism) =="
+  MAILVAL_QUIET=1 cargo test -q --test telemetry_determinism
+  echo "== trace: Chrome trace-event export smoke (mailval-artifacts trace) =="
+  cargo build --release -p mailval-bench --bin mailval-artifacts
+  local bin=target/release/mailval-artifacts
+  local dir
+  dir=$(mktemp -d)
+  trap 'rm -rf "$dir"' RETURN
+  MAILVAL_SCALE=0.004 MAILVAL_SEED=2021 MAILVAL_SHARDS=2 \
+    "$bin" trace --out "$dir/trace.json"
+  grep -q '"traceEvents"' "$dir/trace.json" || {
+    echo "trace: export is not Chrome trace-event JSON" >&2
+    return 1
+  }
+  MAILVAL_SCALE=0.004 MAILVAL_SEED=2021 MAILVAL_SHARDS=2 \
+    "$bin" trace --metrics --out "$dir/metrics.json"
+  grep -q '"counters"' "$dir/metrics.json" || {
+    echo "trace: metrics export missing counters" >&2
+    return 1
+  }
+  echo "== trace: overhead gate (mailval-artifacts bench-trace) =="
+  "$bin" bench-trace "$dir/BENCH_trace.json"
 }
 
 if [[ "${1:-}" == "--chaos" ]]; then
@@ -147,6 +179,12 @@ if [[ "${1:-}" == "--perf" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--trace" ]]; then
+  trace
+  echo "verify --trace: OK"
+  exit 0
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -156,8 +194,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
-echo "== tier-1: cargo test -q =="
-cargo test -q
+echo "== tier-1: cargo test -q (MAILVAL_QUIET silences progress) =="
+MAILVAL_QUIET=1 cargo test -q
 
 chaos
 resume
@@ -165,5 +203,6 @@ hostile
 io
 artifacts
 perf
+trace
 
 echo "verify: OK"

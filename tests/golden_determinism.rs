@@ -16,7 +16,7 @@
 
 use mailval::datasets::{DatasetKind, Population, PopulationConfig};
 use mailval::measure::campaign::{
-    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind,
+    run_campaign, sample_host_profiles, CampaignConfig, CampaignKind, TelemetryConfig,
 };
 use mailval::measure::store::KeySpec;
 use mailval::mta::profile::MtaProfile;
@@ -126,29 +126,51 @@ fn assert_golden(
     pop: &Population,
     profiles: &[MtaProfile],
 ) {
-    for shards in [1usize, 2, 4, 8] {
-        let config = mk_config(shards);
-        let result = run_campaign(&config, pop, profiles);
+    // Telemetry is observability only: the digest must hold with the
+    // tracer off AND on, at every shard count.
+    for tracing in [false, true] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut config = mk_config(shards);
+            config.telemetry = TelemetryConfig {
+                tracing,
+                heartbeat_ms: 0,
+            };
+            let result = run_campaign(&config, pop, profiles);
+            assert_eq!(
+                hex(&result.content_hash()),
+                golden_content,
+                "{label}: shards={shards} tracing={tracing} output differs \
+                 from the pre-change engine"
+            );
+            assert_eq!(
+                result.telemetry.is_some(),
+                tracing,
+                "{label}: telemetry presence must track the tracing knob"
+            );
+        }
+    }
+    // The store key is equally telemetry-blind.
+    for tracing in [false, true] {
+        let mut config = mk_config(1);
+        config.telemetry = TelemetryConfig {
+            tracing,
+            heartbeat_ms: 0,
+        };
+        let key = KeySpec {
+            config: &config,
+            dataset: "NotifyEmail",
+            scale: 0.004,
+            population_seed: config.seed,
+            profiles: "golden",
+        }
+        .key();
         assert_eq!(
-            hex(&result.content_hash()),
-            golden_content,
-            "{label}: shards={shards} output differs from the pre-change engine"
+            hex(&key.hash),
+            golden_key,
+            "{label}: store key moved (tracing={tracing}) — persisted campaigns \
+             would be orphaned"
         );
     }
-    let config = mk_config(1);
-    let key = KeySpec {
-        config: &config,
-        dataset: "NotifyEmail",
-        scale: 0.004,
-        population_seed: config.seed,
-        profiles: "golden",
-    }
-    .key();
-    assert_eq!(
-        hex(&key.hash),
-        golden_key,
-        "{label}: store key moved — persisted campaigns would be orphaned"
-    );
 }
 
 #[test]
